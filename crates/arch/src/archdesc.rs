@@ -1,0 +1,333 @@
+//! Architecture description files: a JSON schema for user-supplied
+//! accelerators, used by the `ulm` CLI's `--arch-file` option.
+//!
+//! ```json
+//! {
+//!   "name": "my-chip",
+//!   "array": { "rows": 8, "cols": 16, "macs_per_pe": 2 },
+//!   "spatial": [ ["K", 16], ["B", 8], ["C", 2] ],
+//!   "memories": [
+//!     { "name": "W-Reg", "kind": "reg", "capacity_bits": 2048,
+//!       "ports": [ { "dir": "r", "bw_bits": 2048 },
+//!                  { "dir": "w", "bw_bits": 256 } ],
+//!       "replication": 8 },
+//!     { "name": "GB", "kind": "sram", "capacity_bits": 8388608,
+//!       "ports": [ { "dir": "r", "bw_bits": 128 },
+//!                  { "dir": "w", "bw_bits": 128 } ],
+//!       "backing_store": true }
+//!   ],
+//!   "chains": { "W": ["W-Reg", "GB"], "I": ["GB"], "O": ["GB"] },
+//!   "sequential_groups": [ ["W-Reg", "GB"] ]
+//! }
+//! ```
+//!
+//! `kind` is `reg` or `sram`; `dir` is `r`, `w` or `rw`;
+//! `double_buffered`, `backing_store` and `replication` are optional;
+//! `sequential_groups` configures the Step-3 stall-integration policy
+//! (memories in one group stall sequentially).
+
+use crate::{
+    ArchError, Architecture, MacArray, Memory, MemoryHierarchy, MemoryKind, Port,
+    StallIntegration,
+};
+use serde::Deserialize;
+use std::error::Error;
+use std::fmt;
+use ulm_workload::{Dim, Operand};
+
+/// MAC array block.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct ArrayDesc {
+    /// PE rows.
+    pub rows: u64,
+    /// PE columns.
+    pub cols: u64,
+    /// MACs per PE (default 1).
+    #[serde(default = "one")]
+    pub macs_per_pe: u64,
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// One memory port.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PortDesc {
+    /// `r`, `w` or `rw`.
+    pub dir: String,
+    /// Bits per cycle.
+    pub bw_bits: u64,
+}
+
+/// One memory module.
+#[derive(Debug, Clone, Deserialize)]
+pub struct MemoryDesc {
+    /// Unique name (referenced by the chains).
+    pub name: String,
+    /// `reg` or `sram`.
+    pub kind: String,
+    /// Physical capacity in bits.
+    pub capacity_bits: u64,
+    /// Ports in declaration order.
+    pub ports: Vec<PortDesc>,
+    /// Double-buffered (default false).
+    #[serde(default)]
+    pub double_buffered: bool,
+    /// Top-level backing store (capacity check waived; default false).
+    #[serde(default)]
+    pub backing_store: bool,
+    /// Physical word replication (default 1).
+    #[serde(default = "one")]
+    pub replication: u64,
+}
+
+/// Per-operand chains, memory names innermost first.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ChainsDesc {
+    /// Weight chain.
+    #[serde(rename = "W")]
+    pub w: Vec<String>,
+    /// Input chain.
+    #[serde(rename = "I")]
+    pub i: Vec<String>,
+    /// Output chain.
+    #[serde(rename = "O")]
+    pub o: Vec<String>,
+}
+
+/// A whole architecture description.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ArchDesc {
+    /// Architecture name.
+    pub name: String,
+    /// The MAC array.
+    pub array: ArrayDesc,
+    /// Spatial unrolling as `[dim, factor]` pairs.
+    pub spatial: Vec<(String, u64)>,
+    /// The memory modules.
+    pub memories: Vec<MemoryDesc>,
+    /// Per-operand memory chains.
+    pub chains: ChainsDesc,
+    /// Step-3 sequential groups by memory name (optional).
+    #[serde(default)]
+    pub sequential_groups: Vec<Vec<String>>,
+}
+
+/// Errors from architecture descriptions.
+#[derive(Debug)]
+pub enum ArchDescError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Unknown enum string (`kind`, `dir`, dim name).
+    UnknownToken {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: String,
+    },
+    /// A chain or group references an undeclared memory.
+    UnknownMemory {
+        /// The missing name.
+        name: String,
+    },
+    /// The assembled hierarchy failed validation.
+    Arch(ArchError),
+}
+
+impl fmt::Display for ArchDescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchDescError::Json(e) => write!(f, "invalid architecture description: {e}"),
+            ArchDescError::UnknownToken { field, value } => {
+                write!(f, "unknown {field} `{value}`")
+            }
+            ArchDescError::UnknownMemory { name } => {
+                write!(f, "chain references undeclared memory `{name}`")
+            }
+            ArchDescError::Arch(e) => write!(f, "invalid hierarchy: {e}"),
+        }
+    }
+}
+
+impl Error for ArchDescError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchDescError::Json(e) => Some(e),
+            ArchDescError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ArchDescError {
+    fn from(e: ArchError) -> Self {
+        ArchDescError::Arch(e)
+    }
+}
+
+impl ArchDesc {
+    /// Parses a JSON architecture description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchDescError::Json`] on malformed JSON.
+    pub fn from_json(s: &str) -> Result<Self, ArchDescError> {
+        serde_json::from_str(s).map_err(ArchDescError::Json)
+    }
+
+    /// Instantiates the architecture and its spatial unrolling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchDescError`] on unknown tokens, dangling memory
+    /// references or hierarchy validation failures.
+    pub fn build(&self) -> Result<(Architecture, Vec<(Dim, u64)>), ArchDescError> {
+        let array = MacArray::new(self.array.rows, self.array.cols, self.array.macs_per_pe);
+        let mut b = MemoryHierarchy::builder();
+        let mut ids = std::collections::HashMap::new();
+        for m in &self.memories {
+            let kind = match m.kind.as_str() {
+                "reg" => MemoryKind::RegisterFile,
+                "sram" => MemoryKind::Sram,
+                other => {
+                    return Err(ArchDescError::UnknownToken {
+                        field: "memory kind",
+                        value: other.to_string(),
+                    })
+                }
+            };
+            let ports = m
+                .ports
+                .iter()
+                .map(|p| match p.dir.as_str() {
+                    "r" => Ok(Port::read(p.bw_bits)),
+                    "w" => Ok(Port::write(p.bw_bits)),
+                    "rw" => Ok(Port::read_write(p.bw_bits)),
+                    other => Err(ArchDescError::UnknownToken {
+                        field: "port dir",
+                        value: other.to_string(),
+                    }),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut mem = Memory::new(&m.name, kind, m.capacity_bits)
+                .with_ports(ports)
+                .with_replication(m.replication);
+            if m.double_buffered {
+                mem = mem.double_buffered();
+            }
+            if m.backing_store {
+                mem = mem.as_backing_store();
+            }
+            ids.insert(m.name.clone(), b.add_memory(mem));
+        }
+        let resolve = |names: &[String]| -> Result<Vec<_>, ArchDescError> {
+            names
+                .iter()
+                .map(|n| {
+                    ids.get(n).copied().ok_or_else(|| ArchDescError::UnknownMemory {
+                        name: n.clone(),
+                    })
+                })
+                .collect()
+        };
+        b.set_chain(Operand::W, resolve(&self.chains.w)?);
+        b.set_chain(Operand::I, resolve(&self.chains.i)?);
+        b.set_chain(Operand::O, resolve(&self.chains.o)?);
+        let hierarchy = b.build()?;
+
+        let spatial = self
+            .spatial
+            .iter()
+            .map(|(d, f)| {
+                Dim::parse(d)
+                    .map(|dim| (dim, *f))
+                    .ok_or_else(|| ArchDescError::UnknownToken {
+                        field: "spatial dim",
+                        value: d.clone(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut arch = Architecture::new(self.name.clone(), array, hierarchy);
+        if !self.sequential_groups.is_empty() {
+            let groups = self
+                .sequential_groups
+                .iter()
+                .map(|g| resolve(g))
+                .collect::<Result<Vec<_>, _>>()?;
+            arch = arch.with_stall_integration(StallIntegration::Groups(groups));
+        }
+        Ok((arch, spatial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortUse;
+
+    const EXAMPLE: &str = r#"{
+        "name": "my-chip",
+        "array": { "rows": 8, "cols": 16, "macs_per_pe": 2 },
+        "spatial": [ ["K", 16], ["B", 8], ["C", 2] ],
+        "memories": [
+            { "name": "W-Reg", "kind": "reg", "capacity_bits": 2048,
+              "ports": [ { "dir": "r", "bw_bits": 2048 },
+                         { "dir": "w", "bw_bits": 256 } ],
+              "replication": 8 },
+            { "name": "GB", "kind": "sram", "capacity_bits": 8388608,
+              "ports": [ { "dir": "r", "bw_bits": 128 },
+                         { "dir": "w", "bw_bits": 128 } ],
+              "backing_store": true }
+        ],
+        "chains": { "W": ["W-Reg", "GB"], "I": ["GB"], "O": ["GB"] },
+        "sequential_groups": [ ["W-Reg", "GB"] ]
+    }"#;
+
+    #[test]
+    fn example_builds() {
+        let desc = ArchDesc::from_json(EXAMPLE).unwrap();
+        let (arch, spatial) = desc.build().unwrap();
+        assert_eq!(arch.name(), "my-chip");
+        assert_eq!(arch.mac_array().num_macs(), 256);
+        assert_eq!(spatial.len(), 3);
+        let h = arch.hierarchy();
+        let w_reg = h.find("W-Reg").unwrap();
+        assert_eq!(h.mem(w_reg).replication(), 8);
+        assert_eq!(h.port(w_reg, Operand::W, PortUse::WriteIn).1, 256);
+        assert!(matches!(
+            arch.stall_integration(),
+            StallIntegration::Groups(g) if g.len() == 1
+        ));
+    }
+
+    #[test]
+    fn unknown_tokens_are_reported() {
+        let bad_kind = EXAMPLE.replace("\"kind\": \"reg\"", "\"kind\": \"dram\"");
+        let err = ArchDesc::from_json(&bad_kind).unwrap().build().unwrap_err();
+        assert!(err.to_string().contains("dram"), "{err}");
+
+        let bad_dim = EXAMPLE.replace("[\"K\", 16]", "[\"Q\", 16]");
+        let err = ArchDesc::from_json(&bad_dim).unwrap().build().unwrap_err();
+        assert!(err.to_string().contains('Q'), "{err}");
+    }
+
+    #[test]
+    fn dangling_chain_reference_is_reported() {
+        let bad = EXAMPLE.replace("\"I\": [\"GB\"]", "\"I\": [\"I-LB\"]");
+        let err = ArchDesc::from_json(&bad).unwrap().build().unwrap_err();
+        assert!(err.to_string().contains("I-LB"), "{err}");
+    }
+
+    #[test]
+    fn hierarchy_validation_propagates() {
+        // Read-only GB cannot accept output write-backs.
+        let bad = EXAMPLE.replace(
+            r#"{ "dir": "w", "bw_bits": 128 }"#,
+            r#"{ "dir": "r", "bw_bits": 128 }"#,
+        );
+        let err = ArchDesc::from_json(&bad).unwrap().build().unwrap_err();
+        assert!(matches!(err, ArchDescError::Arch(_)), "{err}");
+    }
+}

@@ -1,0 +1,112 @@
+//! The MAC (multiply-accumulate) array.
+
+use std::fmt;
+
+/// A 2-D processing-element array with one or more MAC units per PE.
+///
+/// The array size sets the performance roofline: `CC_ideal = total MAC
+/// ops / num_macs` (Fig. 1b, scenario 1).
+///
+/// # Example
+///
+/// ```
+/// use ulm_arch::MacArray;
+///
+/// // The paper's validation chip: 16x32 PEs, 2 MACs per PE = 1K MACs.
+/// let arr = MacArray::new(16, 32, 2);
+/// assert_eq!(arr.num_macs(), 1024);
+/// assert_eq!(arr.num_pes(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MacArray {
+    rows: u64,
+    cols: u64,
+    macs_per_pe: u64,
+}
+
+impl MacArray {
+    /// Builds a `rows x cols` PE array with `macs_per_pe` MACs in each PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(rows: u64, cols: u64, macs_per_pe: u64) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && macs_per_pe > 0,
+            "MAC array dimensions must be positive"
+        );
+        Self {
+            rows,
+            cols,
+            macs_per_pe,
+        }
+    }
+
+    /// A square array of single-MAC PEs (`side x side` MACs).
+    pub fn square(side: u64) -> Self {
+        Self::new(side, side, 1)
+    }
+
+    /// PE rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// PE columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// MAC units per PE.
+    pub fn macs_per_pe(&self) -> u64 {
+        self.macs_per_pe
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Total MAC units — the denominator of `CC_ideal`.
+    pub fn num_macs(&self) -> u64 {
+        self.num_pes() * self.macs_per_pe
+    }
+}
+
+impl fmt::Display for MacArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} PEs x {} MAC ({} MACs)",
+            self.rows,
+            self.cols,
+            self.macs_per_pe,
+            self.num_macs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_counts() {
+        let a = MacArray::new(8, 16, 2);
+        assert_eq!(a.num_pes(), 128);
+        assert_eq!(a.num_macs(), 256);
+        assert_eq!(MacArray::square(64).num_macs(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        let _ = MacArray::new(0, 16, 1);
+    }
+
+    #[test]
+    fn display_includes_totals() {
+        let s = MacArray::new(16, 32, 2).to_string();
+        assert!(s.contains("1024"), "{s}");
+    }
+}

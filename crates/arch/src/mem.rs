@@ -1,0 +1,326 @@
+//! Physical memory modules: capacity, buffering style and ports.
+
+use std::fmt;
+
+/// Broad class of a memory module, used by the area and energy models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MemoryKind {
+    /// Distributed register file (flip-flop based): cheap access, costly
+    /// area per bit.
+    RegisterFile,
+    /// On-chip SRAM macro.
+    Sram,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryKind::RegisterFile => write!(f, "reg"),
+            MemoryKind::Sram => write!(f, "sram"),
+        }
+    }
+}
+
+/// Direction capability of a physical memory port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PortDir {
+    /// Read-only port.
+    Read,
+    /// Write-only port.
+    Write,
+    /// Shared read/write port (accesses contend).
+    ReadWrite,
+}
+
+impl PortDir {
+    /// Whether the port can serve the given use.
+    pub fn supports(self, usage: PortUse) -> bool {
+        matches!(
+            (self, usage),
+            (PortDir::Read, PortUse::ReadOut)
+                | (PortDir::Write, PortUse::WriteIn)
+                | (PortDir::ReadWrite, _)
+        )
+    }
+}
+
+/// How a data-transfer link uses a memory: reading data *out of* it or
+/// writing data *into* it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PortUse {
+    /// Data leaves the memory through this access.
+    ReadOut,
+    /// Data enters the memory through this access.
+    WriteIn,
+}
+
+impl fmt::Display for PortUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortUse::ReadOut => write!(f, "rd"),
+            PortUse::WriteIn => write!(f, "wr"),
+        }
+    }
+}
+
+/// Index of a port within its memory module.
+pub type PortId = usize;
+
+/// One physical memory port with its direction and real bandwidth
+/// (`RealBW` in the paper, in bits per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Port {
+    /// Direction capability.
+    pub dir: PortDir,
+    /// Sustained bandwidth in bits per clock cycle.
+    pub bw_bits: u64,
+}
+
+impl Port {
+    /// A read-only port with `bw_bits` bits/cycle.
+    pub fn read(bw_bits: u64) -> Self {
+        Self {
+            dir: PortDir::Read,
+            bw_bits,
+        }
+    }
+
+    /// A write-only port with `bw_bits` bits/cycle.
+    pub fn write(bw_bits: u64) -> Self {
+        Self {
+            dir: PortDir::Write,
+            bw_bits,
+        }
+    }
+
+    /// A shared read/write port with `bw_bits` bits/cycle.
+    pub fn read_write(bw_bits: u64) -> Self {
+        Self {
+            dir: PortDir::ReadWrite,
+            bw_bits,
+        }
+    }
+}
+
+/// A physical memory module.
+///
+/// A memory may be *physically shared* by several operands (the paper's
+/// global buffer holds W, I and O); the latency model virtually divides it
+/// into per-operand Unit Memories (Step 1, "Divide") while its physical
+/// ports stay shared (Step 2, "Combine").
+///
+/// # Example
+///
+/// ```
+/// use ulm_arch::{Memory, MemoryKind, Port};
+///
+/// let gb = Memory::new("GB", MemoryKind::Sram, 8 * 1024 * 1024 * 8)
+///     .with_ports(vec![Port::read(128), Port::write(128)])
+///     .as_backing_store();
+/// assert_eq!(gb.capacity_bits(), 8 * 1024 * 1024 * 8);
+/// assert!(!gb.is_double_buffered());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Memory {
+    name: String,
+    kind: MemoryKind,
+    capacity_bits: u64,
+    double_buffered: bool,
+    ports: Vec<Port>,
+    backing_store: bool,
+    replication: u64,
+}
+
+impl Memory {
+    /// Builds a single-buffered memory with one read/write port of
+    /// "infinite" (practically unconstraining) bandwidth; refine with the
+    /// builder methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bits` is zero.
+    pub fn new(name: impl Into<String>, kind: MemoryKind, capacity_bits: u64) -> Self {
+        assert!(capacity_bits > 0, "memory capacity must be positive");
+        Self {
+            name: name.into(),
+            kind,
+            capacity_bits,
+            double_buffered: false,
+            ports: vec![Port::read_write(u64::MAX / 4)],
+            backing_store: false,
+            replication: 1,
+        }
+    }
+
+    /// Declares that the memory physically replicates each distinct data
+    /// word `n` times (e.g. a weight register file that broadcasts one
+    /// weight to every PE along the batch-unrolled axis). The mapper-seen
+    /// capacity shrinks by `n`; the area model keeps the physical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_replication(mut self, n: u64) -> Self {
+        assert!(n > 0, "replication factor must be positive");
+        self.replication = n;
+        self
+    }
+
+    /// Replaces the port list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty or any port has zero bandwidth.
+    pub fn with_ports(mut self, ports: Vec<Port>) -> Self {
+        assert!(!ports.is_empty(), "a memory needs at least one port");
+        assert!(
+            ports.iter().all(|p| p.bw_bits > 0),
+            "port bandwidth must be positive"
+        );
+        self.ports = ports;
+        self
+    }
+
+    /// Marks the memory as double-buffered. Per Table I the mapper then
+    /// sees half the physical capacity, and updates may always overlap
+    /// compute (`X_REQ = Mem_CC`).
+    pub fn double_buffered(mut self) -> Self {
+        self.double_buffered = true;
+        self
+    }
+
+    /// Marks this memory as the backing store at the top of the hierarchy:
+    /// capacity checks are waived for it (the paper's case studies sweep
+    /// layers whose tensors exceed the 1 MB GB; the GB is treated as fed
+    /// from off-chip outside the intra-layer model).
+    pub fn as_backing_store(mut self) -> Self {
+        self.backing_store = true;
+        self
+    }
+
+    /// Memory name (unique within a hierarchy by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Memory class for area/energy models.
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Physical capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// The capacity visible to the mapper in *distinct* data bits: the
+    /// physical capacity divided by the replication factor, halved again
+    /// for double-buffered memories (Table I, "Mapper-seen capacity").
+    pub fn mapper_capacity_bits(&self) -> u64 {
+        let distinct = self.capacity_bits / self.replication;
+        if self.double_buffered {
+            distinct / 2
+        } else {
+            distinct
+        }
+    }
+
+    /// The physical replication factor (1 when data is not broadcast).
+    pub fn replication(&self) -> u64 {
+        self.replication
+    }
+
+    /// True if double-buffered.
+    pub fn is_double_buffered(&self) -> bool {
+        self.double_buffered
+    }
+
+    /// True if capacity checks are waived (top-level backing store).
+    pub fn is_backing_store(&self) -> bool {
+        self.backing_store
+    }
+
+    /// The physical ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Default port for `usage`: the first port supporting the direction,
+    /// preferring dedicated (single-direction) ports over shared ones.
+    pub fn default_port(&self, usage: PortUse) -> Option<PortId> {
+        let dedicated = self.ports.iter().position(|p| {
+            p.dir.supports(usage) && p.dir != PortDir::ReadWrite
+        });
+        dedicated.or_else(|| self.ports.iter().position(|p| p.dir.supports(usage)))
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} bits{})",
+            self.name,
+            self.kind,
+            self.capacity_bits,
+            if self.double_buffered { ", db" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_direction_support() {
+        assert!(PortDir::Read.supports(PortUse::ReadOut));
+        assert!(!PortDir::Read.supports(PortUse::WriteIn));
+        assert!(PortDir::Write.supports(PortUse::WriteIn));
+        assert!(!PortDir::Write.supports(PortUse::ReadOut));
+        assert!(PortDir::ReadWrite.supports(PortUse::ReadOut));
+        assert!(PortDir::ReadWrite.supports(PortUse::WriteIn));
+    }
+
+    #[test]
+    fn mapper_capacity_halved_when_double_buffered() {
+        let m = Memory::new("lb", MemoryKind::Sram, 1024);
+        assert_eq!(m.mapper_capacity_bits(), 1024);
+        let db = m.double_buffered();
+        assert_eq!(db.mapper_capacity_bits(), 512);
+        assert_eq!(db.capacity_bits(), 1024);
+    }
+
+    #[test]
+    fn default_port_prefers_dedicated() {
+        let m = Memory::new("m", MemoryKind::Sram, 64).with_ports(vec![
+            Port::read_write(32),
+            Port::read(64),
+            Port::write(64),
+        ]);
+        assert_eq!(m.default_port(PortUse::ReadOut), Some(1));
+        assert_eq!(m.default_port(PortUse::WriteIn), Some(2));
+        let single = Memory::new("s", MemoryKind::Sram, 64)
+            .with_ports(vec![Port::read_write(32)]);
+        assert_eq!(single.default_port(PortUse::ReadOut), Some(0));
+        assert_eq!(single.default_port(PortUse::WriteIn), Some(0));
+    }
+
+    #[test]
+    fn default_port_missing_direction() {
+        let m = Memory::new("ro", MemoryKind::Sram, 64).with_ports(vec![Port::read(8)]);
+        assert_eq!(m.default_port(PortUse::WriteIn), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Memory::new("z", MemoryKind::Sram, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn empty_ports_rejected() {
+        let _ = Memory::new("m", MemoryKind::Sram, 8).with_ports(vec![]);
+    }
+}

@@ -1,0 +1,134 @@
+//! **Ablation** — measure how each modeling decision called out in
+//! `DESIGN.md` §5 affects accuracy against the discrete-event simulator on
+//! the validation workload:
+//!
+//! * `full`           — the shipped model;
+//! * `literal_eq2`    — the paper's Eq. (2) without the port
+//!   oversubscription bound;
+//! * `paper_z`        — charge all `Z` periods to computation (no
+//!   pre-load/off-load split);
+//! * `no_compute_links` — ignore the MAC-array-facing links;
+//! * `concurrent_only` — ignore the chip's sequential-chain Step-3 groups;
+//! * `bw_unaware`     — the idealized baseline.
+
+use ulm::model::ModelOptions;
+use ulm::prelude::*;
+use ulm_bench::Table;
+
+struct Variant {
+    name: &'static str,
+    opts: ModelOptions,
+    force_concurrent: bool,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = ModelOptions::default();
+    vec![
+        Variant {
+            name: "full",
+            opts: base,
+            force_concurrent: false,
+        },
+        Variant {
+            name: "literal_eq2",
+            opts: ModelOptions {
+                eq2_oversubscription_bound: false,
+                ..base
+            },
+            force_concurrent: false,
+        },
+        Variant {
+            name: "paper_z",
+            opts: ModelOptions {
+                phase_aware_z: false,
+                ..base
+            },
+            force_concurrent: false,
+        },
+        Variant {
+            name: "no_compute_links",
+            opts: ModelOptions {
+                compute_links: false,
+                ..base
+            },
+            force_concurrent: false,
+        },
+        Variant {
+            name: "concurrent_only",
+            opts: base,
+            force_concurrent: true,
+        },
+        Variant {
+            name: "bw_unaware",
+            opts: ModelOptions {
+                bw_aware: false,
+                ..base
+            },
+            force_concurrent: false,
+        },
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = presets::validation_chip();
+    let concurrent = chip.arch.clone().with_stall_integration(StallIntegration::Concurrent);
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let layers = networks::handtracking_validation_layers();
+
+    // Fix one good mapping per layer (found with the full model) and
+    // compare every variant against the simulator on it.
+    let mut rows: Vec<(String, u64, Vec<f64>)> = Vec::new();
+    for layer in &layers {
+        let mapper = Mapper::new(&chip.arch, layer, spatial.clone()).with_options(MapperOptions {
+            max_exhaustive: 3_000,
+            samples: 120,
+            ..MapperOptions::default()
+        });
+        let best = mapper.search(Objective::Latency)?.best;
+        let view = MappedLayer::new(layer, &chip.arch, &best.mapping)?;
+        let sim = Simulator::new().simulate(&view)?;
+        let mut preds = Vec::new();
+        for v in variants() {
+            let arch_ref = if v.force_concurrent { &concurrent } else { &chip.arch };
+            let view_v = MappedLayer::new(layer, arch_ref, &best.mapping)?;
+            let r = LatencyModel::with_options(v.opts).evaluate(&view_v);
+            preds.push(r.cc_total);
+        }
+        rows.push((layer.name().to_string(), sim.total_cycles, preds));
+    }
+
+    let names: Vec<&str> = variants().iter().map(|v| v.name).collect();
+    let mut headers = vec!["layer", "sim [cc]"];
+    headers.extend(names.iter().copied());
+    let mut t = Table::new("Ablation: per-variant accuracy vs simulator [%]", &headers);
+    let mut sums = vec![0.0; names.len()];
+    for (layer, sim, preds) in &rows {
+        let mut cells = vec![layer.clone(), format!("{sim}")];
+        for (i, p) in preds.iter().enumerate() {
+            let acc = (1.0 - (p - *sim as f64).abs() / *sim as f64) * 100.0;
+            sums[i] += acc;
+            cells.push(format!("{acc:.1}"));
+        }
+        t.row(cells);
+    }
+    let mut mean_cells = vec!["MEAN".to_string(), "-".to_string()];
+    let means: Vec<f64> = sums.iter().map(|s| s / rows.len() as f64).collect();
+    for m in &means {
+        mean_cells.push(format!("{m:.1}"));
+    }
+    t.row(mean_cells);
+    t.print();
+    t.write_csv("ablation");
+
+    // The shipped model must beat (or match) each ablated variant on mean
+    // accuracy over this workload.
+    let full = means[0];
+    for (name, mean) in names.iter().zip(means.iter()).skip(1) {
+        println!("  full {full:.1}% vs {name} {mean:.1}%");
+        assert!(
+            full + 0.5 >= *mean,
+            "ablated variant `{name}` must not beat the shipped model: {full:.1} vs {mean:.1}"
+        );
+    }
+    Ok(())
+}

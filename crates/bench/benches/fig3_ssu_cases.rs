@@ -1,0 +1,124 @@
+//! **Fig. 3** — the six timeline cases of a single DTL's stall/slack
+//! `SS_u`: {zero, slack, stall} x {full-overlap window, keep-out window}.
+//! Each case is constructed by picking the link bandwidth relative to the
+//! required bandwidth, for both a relevant-top (cases a-c) and an
+//! irrelevant-top (cases d-f) W-register level.
+
+use ulm::prelude::*;
+use ulm_bench::Table;
+use ulm::model::DtlKind;
+
+/// W-Reg refill attributes for a given write-port bandwidth and stack.
+fn case(bw: u64, ir_top: bool) -> (f64, f64, f64, f64) {
+    let mut b = MemoryHierarchy::builder();
+    let w_reg = b.add_memory(
+        Memory::new("W-Reg", MemoryKind::RegisterFile, 64 * 8)
+            .with_ports(vec![Port::read(512), Port::write(bw)]),
+    );
+    let top = b.add_memory(
+        Memory::new("TOP", MemoryKind::Sram, 1 << 22)
+            .with_ports(vec![Port::read(512), Port::write(512)])
+            .as_backing_store(),
+    );
+    b.set_chain(Operand::W, vec![w_reg, top]);
+    b.set_chain(Operand::I, vec![top]);
+    b.set_chain(Operand::O, vec![top]);
+    let arch = Architecture::new("fig3", MacArray::square(2), b.build().unwrap());
+
+    let layer = Layer::matmul("t", 8, 8, 16, Precision::uniform(8));
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 2), (Dim::B, 2)]);
+    let (stack, w_alloc) = if ir_top {
+        // W-Reg holds [C4, B4]: 4-fold irrelevant top run.
+        (
+            LoopStack::from_pairs(&[(Dim::C, 4), (Dim::B, 4), (Dim::C, 4), (Dim::K, 4)]),
+            vec![2, 4],
+        )
+    } else {
+        // W-Reg holds [C4]: relevant top.
+        (
+            LoopStack::from_pairs(&[(Dim::C, 4), (Dim::B, 4), (Dim::C, 4), (Dim::K, 4)]),
+            vec![1, 4],
+        )
+    };
+    let n = stack.len();
+    let allocs = PerOperand::new(
+        OperandAlloc::new(w_alloc),
+        OperandAlloc::new(vec![n]),
+        OperandAlloc::new(vec![n]),
+    );
+    let mapping = Mapping::new(spatial, stack, allocs);
+    let view = MappedLayer::new(&layer, &arch, &mapping).expect("legal");
+    let r = LatencyModel::new().evaluate(&view);
+    let d = r
+        .dtls
+        .iter()
+        .find(|d| d.operand == Operand::W && d.kind == DtlKind::RefillDown)
+        .expect("refill");
+    (d.req_bw, d.real_bw, d.ss_u, d.z as f64)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Fig. 3: six SS_u timeline cases for one DTL",
+        &["case", "window", "ReqBW", "RealBW", "SS_u [cc]", "verdict"],
+    );
+    // Relevant top: X_REQ = Mem_CC (update fully overlaps compute).
+    // (a) RealBW = ReqBW -> SS_u = 0; (b) faster -> slack; (c) slower -> stall.
+    // W-Reg r-top block: C4 x K2 spatial = 8 words x 8b over Mem_CC 4 = 16 b/cy.
+    let specs_r = [(16u64, "(a)"), (32, "(b)"), (8, "(c)")];
+    for (bw, name) in specs_r {
+        let (req, real, ss, _) = case(bw, false);
+        let verdict = if ss == 0.0 {
+            "zero"
+        } else if ss < 0.0 {
+            "slack"
+        } else {
+            "stall"
+        };
+        t.row(vec![
+            name.into(),
+            "full (r top / db)".into(),
+            format!("{req:.1}"),
+            format!("{real:.1}"),
+            format!("{ss:.0}"),
+            verdict.into(),
+        ]);
+    }
+    // Irrelevant top run (x4): keep-out zone, X_REQ = Mem_CC/4, ReqBW x4.
+    // Block: C4 x B4 level -> same 8 words, Mem_CC 16, ReqBW = 4 x BW0 = 16.
+    let specs_ir = [(16u64, "(d)"), (32, "(e)"), (8, "(f)")];
+    for (bw, name) in specs_ir {
+        let (req, real, ss, _) = case(bw, true);
+        let verdict = if ss == 0.0 {
+            "zero"
+        } else if ss < 0.0 {
+            "slack"
+        } else {
+            "stall"
+        };
+        t.row(vec![
+            name.into(),
+            "keep-out (ir top)".into(),
+            format!("{req:.1}"),
+            format!("{real:.1}"),
+            format!("{ss:.0}"),
+            verdict.into(),
+        ]);
+    }
+    t.print();
+    t.write_csv("fig3_ssu_cases");
+
+    // The six verdicts must be exactly the paper's: (a)(d) zero,
+    // (b)(e) slack, (c)(f) stall.
+    let verdicts: Vec<f64> = [(16, false), (32, false), (8, false), (16, true), (32, true), (8, true)]
+        .iter()
+        .map(|&(bw, ir)| case(bw, ir).2)
+        .collect();
+    assert_eq!(verdicts[0], 0.0, "(a)");
+    assert!(verdicts[1] < 0.0, "(b)");
+    assert!(verdicts[2] > 0.0, "(c)");
+    assert_eq!(verdicts[3], 0.0, "(d)");
+    assert!(verdicts[4] < 0.0, "(e)");
+    assert!(verdicts[5] > 0.0, "(f)");
+    println!("\nAll six Fig. 3 sign cases reproduced.");
+}

@@ -1,0 +1,80 @@
+//! **Fig. 5(c)** — model validation: the analytical latency model against
+//! the discrete-event reference simulator (our stand-in for the paper's
+//! taped-out 7 nm accelerator and its RTL simulation, see DESIGN.md §4)
+//! on the hand-tracking workload's layers. The paper reports an average
+//! accuracy of 94.3%.
+
+use ulm::prelude::*;
+use ulm_bench::svg::{write_svg, BarChart};
+use ulm_bench::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = presets::validation_chip();
+    println!("architecture: {}", chip.arch);
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    println!("spatial unrolling (Fig. 5b): {}", SpatialUnroll::new(chip.spatial.clone()));
+
+    let layers = networks::handtracking_validation_layers();
+    let mut t = Table::new(
+        "Fig. 5(c): model vs cycle-level simulation, hand-tracking layers",
+        &[
+            "layer",
+            "MAC ops",
+            "model [cc]",
+            "sim [cc]",
+            "U_model[%]",
+            "accuracy[%]",
+        ],
+    );
+
+    let mut acc_sum = 0.0;
+    let mut n = 0usize;
+    let mut chart_labels: Vec<String> = Vec::new();
+    let mut chart_model: Vec<f64> = Vec::new();
+    let mut chart_sim: Vec<f64> = Vec::new();
+    for layer in &layers {
+        let mapper = Mapper::new(&chip.arch, layer, spatial.clone()).with_options(MapperOptions {
+            max_exhaustive: 3_000,
+            samples: 120,
+            ..MapperOptions::default()
+        });
+        let result = mapper.search(Objective::Latency)?;
+        let report = &result.best.latency;
+        let view = MappedLayer::new(layer, &chip.arch, &result.best.mapping)?;
+        let sim = Simulator::new().simulate(&view)?;
+        let acc = (1.0
+            - (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
+            * 100.0;
+        t.row(vec![
+            layer.name().to_string(),
+            format!("{}", layer.total_macs()),
+            format!("{:.0}", report.cc_total),
+            format!("{}", sim.total_cycles),
+            format!("{:.1}", report.utilization * 100.0),
+            format!("{acc:.1}"),
+        ]);
+        acc_sum += acc;
+        n += 1;
+        chart_labels.push(layer.name().trim_end_matches(".im2col").to_string());
+        chart_model.push(report.cc_total);
+        chart_sim.push(sim.total_cycles as f64);
+    }
+    t.print();
+    t.write_csv("fig5_validation");
+    let mut chart = BarChart::grouped(
+        "Fig. 5(c): analytical model vs cycle-level simulation",
+        "latency [cycles]",
+    );
+    chart.labels(chart_labels);
+    chart.series("model", chart_model);
+    chart.series("simulator", chart_sim);
+    write_svg("fig5_validation", &chart.render());
+
+    let mean = acc_sum / n as f64;
+    println!("\naverage latency model accuracy: {mean:.1}%  (paper: 94.3%)");
+    assert!(
+        mean > 88.0,
+        "validation accuracy should be in the paper's ballpark, got {mean:.1}%"
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! **Section I / abstract claim** — analytical models are "orders of
+//! magnitude faster" than cycle-level simulation: Criterion micro-benches
+//! of one model evaluation vs one discrete-event simulation of the same
+//! mapped layer, plus the cost of a full mapping search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ulm::prelude::*;
+
+fn setup() -> (Architecture, Layer, Mapping) {
+    let arch = presets::case_study_chip(128);
+    let layer = Layer::matmul("bench", 64, 96, 640, Precision::int8_out24());
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    let stack = LoopStack::from_pairs(&[(Dim::C, 320), (Dim::B, 8), (Dim::K, 6)]);
+    let mapping = Mapping::with_greedy_alloc(&arch, &layer, spatial, stack).expect("legal");
+    (arch, layer, mapping)
+}
+
+fn bench_model_vs_sim(c: &mut Criterion) {
+    let (arch, layer, mapping) = setup();
+    let view = MappedLayer::new(&layer, &arch, &mapping).expect("valid");
+    let model = LatencyModel::new();
+    let sim = Simulator::new();
+
+    let mut g = c.benchmark_group("latency_estimation");
+    g.bench_function("analytical_model", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&view))))
+    });
+    g.bench_function("discrete_event_sim", |b| {
+        b.iter(|| black_box(sim.simulate(black_box(&view)).expect("simulates")))
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let (arch, layer, mapping) = setup();
+    let view = MappedLayer::new(&layer, &arch, &mapping).expect("valid");
+    let energy = EnergyModel::new();
+
+    let mut g = c.benchmark_group("components");
+    g.bench_function("mapping_validation", |b| {
+        b.iter(|| black_box(MappedLayer::new(&layer, &arch, &mapping).expect("valid")))
+    });
+    g.bench_function("energy_model", |b| {
+        b.iter(|| black_box(energy.evaluate(black_box(&view))))
+    });
+    g.bench_function("greedy_allocation", |b| {
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+        let stack = LoopStack::from_pairs(&[(Dim::C, 320), (Dim::B, 8), (Dim::K, 6)]);
+        b.iter(|| {
+            black_box(
+                Mapping::with_greedy_alloc(&arch, &layer, spatial.clone(), stack.clone())
+                    .expect("legal"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_mapping_search(c: &mut Criterion) {
+    let arch = presets::case_study_chip(128);
+    let layer = Layer::matmul("search", 64, 96, 640, Precision::int8_out24());
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+
+    let mut g = c.benchmark_group("mapping_search");
+    g.sample_size(10);
+    g.bench_function("sampled_100", |b| {
+        b.iter(|| {
+            let mapper = Mapper::new(&arch, &layer, spatial.clone()).with_options(MapperOptions {
+                max_exhaustive: 1, // force sampling
+                samples: 100,
+                ..MapperOptions::default()
+            });
+            black_box(mapper.search(Objective::Latency).expect("found"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_vs_sim, bench_components, bench_mapping_search);
+criterion_main!(benches);

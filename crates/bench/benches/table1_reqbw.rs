@@ -1,0 +1,116 @@
+//! **Table I** — `ReqBW` as a function of memory type (double-buffered or
+//! not) and the top temporal loop type (relevant / irrelevant) allocated
+//! to the level. Regenerates the table's three columns with measured
+//! values from the model.
+
+use ulm::prelude::*;
+use ulm_bench::Table;
+use ulm::model::DtlKind;
+
+/// Two-level W-only design with a configurable register file.
+fn arch_with(db: bool) -> Architecture {
+    let mut b = MemoryHierarchy::builder();
+    let mut w_reg = Memory::new("W-Reg", MemoryKind::RegisterFile, 64 * 8)
+        .with_ports(vec![Port::read(512), Port::write(32)]);
+    if db {
+        w_reg = w_reg.double_buffered();
+    }
+    let w_reg = b.add_memory(w_reg);
+    let top = b.add_memory(
+        Memory::new("TOP", MemoryKind::Sram, 1 << 22)
+            .with_ports(vec![Port::read(256), Port::write(256)])
+            .as_backing_store(),
+    );
+    b.set_chain(Operand::W, vec![w_reg, top]);
+    b.set_chain(Operand::I, vec![top]);
+    b.set_chain(Operand::O, vec![top]);
+    Architecture::new(if db { "db" } else { "non-db" }, MacArray::square(2), b.build().unwrap())
+}
+
+/// Evaluates the W-Reg refill DTL under an explicit allocation.
+fn w_refill(arch: &Architecture, stack: LoopStack, w_alloc: Vec<usize>) -> (f64, f64, f64) {
+    let layer = Layer::matmul("t", 8, 8, 16, Precision::uniform(8));
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 2), (Dim::B, 2)]);
+    let n = stack.len();
+    let allocs = PerOperand::new(
+        OperandAlloc::new(w_alloc),
+        OperandAlloc::new(vec![n]),
+        OperandAlloc::new(vec![n]),
+    );
+    let mapping = Mapping::new(spatial, stack, allocs);
+    let view = MappedLayer::new(&layer, arch, &mapping).expect("legal");
+    let r = LatencyModel::new().evaluate(&view);
+    let d = r
+        .dtls
+        .iter()
+        .find(|d| d.operand == Operand::W && d.kind == DtlKind::RefillDown)
+        .expect("refill present");
+    // BW0 = Mem_DATA / Mem_CC.
+    let bw0 = d.data_bits as f64 / d.period as f64;
+    (bw0, d.req_bw, d.ss_u)
+}
+
+fn main() {
+    // Loop nest (inner→outer): C4 (r for W), B4 (ir for W), C4, K4.
+    // The W-Reg level holds [C4, B4]: its top loop is the 4-fold
+    // irrelevant B run.
+    let stack = || LoopStack::from_pairs(&[(Dim::C, 4), (Dim::B, 4), (Dim::C, 4), (Dim::K, 4)]);
+    // An r-top variant: W-Reg holds [C4] only.
+    let stack_r = || LoopStack::from_pairs(&[(Dim::C, 4), (Dim::B, 4), (Dim::C, 4), (Dim::K, 4)]);
+
+    let mut t = Table::new(
+        "Table I: ReqBW by memory type x top temporal loop type",
+        &["memory type", "top loop", "mapper-seen capacity", "BW0 [b/cy]", "ReqBW [b/cy]", "ReqBW/BW0"],
+    );
+
+    // Double-buffered: ReqBW = BW0 for both r and ir tops.
+    let db = arch_with(true);
+    let (bw0, req, _) = w_refill(&db, stack_r(), vec![1, 4]);
+    t.row(vec![
+        "DB".into(),
+        "r".into(),
+        "A/2".into(),
+        format!("{bw0:.1}"),
+        format!("{req:.1}"),
+        format!("{:.0}x", req / bw0),
+    ]);
+    let (bw0, req, _) = w_refill(&db, stack(), vec![2, 4]);
+    t.row(vec![
+        "DB".into(),
+        "ir (x4)".into(),
+        "A/2".into(),
+        format!("{bw0:.1}"),
+        format!("{req:.1}"),
+        format!("{:.0}x", req / bw0),
+    ]);
+
+    // Non-DB dual-port: r top keeps BW0, ir top scales by the run.
+    let sb = arch_with(false);
+    let (bw0, req, _) = w_refill(&sb, stack_r(), vec![1, 4]);
+    t.row(vec![
+        "non-DB".into(),
+        "r".into(),
+        "A".into(),
+        format!("{bw0:.1}"),
+        format!("{req:.1}"),
+        format!("{:.0}x", req / bw0),
+    ]);
+    let (bw0, req, ss) = w_refill(&sb, stack(), vec![2, 4]);
+    t.row(vec![
+        "non-DB".into(),
+        "ir (x4)".into(),
+        "A".into(),
+        format!("{bw0:.1}"),
+        format!("{req:.1}"),
+        format!("{:.0}x", req / bw0),
+    ]);
+    t.print();
+    t.write_csv("table1_reqbw");
+
+    assert!(ss >= 0.0 || ss < 0.0, "touch ss to keep it observable: {ss}");
+    println!(
+        "\nPaper: ReqBW = BW0 for DB memories and non-DB with a relevant top\n\
+         loop; ReqBW = BW0 x (top ir loop sizes) for non-DB with an\n\
+         irrelevant top loop; the mapper sees A/2 capacity under DB."
+    );
+}

@@ -1,0 +1,158 @@
+//! Shared plumbing for the experiment harnesses: aligned text tables, CSV
+//! dumps under `target/experiments/`, and the canonical Case-study-1
+//! mapping pair.
+//!
+//! Each `benches/*.rs` target regenerates one table or figure of the
+//! paper; `cargo bench -p ulm-bench` runs them all and prints the rows the
+//! paper reports (see `EXPERIMENTS.md` for the expected-vs-measured log).
+
+pub mod svg;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use ulm::prelude::*;
+
+/// An aligned text table with CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            parts.join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as `target/experiments/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let dir = experiments_dir();
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.headers.join(",")).expect("write csv");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write csv");
+        }
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// `target/experiments/`, created on demand.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    dir
+}
+
+/// The Case-study layer: `B·K·C = 9,830,400` MACs so that
+/// `CC_ideal = 38,400` on the 16x16-MAC case-study chip (Fig. 6c), with
+/// `K x C = 96 x 160` chosen so the whole weight tensor exactly fills the
+/// 16 KB W-LB — the paper notes both mappings share the same W reuse
+/// distribution, which requires weights not to stream.
+pub fn case1_layer() -> Layer {
+    Layer::matmul("case1", 640, 96, 160, Precision::int8_out24())
+}
+
+/// Case-study-1 Mapping B: fully output-stationary — all of O's reuse (C)
+/// loops at the O-Reg level, only final outputs ever reach the GB. Its
+/// cost: the I-LB block is revisited by the outer K loop, so inputs are
+/// re-read from the GB 6x.
+pub fn case1_mapping_b(arch: &Architecture, layer: &Layer) -> Mapping {
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    let stack = LoopStack::from_pairs(&[(Dim::C, 80), (Dim::B, 80), (Dim::K, 6)]);
+    Mapping::with_greedy_alloc(arch, layer, spatial, stack).expect("mapping B is legal")
+}
+
+/// Case-study-1 Mapping A: all of I's reuse (K) loops at the I-LB level —
+/// inputs are fetched from the GB exactly once — at the cost of splitting
+/// C (blue boxes in Fig. 6a/b) so partial sums shuttle between the O-Reg
+/// and the GB.
+pub fn case1_mapping_a(arch: &Architecture, layer: &Layer) -> Mapping {
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    let stack = LoopStack::from_pairs(&[(Dim::C, 40), (Dim::K, 6), (Dim::B, 80), (Dim::C, 2)]);
+    Mapping::with_greedy_alloc(arch, layer, spatial, stack).expect("mapping A is legal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_layer_hits_38400_ideal_cycles() {
+        let layer = case1_layer();
+        assert_eq!(layer.total_macs(), 9_830_400);
+        assert_eq!(layer.total_macs() / 256, 38_400);
+    }
+
+    #[test]
+    fn case1_mappings_share_cc_ideal_and_differ_in_psums() {
+        let arch = presets::case_study_chip(128);
+        let layer = case1_layer();
+        let a = case1_mapping_a(&arch, &layer);
+        let b = case1_mapping_b(&arch, &layer);
+        let va = MappedLayer::new(&layer, &arch, &a).unwrap();
+        let vb = MappedLayer::new(&layer, &arch, &b).unwrap();
+        assert_eq!(va.cc_spatial(), 38_400);
+        assert_eq!(vb.cc_spatial(), 38_400);
+        // B is fully output-stationary; A round-trips psums.
+        assert!(vb.outputs_final_above(0));
+        assert!(!va.outputs_final_above(0));
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("t", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+        t.write_csv("selftest");
+        let path = experiments_dir().join("selftest.csv");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a,bb"));
+        assert!(content.contains("1,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

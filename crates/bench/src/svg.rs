@@ -1,0 +1,430 @@
+//! Minimal hand-rolled SVG charts so the experiment harnesses can emit
+//! actual figures (`target/experiments/*.svg`) next to their CSV data:
+//! grouped/stacked bar charts (Fig. 5c, Fig. 7b) and scatter plots
+//! (Fig. 8). No dependencies; the output is plain SVG 1.1.
+
+use std::fmt::Write as _;
+
+const PALETTE: [&str; 6] = [
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+];
+
+fn axis_font() -> &'static str {
+    "font-family=\"sans-serif\" font-size=\"11\""
+}
+
+/// A bar chart: one group per x-label, one (possibly stacked) bar per
+/// series within the group.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    labels: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+    stacked: bool,
+    y_label: String,
+}
+
+impl BarChart {
+    /// Starts a grouped bar chart.
+    pub fn grouped(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            labels: Vec::new(),
+            series: Vec::new(),
+            stacked: false,
+            y_label: y_label.into(),
+        }
+    }
+
+    /// Starts a stacked bar chart.
+    pub fn stacked(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            stacked: true,
+            ..Self::grouped(title, y_label)
+        }
+    }
+
+    /// Sets the x labels (one per group).
+    pub fn labels<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, labels: I) -> &mut Self {
+        self.labels = labels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds one series; `values` must have one entry per label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count disagrees with the label count.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.labels.len(),
+            "series length must match label count"
+        );
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Renders the chart as an SVG document.
+    pub fn render(&self) -> String {
+        let (w, h) = (900.0, 420.0);
+        let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 90.0);
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+        let groups = self.labels.len().max(1) as f64;
+
+        let max_y = if self.stacked {
+            (0..self.labels.len())
+                .map(|i| self.series.iter().map(|(_, v)| v[i]).sum::<f64>())
+                .fold(1.0, f64::max)
+        } else {
+            self.series
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .fold(1.0, f64::max)
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n"
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" {} font-size=\"15\">{}</text>",
+            w / 2.0,
+            axis_font(),
+            xml(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{}\" stroke=\"black\"/>",
+            mt + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ml}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\"/>",
+            mt + plot_h,
+            ml + plot_w,
+            mt + plot_h
+        );
+        // Y ticks.
+        for t in 0..=4 {
+            let v = max_y * t as f64 / 4.0;
+            let y = mt + plot_h - plot_h * t as f64 / 4.0;
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\" {}>{}</text>",
+                ml - 6.0,
+                y + 4.0,
+                axis_font(),
+                human(v)
+            );
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{ml}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>",
+                ml + plot_w
+            );
+        }
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" text-anchor=\"middle\" {}>{}</text>",
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            axis_font(),
+            xml(&self.y_label)
+        );
+
+        // Bars.
+        let group_w = plot_w / groups;
+        let nseries = self.series.len().max(1) as f64;
+        for (gi, label) in self.labels.iter().enumerate() {
+            let gx = ml + group_w * gi as f64;
+            if self.stacked {
+                let bar_w = group_w * 0.6;
+                let mut acc = 0.0;
+                for (si, (_, values)) in self.series.iter().enumerate() {
+                    let v = values[gi];
+                    let bh = plot_h * v / max_y;
+                    let y = mt + plot_h - plot_h * (acc + v) / max_y;
+                    let _ = writeln!(
+                        svg,
+                        "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{bh:.1}\" \
+                         fill=\"{}\"/>",
+                        gx + group_w * 0.2,
+                        PALETTE[si % PALETTE.len()]
+                    );
+                    acc += v;
+                }
+            } else {
+                let bar_w = group_w * 0.8 / nseries;
+                for (si, (_, values)) in self.series.iter().enumerate() {
+                    let v = values[gi];
+                    let bh = plot_h * v / max_y;
+                    let x = gx + group_w * 0.1 + bar_w * si as f64;
+                    let y = mt + plot_h - bh;
+                    let _ = writeln!(
+                        svg,
+                        "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{bh:.1}\" \
+                         fill=\"{}\"/>",
+                        PALETTE[si % PALETTE.len()]
+                    );
+                }
+            }
+            let _ = writeln!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" {} \
+                 transform=\"rotate(-40 {:.1} {:.1})\">{}</text>",
+                gx + group_w / 2.0,
+                mt + plot_h + 14.0,
+                axis_font(),
+                gx + group_w / 2.0,
+                mt + plot_h + 14.0,
+                xml(label)
+            );
+        }
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let x = ml + 120.0 * si as f64;
+            let y = h - 14.0;
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{x}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+                 <text x=\"{}\" y=\"{y}\" {}>{}</text>",
+                y - 9.0,
+                PALETTE[si % PALETTE.len()],
+                x + 14.0,
+                axis_font(),
+                xml(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A scatter plot with colored classes and optional log-scaled axes.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    classes: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl ScatterPlot {
+    /// Starts a scatter plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            classes: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Log-scales the y axis.
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named point class.
+    pub fn class(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.classes.push((name.into(), points));
+        self
+    }
+
+    /// Renders the plot as an SVG document.
+    pub fn render(&self) -> String {
+        let (w, h) = (640.0, 480.0);
+        let (ml, mr, mt, mb) = (70.0, 20.0, 40.0, 60.0);
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+        let all: Vec<(f64, f64)> = self
+            .classes
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        let tx = |v: f64| v;
+        let ty = |v: f64| if self.log_y { v.max(1e-12).log10() } else { v };
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(tx(x));
+            x1 = x1.max(tx(x));
+            y0 = y0.min(ty(y));
+            y1 = y1.max(ty(y));
+        }
+        if !x0.is_finite() {
+            (x0, x1, y0, y1) = (0.0, 1.0, 0.0, 1.0);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let px = |x: f64| ml + plot_w * (tx(x) - x0) / (x1 - x0);
+        let py = |y: f64| mt + plot_h - plot_h * (ty(y) - y0) / (y1 - y0);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n"
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" {} font-size=\"15\">{}</text>",
+            w / 2.0,
+            axis_font(),
+            xml(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{}\" stroke=\"black\"/>\
+             <line x1=\"{ml}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\"/>",
+            mt + plot_h,
+            mt + plot_h,
+            ml + plot_w,
+            mt + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" {}>{}</text>",
+            ml + plot_w / 2.0,
+            h - 24.0,
+            axis_font(),
+            xml(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" text-anchor=\"middle\" {}>{}{}</text>",
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            axis_font(),
+            xml(&self.y_label),
+            if self.log_y { " (log)" } else { "" }
+        );
+        for (ci, (name, points)) in self.classes.iter().enumerate() {
+            let color = PALETTE[ci % PALETTE.len()];
+            for &(x, y) in points {
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\" \
+                     fill-opacity=\"0.6\"/>",
+                    px(x),
+                    py(y)
+                );
+            }
+            let lx = ml + 10.0;
+            let ly = mt + 16.0 + 16.0 * ci as f64;
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{lx}\" cy=\"{}\" r=\"4\" fill=\"{color}\"/>\
+                 <text x=\"{}\" y=\"{ly}\" {}>{}</text>",
+                ly - 4.0,
+                lx + 10.0,
+                axis_font(),
+                xml(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// Writes an SVG document under `target/experiments/`.
+pub fn write_svg(name: &str, content: &str) {
+    let path = crate::experiments_dir().join(format!("{name}.svg"));
+    std::fs::write(&path, content).expect("write svg");
+    println!("[svg] {}", path.display());
+}
+
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn human(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_renders_all_elements() {
+        let mut c = BarChart::grouped("model vs sim", "cycles");
+        c.labels(["l1", "l2", "l3"]);
+        c.series("model", vec![10.0, 20.0, 30.0]);
+        c.series("sim", vec![12.0, 18.0, 33.0]);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 3 groups x 2 series bars.
+        assert_eq!(svg.matches("<rect").count(), 1 + 6 + 2); // bg + bars + legend
+        assert!(svg.contains("model vs sim"));
+        assert!(svg.contains("l3"));
+    }
+
+    #[test]
+    fn stacked_chart_stacks_to_totals() {
+        let mut c = BarChart::stacked("breakdown", "cc");
+        c.labels(["a"]);
+        c.series("x", vec![5.0]);
+        c.series("y", vec![15.0]);
+        let svg = c.render();
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn series_arity_checked() {
+        let mut c = BarChart::grouped("t", "y");
+        c.labels(["a", "b"]);
+        c.series("x", vec![1.0]);
+    }
+
+    #[test]
+    fn scatter_renders_classes_and_escapes() {
+        let mut p = ScatterPlot::new("a<b", "area", "latency");
+        p.log_y();
+        p.class("16x16", vec![(1.0, 10.0), (2.0, 100.0)]);
+        p.class("32x32", vec![(3.0, 1000.0)]);
+        let svg = p.render();
+        assert!(svg.contains("a&lt;b"));
+        // 3 points + 2 legend dots.
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("(log)"));
+    }
+
+    #[test]
+    fn empty_scatter_does_not_panic() {
+        let p = ScatterPlot::new("empty", "x", "y");
+        let svg = p.render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn human_numbers() {
+        assert_eq!(human(12.0), "12");
+        assert_eq!(human(1200.0), "1k");
+        assert_eq!(human(3_400_000.0), "3.4M");
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal, dependency-free argument parsing for the `ulm` binary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: subcommand, `--key value` options and `--flag`
+/// switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` given without a value.
+    MissingValue(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An unexpected positional argument.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand; try `ulm help`"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "option --{key}={value} is not a valid {expected}"),
+            ArgError::UnexpectedPositional(p) => {
+                write!(f, "unexpected positional argument `{p}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Known boolean flags (everything else with `--` expects a value).
+const FLAGS: &[&str] = &["json", "all", "bw-unaware", "overlap", "help"];
+
+impl Args {
+    /// Parses `argv[1..]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a missing subcommand, a value-less option
+    /// or extra positional arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((k, v)) = key.split_once('=') {
+                    options.insert(k.to_string(), v.to_string());
+                } else if FLAGS.contains(&key) {
+                    flags.push(key.to_string());
+                } else {
+                    let v = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                    options.insert(key.to_string(), v);
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// True if `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parses `--key` as `u64`, with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// Parses `--key` as a comma-separated `u64` list, with a default.
+    pub fn u64_list_or(&self, key: &str, default: &[u64]) -> Result<Vec<u64>, ArgError> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim().parse().map_err(|_| ArgError::BadValue {
+                        key: key.into(),
+                        value: v.into(),
+                        expected: "comma-separated integers",
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses `--layer BxKxC` into the three dims.
+    pub fn layer_dims(&self, default: (u64, u64, u64)) -> Result<(u64, u64, u64), ArgError> {
+        match self.get("layer") {
+            None => Ok(default),
+            Some(v) => {
+                let parts: Vec<&str> = v.split('x').collect();
+                let bad = || ArgError::BadValue {
+                    key: "layer".into(),
+                    value: v.into(),
+                    expected: "BxKxC (e.g. 64x96x640)",
+                };
+                if parts.len() != 3 {
+                    return Err(bad());
+                }
+                let b = parts[0].parse().map_err(|_| bad())?;
+                let k = parts[1].parse().map_err(|_| bad())?;
+                let c = parts[2].parse().map_err(|_| bad())?;
+                Ok((b, k, c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn full_command_line_round_trips() {
+        let a = parse(&[
+            "evaluate",
+            "--layer",
+            "64x96x640",
+            "--gb-bw=256",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "evaluate");
+        assert_eq!(a.layer_dims((1, 1, 1)).unwrap(), (64, 96, 640));
+        assert_eq!(a.u64_or("gb-bw", 128).unwrap(), 256);
+        assert!(a.flag("json"));
+        assert!(!a.flag("all"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["search"]).unwrap();
+        assert_eq!(a.u64_or("gb-bw", 128).unwrap(), 128);
+        assert_eq!(a.layer_dims((8, 8, 8)).unwrap(), (8, 8, 8));
+        assert_eq!(a.u64_list_or("sides", &[16, 32]).unwrap(), vec![16, 32]);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["x", "--gb-bw"]).unwrap_err(),
+            ArgError::MissingValue("gb-bw".into())
+        );
+        assert!(matches!(
+            parse(&["x", "--layer", "64x96"]).unwrap().layer_dims((1, 1, 1)),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&["x", "stray"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn list_parsing() {
+        let a = parse(&["dse", "--sides", "16,32,64"]).unwrap();
+        assert_eq!(a.u64_list_or("sides", &[]).unwrap(), vec![16, 32, 64]);
+        let bad = parse(&["dse", "--sides", "16,x"]).unwrap();
+        assert!(bad.u64_list_or("sides", &[]).is_err());
+    }
+}

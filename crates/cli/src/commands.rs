@@ -1,0 +1,303 @@
+//! The `ulm` subcommands.
+
+use crate::args::{ArgError, Args};
+use std::error::Error;
+use ulm::prelude::*;
+
+/// Resolves `--arch` into an architecture plus its canonical spatial
+/// unrolling. Accepts `case16` (default), `case32`, `case64`,
+/// `validation` and `toy`; `--gb-bw` overrides the GB bandwidth of the
+/// case-study family.
+fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), Box<dyn Error>> {
+    if let Some(path) = args.get("arch-file") {
+        let text = std::fs::read_to_string(path)?;
+        let (arch, spatial) = ulm::arch::ArchDesc::from_json(&text)?.build()?;
+        return Ok((arch, SpatialUnroll::new(spatial)));
+    }
+    let gb_bw = args.u64_or("gb-bw", 128)?;
+    let name = args.get("arch").unwrap_or("case16");
+    let chip = match name {
+        "case16" => presets::scaled_case_study_chip(16, gb_bw),
+        "case32" => presets::scaled_case_study_chip(32, gb_bw),
+        "case64" => presets::scaled_case_study_chip(64, gb_bw),
+        "validation" => presets::validation_chip(),
+        "toy" => presets::toy_chip(),
+        other => {
+            return Err(format!(
+                "unknown --arch `{other}` (try case16|case32|case64|validation|toy)"
+            )
+            .into())
+        }
+    };
+    Ok((chip.arch, SpatialUnroll::new(chip.spatial)))
+}
+
+fn resolve_layer(args: &Args) -> Result<Layer, ArgError> {
+    let (b, k, c) = args.layer_dims((64, 96, 640))?;
+    let precision = match args.get("precision").unwrap_or("int8_out24") {
+        "int8_acc24" => Precision::int8_acc24(),
+        _ => Precision::int8_out24(),
+    };
+    Ok(Layer::matmul(format!("({b},{k},{c})"), b, k, c, precision))
+}
+
+fn mapper_options(args: &Args) -> Result<MapperOptions, ArgError> {
+    Ok(MapperOptions {
+        max_exhaustive: args.u64_or("max-exhaustive", 3_000)? as u128,
+        samples: args.u64_or("samples", 120)? as usize,
+        bw_aware: !args.flag("bw-unaware"),
+        ..MapperOptions::default()
+    })
+}
+
+/// `ulm evaluate`: map one layer (best-latency search) and print the full
+/// latency/energy report.
+pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (arch, spatial) = resolve_arch(args)?;
+    let layer = resolve_layer(args)?;
+    let result = Mapper::new(&arch, &layer, spatial)
+        .with_options(mapper_options(args)?)
+        .search(Objective::Latency)?;
+    let view = MappedLayer::new(&layer, &arch, &result.best.mapping)?;
+    let energy = EnergyModel::new().evaluate(&view);
+    if args.flag("json") {
+        let out = serde_json::json!({
+            "arch": arch.name(),
+            "layer": layer.name(),
+            "mapping": format!("{}", result.best.mapping),
+            "latency": result.best.latency,
+            "energy": energy,
+        });
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!("architecture: {arch}");
+        println!("layer: {layer} ({} MACs)", layer.total_macs());
+        println!("mapping: {}", result.best.mapping);
+        print!("{}", result.best.latency);
+        let rl = ulm::model::roofline(&view);
+        println!(
+            "roofline bound: {:.0} cc ({}-bound at {})",
+            rl.bound_cycles(),
+            if rl.memory_bound() { "memory" } else { "compute" },
+            rl.bottleneck()
+        );
+        for fix in result.best.latency.bandwidth_fixes().iter().take(3) {
+            println!(
+                "fix: raise {} from {:.0} to {:.0} b/cy (removes {:.0} cc of stall)",
+                fix.port, fix.current_bw, fix.required_bw, fix.stall
+            );
+        }
+        print!("{energy}");
+    }
+    Ok(())
+}
+
+/// `ulm search`: explore the mapping space under an objective and print
+/// the best mapping (or the `--all` top list).
+pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (arch, spatial) = resolve_arch(args)?;
+    let layer = resolve_layer(args)?;
+    let objective = match args.get("objective").unwrap_or("latency") {
+        "energy" => Objective::Energy,
+        "edp" => Objective::Edp,
+        _ => Objective::Latency,
+    };
+    let mapper = Mapper::new(&arch, &layer, spatial).with_options(mapper_options(args)?);
+    println!(
+        "space: {} orderings ({} factors)",
+        mapper.space_size(),
+        mapper.factors().len()
+    );
+    if args.flag("all") {
+        let mut all = mapper.enumerate_all()?;
+        all.sort_by(|a, b| {
+            a.score(objective)
+                .partial_cmp(&b.score(objective))
+                .expect("finite scores")
+        });
+        for em in all.iter().take(args.u64_or("top", 10)? as usize) {
+            println!(
+                "  {:>12.0} cc  {:>10.1} nJ  U {:>5.1}%  {}",
+                em.latency.cc_total,
+                em.energy.total_pj() / 1000.0,
+                em.latency.utilization * 100.0,
+                em.mapping
+            );
+        }
+    } else {
+        let r = mapper.search(objective)?;
+        println!(
+            "evaluated {} of {} generated ({})",
+            r.evaluated,
+            r.generated,
+            if r.exhaustive { "exhaustive" } else { "sampled" }
+        );
+        println!("best mapping: {}", r.best.mapping);
+        print!("{}", r.best.latency);
+        println!(
+            "energy: {:.1} nJ",
+            r.best.energy.total_pj() / 1000.0
+        );
+    }
+    Ok(())
+}
+
+/// `ulm validate`: model vs discrete-event simulator on the hand-tracking
+/// layers (the Fig. 5c experiment).
+pub fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let chip = presets::validation_chip();
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let limit = args.u64_or("layers", u64::MAX)? as usize;
+    let layers = networks::handtracking_validation_layers();
+    let mut rows = Vec::new();
+    let mut acc_sum = 0.0;
+    for layer in layers.iter().take(limit) {
+        let best = Mapper::new(&chip.arch, layer, spatial.clone())
+            .with_options(mapper_options(args)?)
+            .search(Objective::Latency)?
+            .best;
+        let view = MappedLayer::new(layer, &chip.arch, &best.mapping)?;
+        let sim = Simulator::new().simulate(&view)?;
+        let acc = (1.0
+            - (best.latency.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
+            * 100.0;
+        acc_sum += acc;
+        rows.push((layer.name().to_string(), best.latency.cc_total, sim.total_cycles, acc));
+    }
+    if args.flag("json") {
+        let out = serde_json::json!({
+            "layers": rows.iter().map(|(n, m, s, a)| serde_json::json!({
+                "layer": n, "model_cc": m, "sim_cc": s, "accuracy_pct": a
+            })).collect::<Vec<_>>(),
+            "mean_accuracy_pct": acc_sum / rows.len() as f64,
+        });
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        for (n, m, s, a) in &rows {
+            println!("{n:<24} model {m:>10.0}  sim {s:>10}  acc {a:>5.1}%");
+        }
+        println!("mean accuracy: {:.1}%", acc_sum / rows.len() as f64);
+    }
+    Ok(())
+}
+
+/// `ulm dse`: architecture design-space exploration with a Pareto front.
+pub fn dse(args: &Args) -> Result<(), Box<dyn Error>> {
+    let gb_bw = args.u64_or("gb-bw", 128)?;
+    let sides = args.u64_list_or("sides", &[16, 32, 64])?;
+    let (b, k, c) = args.layer_dims((256, 256, 64))?;
+    let layer = Layer::matmul(format!("({b},{k},{c})"), b, k, c, Precision::int8_out24());
+    let pool = MemoryPool::default();
+    let designs = enumerate_designs(&pool, &sides, gb_bw);
+    println!("exploring {} designs at GB {gb_bw} b/cy …", designs.len());
+    let points = explore(&designs, &layer, &ExploreOptions::default());
+    let front = pareto_front(&points);
+    if args.flag("json") {
+        let out = serde_json::json!({
+            "evaluated": points.len(),
+            "pareto": front.iter().map(|&i| &points[i]).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!("{} evaluated, {} on the Pareto front:", points.len(), front.len());
+        for &i in &front {
+            let p = &points[i];
+            println!(
+                "  {:>2}x{:<2} wReg{} iReg{} oReg{} wLB{:>2}K iLB{:>2}K  {:>10.0} cc  {:>7.3} mm2",
+                p.params.array_side,
+                p.params.array_side,
+                p.params.w_reg_words,
+                p.params.i_reg_words,
+                p.params.o_reg_words,
+                p.params.w_lb_kb,
+                p.params.i_lb_kb,
+                p.latency,
+                p.area_mm2
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Resolves `--net`/`--file` into a layer list. Built-ins: `handtracking`
+/// (default), `mobilenet`, `resnet18`, `alexnet`; `--file <path>` loads a
+/// JSON network description instead. Conv/pointwise layers are Im2Col
+/// lowered (the GEMM presets do not run depthwise natively; those layers
+/// are skipped with a note).
+fn resolve_network(args: &Args) -> Result<Vec<Layer>, Box<dyn Error>> {
+    let raw: Vec<Layer> = if let Some(path) = args.get("file") {
+        let text = std::fs::read_to_string(path)?;
+        ulm::workload::NetworkDesc::from_json(&text)?.to_layers()?
+    } else {
+        match args.get("net").unwrap_or("handtracking") {
+            "handtracking" => return Ok(networks::handtracking_validation_layers()),
+            "mobilenet" => networks::mobilenet_v1(224, 1),
+            "resnet18" => networks::resnet18(224, 1),
+            "alexnet" => networks::alexnet(1),
+            other => {
+                return Err(format!(
+                    "unknown --net `{other}` (handtracking|mobilenet|resnet18|alexnet)"
+                )
+                .into())
+            }
+        }
+    };
+    let mut layers = Vec::new();
+    for l in raw {
+        match im2col(&l) {
+            Ok(mm) => layers.push(mm),
+            Err(e) => eprintln!("note: skipping {e}"),
+        }
+    }
+    Ok(layers)
+}
+
+/// `ulm network`: schedule a whole network end to end.
+pub fn network(args: &Args) -> Result<(), Box<dyn Error>> {
+    let chip = presets::validation_chip();
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let overlap = if args.flag("overlap") {
+        InterLayerOverlap::WeightPrefetch
+    } else {
+        InterLayerOverlap::None
+    };
+    let layers = resolve_network(args)?;
+    let report = NetworkEvaluator::new(&chip.arch, spatial)
+        .with_overlap(overlap)
+        .with_mapper_options(mapper_options(args)?)
+        .evaluate(&layers)?;
+    print!("{report}");
+    Ok(())
+}
+
+/// `ulm help`.
+pub fn help() {
+    println!(
+        "ulm — uniform latency model for DNN accelerators (DATE 2022 reproduction)
+
+USAGE: ulm <command> [options]
+
+COMMANDS
+  evaluate   map one layer for lowest latency and print the full report
+  search     explore the mapping space (--objective latency|energy|edp, --all)
+  validate   model vs discrete-event simulator on the hand-tracking layers
+  dse        architecture design-space exploration with a Pareto front
+  network    schedule the hand-tracking network end to end (--overlap)
+  help       this text
+
+COMMON OPTIONS
+  --arch case16|case32|case64|validation|toy   (default case16)
+  --arch-file <path.json>                      load a JSON architecture
+  --gb-bw <bits/cycle>                         (default 128)
+  --layer BxKxC                                (e.g. 64x96x640)
+  --precision int8_out24|int8_acc24
+  --samples <n>  --max-exhaustive <n>
+  --sides 16,32,64      (dse)
+  --layers <n>          (validate: limit layer count)
+  --net handtracking|mobilenet|resnet18|alexnet   (network)
+  --file <path.json>    (network: load a JSON network description)
+  --json                machine-readable output
+  --bw-unaware          use the stall-ignoring baseline model
+  --overlap             weight-prefetch overlap (network)"
+    );
+}

@@ -1,0 +1,50 @@
+//! `ulm` — the command-line interface to the uniform latency model.
+//!
+//! ```sh
+//! ulm evaluate --arch case16 --layer 64x96x640
+//! ulm search   --objective energy --all
+//! ulm validate --json
+//! ulm dse      --gb-bw 1024 --sides 16,64
+//! ulm network  --overlap
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::help();
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.flag("help") || args.command == "help" {
+        commands::help();
+        return ExitCode::SUCCESS;
+    }
+    let result = match args.command.as_str() {
+        "evaluate" => commands::evaluate(&args),
+        "search" => commands::search(&args),
+        "validate" => commands::validate(&args),
+        "dse" => commands::dse(&args),
+        "network" => commands::network(&args),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            commands::help();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

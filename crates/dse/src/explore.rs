@@ -1,0 +1,203 @@
+//! Per-design mapping optimization, latency-area evaluation and Pareto
+//! extraction.
+
+use crate::pool::{DesignParams, DesignPoint};
+use ulm_arch::AreaModel;
+use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
+use ulm_workload::Layer;
+
+/// One evaluated hardware design.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DsePoint {
+    /// The design's free parameters.
+    pub params: DesignParams,
+    /// Best (mapping-optimized) total latency in cycles.
+    pub latency: f64,
+    /// Area in mm², GB excluded (as in Fig. 8).
+    pub area_mm2: f64,
+    /// MAC utilization at the best mapping.
+    pub utilization: f64,
+    /// Temporal stall of the best mapping, cycles.
+    pub ss_overall: f64,
+}
+
+/// DSE configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreOptions {
+    /// Mapping-search settings per design point.
+    pub mapper: MapperOptions,
+    /// Area-model parameters.
+    pub area: AreaModel,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            // DSE sweeps thousands of designs: keep per-design mapping
+            // search light but meaningful.
+            mapper: MapperOptions {
+                max_exhaustive: 2_000,
+                samples: 60,
+                ..MapperOptions::default()
+            },
+            area: AreaModel::default(),
+        }
+    }
+}
+
+/// Evaluates one design: optimizes the mapping for lowest latency and
+/// computes the GB-excluded area.
+///
+/// # Errors
+///
+/// Propagates [`MapperError::NoLegalMapping`] when the design cannot run
+/// the layer at all (e.g. registers too small for the spatial block).
+pub fn evaluate_design(
+    design: &DesignPoint,
+    layer: &Layer,
+    opts: &ExploreOptions,
+) -> Result<DsePoint, MapperError> {
+    let mapper = Mapper::new(&design.arch, layer, design.spatial.clone())
+        .with_options(opts.mapper);
+    let result = mapper.search(Objective::Latency)?;
+    let h = design.arch.hierarchy();
+    let exclude: Vec<_> = h.find("GB").into_iter().collect();
+    let area_mm2 = opts.area.total_mm2(&design.arch, &exclude);
+    Ok(DsePoint {
+        params: design.params,
+        latency: result.best.latency.cc_total,
+        area_mm2,
+        utilization: result.best.latency.utilization,
+        ss_overall: result.best.latency.ss_overall,
+    })
+}
+
+/// Evaluates every design, silently skipping ones with no legal mapping.
+pub fn explore(designs: &[DesignPoint], layer: &Layer, opts: &ExploreOptions) -> Vec<DsePoint> {
+    designs
+        .iter()
+        .filter_map(|d| evaluate_design(d, layer, opts).ok())
+        .collect()
+}
+
+/// Indices of the latency-area Pareto front (minimizing both), sorted by
+/// increasing area.
+pub fn pareto_front(points: &[DsePoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .area_mm2
+            .partial_cmp(&points[b].area_mm2)
+            .expect("areas are finite")
+            .then(
+                points[a]
+                    .latency
+                    .partial_cmp(&points[b].latency)
+                    .expect("latencies are finite"),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for idx in order {
+        if points[idx].latency < best_latency {
+            best_latency = points[idx].latency;
+            front.push(idx);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{build_design, enumerate_designs, MemoryPool};
+    use ulm_workload::Precision;
+
+    fn small_layer() -> Layer {
+        Layer::matmul("l", 64, 64, 128, Precision::int8_out24())
+    }
+
+    fn quick_opts() -> ExploreOptions {
+        ExploreOptions {
+            mapper: MapperOptions {
+                max_exhaustive: 200,
+                samples: 20,
+                ..MapperOptions::default()
+            },
+            ..ExploreOptions::default()
+        }
+    }
+
+    #[test]
+    fn single_design_evaluates() {
+        let d = build_design(DesignParams {
+            array_side: 16,
+            w_reg_words: 1,
+            i_reg_words: 1,
+            o_reg_words: 1,
+            w_lb_kb: 16,
+            i_lb_kb: 8,
+            gb_bw_bits: 128,
+        });
+        let p = evaluate_design(&d, &small_layer(), &quick_opts()).unwrap();
+        assert!(p.latency > 0.0);
+        assert!(p.area_mm2 > 0.0);
+        assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+    }
+
+    #[test]
+    fn more_memory_costs_more_area() {
+        let base = DesignParams {
+            array_side: 16,
+            w_reg_words: 1,
+            i_reg_words: 1,
+            o_reg_words: 1,
+            w_lb_kb: 4,
+            i_lb_kb: 4,
+            gb_bw_bits: 128,
+        };
+        let small = evaluate_design(&build_design(base), &small_layer(), &quick_opts()).unwrap();
+        let big = evaluate_design(
+            &build_design(DesignParams {
+                w_lb_kb: 64,
+                i_lb_kb: 64,
+                ..base
+            }),
+            &small_layer(),
+            &quick_opts(),
+        )
+        .unwrap();
+        assert!(big.area_mm2 > small.area_mm2);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4, 16],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let points = explore(&designs, &small_layer(), &quick_opts());
+        assert!(!points.is_empty());
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        // Along the front, area increases and latency strictly decreases.
+        for w in front.windows(2) {
+            assert!(points[w[1]].area_mm2 >= points[w[0]].area_mm2);
+            assert!(points[w[1]].latency < points[w[0]].latency);
+        }
+        // Every non-front point is dominated by some front point.
+        for (i, p) in points.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            assert!(front.iter().any(|&f| {
+                points[f].area_mm2 <= p.area_mm2 + 1e-12
+                    && points[f].latency <= p.latency + 1e-9
+            }));
+        }
+    }
+}

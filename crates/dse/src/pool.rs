@@ -1,0 +1,222 @@
+//! Memory pools and hardware design-point generation.
+//!
+//! Case study 3 "construct\[s\] a memory pool containing tens of
+//! register/memory candidates with different capacities to replace the
+//! W-/I-/O-Reg, W-/I-LB in the design space search" across 16x16 / 32x32 /
+//! 64x64 MAC arrays with a fixed 1 MB GB of varying bandwidth.
+
+use ulm_arch::{Architecture, MacArray, Memory, MemoryHierarchy, MemoryKind, Port};
+use ulm_mapping::SpatialUnroll;
+use ulm_workload::{Dim, Operand};
+
+const KB: u64 = 8 * 1024; // bits
+
+/// Candidate capacities for each replaceable memory level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPool {
+    /// Weight-register words per MAC.
+    pub w_reg_words_per_mac: Vec<u64>,
+    /// Input-register words per MAC.
+    pub i_reg_words_per_mac: Vec<u64>,
+    /// Output-register words per PE.
+    pub o_reg_words_per_pe: Vec<u64>,
+    /// Weight local-buffer sizes in KB.
+    pub w_lb_kb: Vec<u64>,
+    /// Input local-buffer sizes in KB.
+    pub i_lb_kb: Vec<u64>,
+}
+
+impl Default for MemoryPool {
+    /// A pool sized to produce a few thousand design points across three
+    /// array sizes, in the spirit of the paper's 4,176.
+    fn default() -> Self {
+        Self {
+            w_reg_words_per_mac: vec![1, 2, 4],
+            i_reg_words_per_mac: vec![1, 2, 4],
+            o_reg_words_per_pe: vec![1, 2],
+            w_lb_kb: vec![4, 8, 16, 32, 64],
+            i_lb_kb: vec![4, 8, 16, 32, 64],
+        }
+    }
+}
+
+impl MemoryPool {
+    /// Number of memory combinations per array size.
+    pub fn combinations(&self) -> usize {
+        self.w_reg_words_per_mac.len()
+            * self.i_reg_words_per_mac.len()
+            * self.o_reg_words_per_pe.len()
+            * self.w_lb_kb.len()
+            * self.i_lb_kb.len()
+    }
+}
+
+/// The free parameters of one hardware design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DesignParams {
+    /// MAC array side (16, 32, 64): a `side x side` MAC array.
+    pub array_side: u64,
+    /// W-register words per MAC.
+    pub w_reg_words: u64,
+    /// I-register words per MAC.
+    pub i_reg_words: u64,
+    /// O-register words per PE.
+    pub o_reg_words: u64,
+    /// W local buffer, KB.
+    pub w_lb_kb: u64,
+    /// I local buffer, KB.
+    pub i_lb_kb: u64,
+    /// GB bandwidth, bits/cycle.
+    pub gb_bw_bits: u64,
+}
+
+/// One generated hardware design: parameters, architecture, spatial map.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The free parameters.
+    pub params: DesignParams,
+    /// The instantiated architecture.
+    pub arch: Architecture,
+    /// The spatial unrolling scaled to the array.
+    pub spatial: SpatialUnroll,
+}
+
+/// Instantiates the architecture for one parameter combination, following
+/// the case-study template: per-operand registers, W/I local buffers, O
+/// draining straight to a 1 MB GB backing store.
+pub fn build_design(p: DesignParams) -> DesignPoint {
+    let side = p.array_side;
+    assert!(side >= 2 && side.is_multiple_of(2), "array side must be even");
+    let array = MacArray::new(side / 2, side, 2);
+    let macs = array.num_macs();
+    let pes = array.num_pes();
+    let scale = (side / 16).max(1);
+
+    let mut b = MemoryHierarchy::builder();
+    let w_reg = b.add_memory(
+        Memory::new("W-Reg", MemoryKind::RegisterFile, macs * p.w_reg_words * 8)
+            .with_ports(vec![Port::read(macs * 8), Port::write(256 * scale)])
+            .with_replication(side / 2),
+    );
+    let i_reg = b.add_memory(
+        Memory::new("I-Reg", MemoryKind::RegisterFile, macs * p.i_reg_words * 8)
+            .with_ports(vec![Port::read(macs * 8), Port::write(256 * scale)])
+            .with_replication(side),
+    );
+    let o_reg = b.add_memory(
+        Memory::new("O-Reg", MemoryKind::RegisterFile, pes * p.o_reg_words * 24)
+            .with_ports(vec![Port::read(pes * 24), Port::write(pes * 24)]),
+    );
+    let w_lb = b.add_memory(
+        Memory::new("W-LB", MemoryKind::Sram, p.w_lb_kb * KB).with_ports(vec![
+            Port::read(256 * scale),
+            Port::write(128 * scale),
+        ]),
+    );
+    let i_lb = b.add_memory(
+        Memory::new("I-LB", MemoryKind::Sram, p.i_lb_kb * KB).with_ports(vec![
+            Port::read(256 * scale),
+            Port::write(128 * scale),
+        ]),
+    );
+    let gb = b.add_memory(
+        Memory::new("GB", MemoryKind::Sram, 1024 * KB)
+            .with_ports(vec![Port::read(p.gb_bw_bits), Port::write(p.gb_bw_bits)])
+            .as_backing_store(),
+    );
+    b.set_chain(Operand::W, vec![w_reg, w_lb, gb]);
+    b.set_chain(Operand::I, vec![i_reg, i_lb, gb]);
+    b.set_chain(Operand::O, vec![o_reg, gb]);
+    let hierarchy = b.build().expect("design template is well-formed");
+
+    DesignPoint {
+        params: p,
+        arch: Architecture::new(
+            format!(
+                "dse-{side}x{side}-w{}i{}o{}-wlb{}ilb{}-gb{}",
+                p.w_reg_words, p.i_reg_words, p.o_reg_words, p.w_lb_kb, p.i_lb_kb, p.gb_bw_bits
+            ),
+            array,
+            hierarchy,
+        ),
+        spatial: SpatialUnroll::new(vec![(Dim::K, side), (Dim::B, side / 2), (Dim::C, 2)]),
+    }
+}
+
+/// Enumerates every design point of `pool` across the given array sides
+/// at one GB bandwidth.
+pub fn enumerate_designs(pool: &MemoryPool, sides: &[u64], gb_bw_bits: u64) -> Vec<DesignPoint> {
+    let mut out = Vec::with_capacity(pool.combinations() * sides.len());
+    for &array_side in sides {
+        for &w_reg_words in &pool.w_reg_words_per_mac {
+            for &i_reg_words in &pool.i_reg_words_per_mac {
+                for &o_reg_words in &pool.o_reg_words_per_pe {
+                    for &w_lb_kb in &pool.w_lb_kb {
+                        for &i_lb_kb in &pool.i_lb_kb {
+                            out.push(build_design(DesignParams {
+                                array_side,
+                                w_reg_words,
+                                i_reg_words,
+                                o_reg_words,
+                                w_lb_kb,
+                                i_lb_kb,
+                                gb_bw_bits,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_yields_thousands_across_sides() {
+        let pool = MemoryPool::default();
+        assert_eq!(pool.combinations(), 3 * 3 * 2 * 5 * 5);
+        let designs = enumerate_designs(&pool, &[16, 32, 64], 128);
+        assert_eq!(designs.len(), 450 * 3);
+    }
+
+    #[test]
+    fn build_design_matches_params() {
+        let p = DesignParams {
+            array_side: 32,
+            w_reg_words: 2,
+            i_reg_words: 4,
+            o_reg_words: 2,
+            w_lb_kb: 8,
+            i_lb_kb: 16,
+            gb_bw_bits: 1024,
+        };
+        let d = build_design(p);
+        assert_eq!(d.arch.mac_array().num_macs(), 1024);
+        let h = d.arch.hierarchy();
+        assert_eq!(h.mem(h.find("W-Reg").unwrap()).capacity_bits(), 1024 * 2 * 8);
+        assert_eq!(h.mem(h.find("I-LB").unwrap()).capacity_bits(), 16 * KB);
+        assert_eq!(
+            h.port(h.find("GB").unwrap(), Operand::O, ulm_arch::PortUse::WriteIn).1,
+            1024
+        );
+        assert_eq!(d.spatial.product(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_side_rejected() {
+        let _ = build_design(DesignParams {
+            array_side: 7,
+            w_reg_words: 1,
+            i_reg_words: 1,
+            o_reg_words: 1,
+            w_lb_kb: 4,
+            i_lb_kb: 4,
+            gb_bw_bits: 128,
+        });
+    }
+}

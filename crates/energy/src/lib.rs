@@ -1,0 +1,326 @@
+//! ZigZag-style analytical energy model.
+//!
+//! The paper's Case study 1 contrasts a mapping that wins on *energy*
+//! (fewer GB accesses) with one that wins on *latency* (less bursty GB
+//! traffic); this crate supplies the energy half of that comparison. The
+//! model is the standard analytical form (Section I: "count the operations
+//! of each hardware component … and multiply these with the corresponding
+//! unit energy"):
+//!
+//! ```text
+//! E = Σ_mem (read_bits x e_rd(mem) + write_bits x e_wr(mem)) + MACs x e_mac
+//! ```
+//!
+//! Access counts are *exact*: they use the mapping's distinct-block refill
+//! counts (pure reuse across irrelevant loops moves no data), partial-sum
+//! round trips are included, and outputs crossing their final interface
+//! are counted at the re-quantized width.
+//!
+//! # Example
+//!
+//! ```
+//! use ulm_arch::presets;
+//! use ulm_energy::EnergyModel;
+//! use ulm_mapping::{LoopStack, Mapping, MappedLayer, SpatialUnroll};
+//! use ulm_workload::{Dim, Layer, Precision};
+//!
+//! let chip = presets::toy_chip();
+//! let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+//! let mapping = Mapping::with_greedy_alloc(
+//!     &chip.arch,
+//!     &layer,
+//!     SpatialUnroll::new(chip.spatial.clone()),
+//!     LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]),
+//! )?;
+//! let view = MappedLayer::new(&layer, &chip.arch, &mapping)?;
+//! let report = EnergyModel::new().evaluate(&view);
+//! assert!(report.total_pj() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use ulm_arch::{Memory, MemoryId, MemoryKind};
+use ulm_mapping::MappedLayer;
+use ulm_workload::{Operand, Relevance};
+
+/// Unit-energy parameters (femtojoule-denominated, 7 nm-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyModel {
+    /// Register-file access energy, fJ/bit.
+    pub reg_fj_per_bit: f64,
+    /// SRAM access energy floor, fJ/bit.
+    pub sram_base_fj_per_bit: f64,
+    /// SRAM access energy growth with capacity: added fJ/bit per
+    /// `sqrt(bits)/1024` (wordline/bitline length scaling).
+    pub sram_scale_fj_per_bit: f64,
+    /// Energy per INT8 MAC operation, fJ.
+    pub mac_fj: f64,
+    /// Count the MAC array's register-level accesses (reads of W/I and the
+    /// accumulator read-modify-write) in the total.
+    pub include_compute_accesses: bool,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            // Small flip-flop register files are far cheaper per bit than
+            // large SRAM macros (whose bitline/wordline energy grows with
+            // capacity) — the gradient that makes data reuse at low levels
+            // pay off.
+            reg_fj_per_bit: 5.0,
+            sram_base_fj_per_bit: 8.0,
+            sram_scale_fj_per_bit: 10.0,
+            mac_fj: 50.0,
+            include_compute_accesses: true,
+        }
+    }
+}
+
+/// Access totals and energy for one memory module.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemEnergy {
+    /// Memory name.
+    pub memory: String,
+    /// Total bits read.
+    pub read_bits: u64,
+    /// Total bits written.
+    pub write_bits: u64,
+    /// Energy in fJ.
+    pub energy_fj: f64,
+}
+
+/// The energy breakdown of one mapped layer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyReport {
+    /// Per-memory access totals, ordered by memory id.
+    pub memories: Vec<MemEnergy>,
+    /// MAC compute energy in fJ.
+    pub mac_fj: f64,
+    /// Grand total in fJ.
+    pub total_fj: f64,
+}
+
+impl EnergyReport {
+    /// Total in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.total_fj / 1000.0
+    }
+
+    /// Memory-traffic energy only (no MACs), fJ.
+    pub fn memory_fj(&self) -> f64 {
+        self.total_fj - self.mac_fj
+    }
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "energy: {:.1} pJ (MACs {:.1} pJ)",
+            self.total_pj(),
+            self.mac_fj / 1000.0
+        )?;
+        for m in &self.memories {
+            writeln!(
+                f,
+                "  {:8} rd {:>12} b  wr {:>12} b  {:>10.1} pJ",
+                m.memory,
+                m.read_bits,
+                m.write_bits,
+                m.energy_fj / 1000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl EnergyModel {
+    /// The default 7 nm-class parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access energy of one bit in `mem`, fJ.
+    pub fn fj_per_bit(&self, mem: &Memory) -> f64 {
+        match mem.kind() {
+            MemoryKind::RegisterFile => self.reg_fj_per_bit,
+            MemoryKind::Sram => {
+                self.sram_base_fj_per_bit
+                    + self.sram_scale_fj_per_bit * (mem.capacity_bits() as f64).sqrt() / 1024.0
+            }
+        }
+    }
+
+    /// Evaluates the mapped layer's energy.
+    pub fn evaluate(&self, view: &MappedLayer<'_>) -> EnergyReport {
+        let h = view.arch().hierarchy();
+        let layer = view.layer();
+        // (read_bits, write_bits) per memory.
+        let mut traffic: BTreeMap<MemoryId, (u64, u64)> = BTreeMap::new();
+        fn add(traffic: &mut BTreeMap<MemoryId, (u64, u64)>, mid: MemoryId, rd: u64, wr: u64) {
+            let e = traffic.entry(mid).or_insert((0, 0));
+            e.0 += rd;
+            e.1 += wr;
+        }
+
+        for op in Operand::all() {
+            let chain = h.chain(op);
+            for level in 0..chain.len().saturating_sub(1) {
+                let lower = chain[level];
+                let upper = chain[level + 1];
+                let words = view.mem_data_words(op, level);
+                match op {
+                    Operand::W | Operand::I => {
+                        let bits =
+                            words * layer.precision().bits(op) * view.refill_count(op, level);
+                        add(&mut traffic, upper, bits, 0);
+                        add(&mut traffic, lower, 0, bits);
+                    }
+                    Operand::O => {
+                        let is_final = view.outputs_final_above(level);
+                        let out_bits = layer.precision().output_bits(is_final);
+                        let drains = view.refill_count(op, level);
+                        let distinct = view.distinct_blocks_above(op, level);
+                        let revisits = drains - distinct;
+                        // Every visit ends with a drain up…
+                        let drain_bits = words * out_bits * drains;
+                        add(&mut traffic, lower, drain_bits, 0);
+                        add(&mut traffic, upper, 0, drain_bits);
+                        // …and every revisit begins with a partial-sum
+                        // read-back (always at partial precision).
+                        let rb_bits = words * layer.precision().partial_sum_bits() * revisits;
+                        add(&mut traffic, upper, rb_bits, 0);
+                        add(&mut traffic, lower, 0, rb_bits);
+                    }
+                }
+            }
+            // Compute-side accesses at the innermost level.
+            if self.include_compute_accesses {
+                let innermost = chain[0];
+                let rel = layer.operand_relevance(op);
+                let words_per_cycle: u64 = view
+                    .mapping()
+                    .spatial()
+                    .factors()
+                    .iter()
+                    .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
+                    .map(|&(_, f)| f)
+                    .product();
+                let total_bits = words_per_cycle * layer.precision().bits(op) * view.cc_spatial();
+                match op {
+                    Operand::W | Operand::I => add(&mut traffic, innermost, total_bits, 0),
+                    // Accumulator read-modify-write each cycle.
+                    Operand::O => add(&mut traffic, innermost, total_bits, total_bits),
+                }
+            }
+        }
+
+        let memories: Vec<MemEnergy> = traffic
+            .into_iter()
+            .map(|(mid, (rd, wr))| {
+                let mem = h.mem(mid);
+                let e = self.fj_per_bit(mem) * (rd + wr) as f64;
+                MemEnergy {
+                    memory: mem.name().to_string(),
+                    read_bits: rd,
+                    write_bits: wr,
+                    energy_fj: e,
+                }
+            })
+            .collect();
+        let mac_fj = self.mac_fj * layer.total_macs() as f64;
+        let total_fj = mac_fj + memories.iter().map(|m| m.energy_fj).sum::<f64>();
+        EnergyReport {
+            memories,
+            mac_fj,
+            total_fj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
+    use ulm_workload::{Dim, Layer, Precision};
+
+    fn toy_view(
+        stack: &[(Dim, u64)],
+    ) -> (ulm_arch::presets::PresetChip, Layer, Mapping) {
+        let chip = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        let mapping = Mapping::with_greedy_alloc(
+            &chip.arch,
+            &layer,
+            SpatialUnroll::new(chip.spatial.clone()),
+            LoopStack::from_pairs(stack),
+        )
+        .unwrap();
+        (chip, layer, mapping)
+    }
+
+    #[test]
+    fn mac_energy_scales_with_ops() {
+        let (chip, layer, mapping) = toy_view(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let r = EnergyModel::new().evaluate(&view);
+        assert!((r.mac_fj - 50.0 * 128.0).abs() < 1e-9);
+        assert!(r.total_fj > r.mac_fj);
+    }
+
+    #[test]
+    fn toy_lb_traffic_matches_hand_count() {
+        let (chip, layer, mapping) = toy_view(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let mut m = EnergyModel::new();
+        m.include_compute_accesses = false;
+        let r = m.evaluate(&view);
+        let lb = r.memories.iter().find(|m| m.memory == "LB").unwrap();
+        // W: 2 words x 8b x 32 refills = 512 bits read from LB.
+        // I: 2 words x 8b x 32 refills = 512 bits read.
+        assert_eq!(lb.read_bits, 1024);
+        // O: 4 words x 8b (final) x 4 drains = 128 bits written, no
+        // read-backs (fully output-stationary).
+        assert_eq!(lb.write_bits, 128);
+    }
+
+    #[test]
+    fn psum_round_trips_add_energy() {
+        // Output stationary: all of C below the top for O.
+        let (chip, layer, m1) = toy_view(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
+        let v1 = MappedLayer::new(&layer, &chip.arch, &m1).unwrap();
+        // C split: outer C2 above K, psums travel twice.
+        let (_, _, m2) = toy_view(&[(Dim::C, 4), (Dim::B, 2), (Dim::K, 2), (Dim::C, 2)]);
+        let v2 = MappedLayer::new(&layer, &chip.arch, &m2).unwrap();
+        let e = EnergyModel::new();
+        let r1 = e.evaluate(&v1);
+        let r2 = e.evaluate(&v2);
+        assert!(
+            r2.memory_fj() > r1.memory_fj(),
+            "psum round trips must cost energy: {} vs {}",
+            r2.memory_fj(),
+            r1.memory_fj()
+        );
+    }
+
+    #[test]
+    fn unit_energy_grows_with_sram_size() {
+        let e = EnergyModel::new();
+        let small = ulm_arch::Memory::new("s", MemoryKind::Sram, 8 * 1024);
+        let big = ulm_arch::Memory::new("b", MemoryKind::Sram, 8 * 1024 * 1024);
+        assert!(e.fj_per_bit(&big) > e.fj_per_bit(&small));
+    }
+
+    #[test]
+    fn compute_accesses_toggle() {
+        let (chip, layer, mapping) = toy_view(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let with = EnergyModel::new().evaluate(&view);
+        let mut m = EnergyModel::new();
+        m.include_compute_accesses = false;
+        let without = m.evaluate(&view);
+        assert!(with.total_fj > without.total_fj);
+    }
+}

@@ -1,0 +1,170 @@
+//! Simulated-annealing refinement of loop orderings, for mapping spaces
+//! far too large to enumerate: start from the best canonical seed, swap
+//! random factor positions, and accept uphill moves with a decaying
+//! temperature. Deterministic for a fixed seed.
+
+use crate::enumerate::seeded_orderings;
+use crate::factorize::Factor;
+use crate::{EvaluatedMapping, Mapper, MapperError, Objective};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// Neighbor evaluations.
+    pub iterations: usize,
+    /// Initial acceptance temperature as a fraction of the starting score
+    /// (an uphill move of `t0 x score` is accepted with probability 1/e).
+    pub t0: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 400,
+            t0: 0.05,
+            seed: 0xA11EA1,
+        }
+    }
+}
+
+impl<'a> Mapper<'a> {
+    /// Anneals the loop ordering under `obj`, starting from the best
+    /// canonical seed ordering, and returns the best mapping visited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapperError::NoLegalMapping`] when neither the seeds nor
+    /// any visited neighbor is legal.
+    pub fn search_annealed(
+        &self,
+        obj: Objective,
+        opts: AnnealOptions,
+    ) -> Result<EvaluatedMapping, MapperError> {
+        let factors = self.factors();
+        let mut tried = 0usize;
+
+        // Start from the best seed.
+        let mut current_order: Option<(Vec<Factor>, EvaluatedMapping)> = None;
+        for seed in seeded_orderings(&factors) {
+            tried += 1;
+            if let Some(em) = self.evaluate_ordering(&seed) {
+                let better = current_order
+                    .as_ref()
+                    .map(|(_, b)| em.score(obj) < b.score(obj))
+                    .unwrap_or(true);
+                if better {
+                    current_order = Some((seed, em));
+                }
+            }
+        }
+        let (mut order, mut current) = match current_order {
+            Some(x) => x,
+            None => {
+                // Fall back to the identity ordering.
+                tried += 1;
+                match self.evaluate_ordering(&factors) {
+                    Some(em) => (factors.clone(), em),
+                    None => return Err(MapperError::NoLegalMapping { tried }),
+                }
+            }
+        };
+        let mut best = current.clone();
+
+        if order.len() >= 2 {
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let start_score = current.score(obj).max(1.0);
+            for it in 0..opts.iterations {
+                let temp = opts.t0 * start_score * (1.0 - it as f64 / opts.iterations as f64);
+                let i = rng.gen_range(0..order.len());
+                let j = rng.gen_range(0..order.len());
+                if i == j || order[i] == order[j] {
+                    continue;
+                }
+                order.swap(i, j);
+                match self.evaluate_ordering(&order) {
+                    Some(em) => {
+                        let delta = em.score(obj) - current.score(obj);
+                        let accept = delta <= 0.0
+                            || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+                        if em.score(obj) < best.score(obj) {
+                            best = em.clone();
+                        }
+                        if accept {
+                            current = em;
+                        } else {
+                            order.swap(i, j); // revert
+                        }
+                    }
+                    None => order.swap(i, j), // illegal neighbor: revert
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_mapping::SpatialUnroll;
+    use ulm_workload::{Dim, Layer, Precision};
+
+    fn big_mapper_parts() -> (ulm_arch::Architecture, Layer, SpatialUnroll) {
+        (
+            presets::case_study_chip(128),
+            Layer::matmul("big", 256, 192, 320, Precision::int8_acc24()),
+            SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]),
+        )
+    }
+
+    #[test]
+    fn annealing_never_loses_to_its_seeds() {
+        let (arch, layer, spatial) = big_mapper_parts();
+        let mapper = Mapper::new(&arch, &layer, spatial);
+        let annealed = mapper
+            .search_annealed(Objective::Latency, AnnealOptions::default())
+            .unwrap();
+        for seed in seeded_orderings(&mapper.factors()) {
+            if let Some(em) = mapper.evaluate_ordering(&seed) {
+                assert!(
+                    annealed.latency.cc_total <= em.latency.cc_total + 1e-9,
+                    "annealed {} lost to seed {}",
+                    annealed.latency.cc_total,
+                    em.latency.cc_total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_is_deterministic() {
+        let (arch, layer, spatial) = big_mapper_parts();
+        let mapper = Mapper::new(&arch, &layer, spatial);
+        let opts = AnnealOptions {
+            iterations: 100,
+            ..AnnealOptions::default()
+        };
+        let a = mapper.search_annealed(Objective::Latency, opts).unwrap();
+        let b = mapper.search_annealed(Objective::Latency, opts).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn annealing_handles_trivial_spaces() {
+        // One factor: nothing to swap, the seed is returned.
+        let arch = presets::case_study_chip(128);
+        let layer = Layer::matmul("s", 8, 16, 4, Precision::int8_acc24());
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+        let mapper = Mapper::new(&arch, &layer, spatial);
+        let em = mapper
+            .search_annealed(Objective::Latency, AnnealOptions::default())
+            .unwrap();
+        assert!(em.latency.cc_total > 0.0);
+    }
+}

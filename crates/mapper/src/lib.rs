@@ -1,0 +1,445 @@
+//! ZigZag-style temporal-mapping generation and search.
+//!
+//! The paper integrates its latency model "with ZigZag, a DNN accelerator
+//! architecture-and-mapping DSE framework, to generate various design
+//! points" (Section V). This crate is that mapper, built from scratch: it
+//! factorizes the layer's loop bounds into prime loop factors, enumerates
+//! (or samples, for large spaces) their orderings, allocates each ordering
+//! to memory levels greedily, evaluates latency and energy, and returns
+//! the best mapping under a chosen objective.
+//!
+//! # Example
+//!
+//! ```
+//! use ulm_arch::presets;
+//! use ulm_mapper::{Mapper, Objective};
+//! use ulm_mapping::SpatialUnroll;
+//! use ulm_workload::{Layer, Precision};
+//!
+//! let chip = presets::toy_chip();
+//! let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+//! let spatial = SpatialUnroll::new(chip.spatial.clone());
+//! let result = Mapper::new(&chip.arch, &layer, spatial)
+//!     .search(Objective::Latency)?;
+//! assert!(result.evaluated > 0);
+//! assert!(result.best.latency.cc_total > 0.0);
+//! # Ok::<(), ulm_mapper::MapperError>(())
+//! ```
+
+pub mod anneal;
+pub mod enumerate;
+pub mod factorize;
+pub mod spatial_search;
+
+pub use anneal::AnnealOptions;
+pub use spatial_search::{search_spatial, spatial_candidates, SpatialOptions};
+
+use factorize::{ordering_count, temporal_factors, Factor};
+use std::error::Error;
+use std::fmt;
+use ulm_arch::Architecture;
+use ulm_energy::{EnergyModel, EnergyReport};
+use ulm_mapping::{LoopStack, MappedLayer, Mapping, SpatialUnroll};
+use ulm_model::{LatencyModel, LatencyReport};
+use ulm_workload::Layer;
+
+/// What the search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Total latency in cycles.
+    Latency,
+    /// Total energy.
+    Energy,
+    /// Energy-delay product.
+    Edp,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperOptions {
+    /// Enumerate exhaustively while the ordering count is at most this.
+    pub max_exhaustive: u128,
+    /// Random orderings to draw when the space is larger.
+    pub samples: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Evaluate latency with the bandwidth-aware model (true) or the
+    /// BW-unaware baseline (false) — Case 3 compares both.
+    pub bw_aware: bool,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        Self {
+            max_exhaustive: 50_000,
+            samples: 400,
+            seed: 0xD1CE,
+            bw_aware: true,
+        }
+    }
+}
+
+/// A mapping with its evaluations.
+#[derive(Debug, Clone)]
+pub struct EvaluatedMapping {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Latency report.
+    pub latency: LatencyReport,
+    /// Energy report.
+    pub energy: EnergyReport,
+}
+
+impl EvaluatedMapping {
+    /// Score under `obj` (lower is better).
+    pub fn score(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::Latency => self.latency.cc_total,
+            Objective::Energy => self.energy.total_fj,
+            Objective::Edp => self.latency.cc_total * self.energy.total_fj,
+        }
+    }
+}
+
+/// Outcome of a mapping search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best legal mapping found.
+    pub best: EvaluatedMapping,
+    /// Orderings whose mapping was legal and evaluated.
+    pub evaluated: usize,
+    /// Orderings generated (legal or not).
+    pub generated: usize,
+    /// Size of the full ordering space.
+    pub space_size: u128,
+    /// True when the space was enumerated exhaustively.
+    pub exhaustive: bool,
+}
+
+/// Errors from mapping search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperError {
+    /// No generated ordering produced a legal mapping.
+    NoLegalMapping {
+        /// Orderings tried.
+        tried: usize,
+    },
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::NoLegalMapping { tried } => {
+                write!(f, "no legal mapping found among {tried} orderings")
+            }
+        }
+    }
+}
+
+impl Error for MapperError {}
+
+/// The mapping-space search driver.
+pub struct Mapper<'a> {
+    arch: &'a Architecture,
+    layer: &'a Layer,
+    spatial: SpatialUnroll,
+    opts: MapperOptions,
+    latency_model: LatencyModel,
+    energy_model: EnergyModel,
+}
+
+impl<'a> Mapper<'a> {
+    /// A mapper with default options and models.
+    pub fn new(arch: &'a Architecture, layer: &'a Layer, spatial: SpatialUnroll) -> Self {
+        Self {
+            arch,
+            layer,
+            spatial,
+            opts: MapperOptions::default(),
+            latency_model: LatencyModel::new(),
+            energy_model: EnergyModel::new(),
+        }
+    }
+
+    /// Overrides the search options.
+    pub fn with_options(mut self, opts: MapperOptions) -> Self {
+        self.opts = opts;
+        self.latency_model = if opts.bw_aware {
+            LatencyModel::new()
+        } else {
+            LatencyModel::bw_unaware()
+        };
+        self
+    }
+
+    /// The temporal factor multiset for this layer/spatial pair.
+    pub fn factors(&self) -> Vec<Factor> {
+        temporal_factors(self.layer.shape().dims(), &self.spatial)
+    }
+
+    /// Size of the full ordering space.
+    pub fn space_size(&self) -> u128 {
+        ordering_count(&self.factors())
+    }
+
+    /// Builds and evaluates the mapping for one explicit ordering
+    /// (innermost factor first). Returns `None` when the ordering has no
+    /// legal greedy allocation.
+    pub fn evaluate_ordering(&self, ordering: &[Factor]) -> Option<EvaluatedMapping> {
+        let stack = LoopStack::from_pairs(ordering);
+        let mapping =
+            Mapping::with_greedy_alloc(self.arch, self.layer, self.spatial.clone(), stack).ok()?;
+        let view = MappedLayer::new(self.layer, self.arch, &mapping).ok()?;
+        let latency = self.latency_model.evaluate(&view);
+        let energy = self.energy_model.evaluate(&view);
+        Some(EvaluatedMapping {
+            mapping,
+            latency,
+            energy,
+        })
+    }
+
+    /// Searches the mapping space for the minimum-`obj` mapping:
+    /// exhaustively when the ordering count is within
+    /// [`MapperOptions::max_exhaustive`], by uniform sampling otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapperError::NoLegalMapping`] if nothing legal was found.
+    pub fn search(&self, obj: Objective) -> Result<SearchResult, MapperError> {
+        let factors = self.factors();
+        let space_size = ordering_count(&factors);
+        let exhaustive = space_size <= self.opts.max_exhaustive;
+        let mut best: Option<EvaluatedMapping> = None;
+        let mut evaluated = 0usize;
+        let mut generated = 0usize;
+        fn consider(em: EvaluatedMapping, obj: Objective, best: &mut Option<EvaluatedMapping>) {
+            let better = best
+                .as_ref()
+                .map(|b| em.score(obj) < b.score(obj))
+                .unwrap_or(true);
+            if better {
+                *best = Some(em);
+            }
+        }
+        if exhaustive {
+            enumerate::for_each_ordering(&factors, |ordering| {
+                generated += 1;
+                if let Some(em) = self.evaluate_ordering(ordering) {
+                    evaluated += 1;
+                    consider(em, obj, &mut best);
+                }
+                true
+            });
+        } else {
+            // Seed with the canonical stationary dataflows, then sample.
+            let mut candidates = enumerate::seeded_orderings(&factors);
+            candidates.extend(enumerate::sample_orderings(
+                &factors,
+                self.opts.samples,
+                self.opts.seed,
+            ));
+            for ordering in candidates {
+                generated += 1;
+                if let Some(em) = self.evaluate_ordering(&ordering) {
+                    evaluated += 1;
+                    consider(em, obj, &mut best);
+                }
+            }
+        }
+        match best {
+            Some(best) => Ok(SearchResult {
+                best,
+                evaluated,
+                generated,
+                space_size,
+                exhaustive,
+            }),
+            None => Err(MapperError::NoLegalMapping { tried: generated }),
+        }
+    }
+
+    /// The latency-energy Pareto front of the (enumerable) mapping space,
+    /// sorted by increasing latency. Case study 1's Mapping A and B are
+    /// two points of exactly this front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapperError::NoLegalMapping`] from
+    /// [`enumerate_all`](Self::enumerate_all).
+    pub fn pareto(&self) -> Result<Vec<EvaluatedMapping>, MapperError> {
+        let mut all = self.enumerate_all()?;
+        all.sort_by(|a, b| {
+            a.latency
+                .cc_total
+                .partial_cmp(&b.latency.cc_total)
+                .expect("finite latency")
+                .then(
+                    a.energy
+                        .total_fj
+                        .partial_cmp(&b.energy.total_fj)
+                        .expect("finite energy"),
+                )
+        });
+        let mut front: Vec<EvaluatedMapping> = Vec::new();
+        let mut best_energy = f64::INFINITY;
+        for em in all {
+            if em.energy.total_fj < best_energy {
+                best_energy = em.energy.total_fj;
+                front.push(em);
+            }
+        }
+        Ok(front)
+    }
+
+    /// Evaluates every legal mapping in the (exhaustively enumerable)
+    /// space and returns them all — used by studies that plot whole
+    /// mapping spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapperError::NoLegalMapping`] if nothing legal exists
+    /// within the first `max_exhaustive` orderings.
+    pub fn enumerate_all(&self) -> Result<Vec<EvaluatedMapping>, MapperError> {
+        let factors = self.factors();
+        let mut out = Vec::new();
+        let mut generated = 0usize;
+        let cap = self.opts.max_exhaustive;
+        enumerate::for_each_ordering(&factors, |ordering| {
+            generated += 1;
+            if let Some(em) = self.evaluate_ordering(ordering) {
+                out.push(em);
+            }
+            (generated as u128) < cap
+        });
+        if out.is_empty() {
+            Err(MapperError::NoLegalMapping { tried: generated })
+        } else {
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_workload::{Dim, Precision};
+
+    fn toy() -> (ulm_arch::presets::PresetChip, Layer) {
+        (
+            presets::toy_chip(),
+            Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24()),
+        )
+    }
+
+    #[test]
+    fn exhaustive_search_finds_best() {
+        let (chip, layer) = toy();
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        // Factors: B2, K2, C2,C2,C2 -> 5!/3! = 20 orderings.
+        assert_eq!(mapper.space_size(), 20);
+        let r = mapper.search(Objective::Latency).unwrap();
+        assert!(r.exhaustive);
+        assert_eq!(r.generated, 20);
+        assert!(r.evaluated > 0);
+        // The best must beat (or tie) every enumerated mapping.
+        let all = mapper.enumerate_all().unwrap();
+        let min = all
+            .iter()
+            .map(|em| em.latency.cc_total)
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.best.latency.cc_total - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_orderings_cover_stationary_dataflows() {
+        let f = vec![
+            (Dim::C, 2),
+            (Dim::C, 5),
+            (Dim::B, 2),
+            (Dim::K, 3),
+        ];
+        let seeds = enumerate::seeded_orderings(&f);
+        assert_eq!(seeds.len(), 6); // 3! dim permutations
+        // Output-stationary ordering (C group innermost) is present.
+        assert!(seeds.iter().any(|s| s[0].0 == Dim::C && s[1].0 == Dim::C));
+        // Every seed is a permutation of the multiset.
+        for s in &seeds {
+            let mut a = s.clone();
+            let mut b = f.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sampling_used_for_large_spaces() {
+        let layer = Layer::matmul("big", 64, 96, 640, Precision::int8_acc24());
+        let chip16 = presets::case_study_chip(128);
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+        let mapper = Mapper::new(&chip16, &layer, spatial).with_options(MapperOptions {
+            max_exhaustive: 100,
+            samples: 50,
+            ..MapperOptions::default()
+        });
+        assert!(mapper.space_size() > 100);
+        let r = mapper.search(Objective::Latency).unwrap();
+        assert!(!r.exhaustive);
+        // Seeds (dim permutations) + 50 samples.
+        assert!(r.generated <= 50 + 6);
+    }
+
+    #[test]
+    fn objectives_disagree_when_tradeoffs_exist() {
+        let (chip, layer) = toy();
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        let lat = mapper.search(Objective::Latency).unwrap();
+        let en = mapper.search(Objective::Energy).unwrap();
+        // The energy-best mapping can never have lower latency than the
+        // latency-best one.
+        assert!(en.best.latency.cc_total >= lat.best.latency.cc_total - 1e-9);
+        assert!(lat.best.energy.total_fj >= en.best.energy.total_fj - 1e-9);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone_and_dominating() {
+        let (chip, layer) = toy();
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        let front = mapper.pareto().unwrap();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[1].latency.cc_total >= w[0].latency.cc_total);
+            assert!(w[1].energy.total_fj < w[0].energy.total_fj);
+        }
+        // Every enumerated mapping is dominated by some front point.
+        for em in mapper.enumerate_all().unwrap() {
+            assert!(front.iter().any(|f| {
+                f.latency.cc_total <= em.latency.cc_total + 1e-9
+                    && f.energy.total_fj <= em.energy.total_fj + 1e-6
+            }));
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (chip, layer) = toy();
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        let a = mapper.search(Objective::Latency).unwrap();
+        let b = mapper.search(Objective::Latency).unwrap();
+        assert_eq!(a.best.mapping, b.best.mapping);
+    }
+
+    #[test]
+    fn edp_between_extremes() {
+        let (chip, layer) = toy();
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        let edp = mapper.search(Objective::Edp).unwrap();
+        let lat = mapper.search(Objective::Latency).unwrap();
+        let en = mapper.search(Objective::Energy).unwrap();
+        let edp_score = edp.best.score(Objective::Edp);
+        assert!(edp_score <= lat.best.score(Objective::Edp) + 1e-6);
+        assert!(edp_score <= en.best.score(Objective::Edp) + 1e-6);
+    }
+}

@@ -1,0 +1,48 @@
+//! Mapping (dataflow) representation and derived per-operand quantities.
+//!
+//! A mapping binds a DNN layer to an architecture (the *M* of AHM):
+//!
+//! * a [`SpatialUnroll`] — which loop dimensions are parallelized across
+//!   the MAC array and by how much;
+//! * a [`LoopStack`] — the ordered temporal loops (innermost first) that
+//!   the array iterates through;
+//! * one [`OperandAlloc`] per operand — which contiguous range of the
+//!   stack each memory level owns, i.e. at which level each loop's data
+//!   resides for that operand.
+//!
+//! The bound triple is a [`MappedLayer`], which validates legality
+//! (coverage, capacity, allocation shape) and exposes every derived
+//! quantity the latency/energy models and the simulator need: `Mem_DATA`,
+//! `Mem_CC`, `Z`, top-irrelevant-loop runs, partial-sum visibility and
+//! exact block refill counts.
+//!
+//! # Example
+//!
+//! ```
+//! use ulm_arch::presets;
+//! use ulm_mapping::{LoopStack, Mapping, MappedLayer, SpatialUnroll};
+//! use ulm_workload::{Dim, Layer, Operand, Precision};
+//!
+//! let chip = presets::toy_chip();
+//! let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+//! let spatial = SpatialUnroll::new(chip.spatial.clone());
+//! // Temporal loops, innermost first: C8 then B2 then K2.
+//! let stack = LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
+//! let mapping = Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack)?;
+//! let view = MappedLayer::new(&layer, &chip.arch, &mapping)?;
+//! assert_eq!(view.cc_spatial(), 32); // 8 * 2 * 2 temporal iterations
+//! assert_eq!(view.cc_ideal_cycles(), 4 * 4 * 8 / 4);
+//! # Ok::<(), ulm_mapping::MappingError>(())
+//! ```
+
+pub mod alloc;
+pub mod mapping;
+pub mod spatial;
+pub mod stack;
+pub mod view;
+
+pub use alloc::OperandAlloc;
+pub use mapping::{Mapping, MappingError};
+pub use spatial::SpatialUnroll;
+pub use stack::{LoopStack, TemporalLoop};
+pub use view::MappedLayer;

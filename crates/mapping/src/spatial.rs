@@ -1,0 +1,130 @@
+//! Spatial unrolling: loop dimensions parallelized across the MAC array.
+
+use std::fmt;
+use ulm_workload::{Dim, DimSizes};
+
+/// The spatial mapping: an ordered list of `(dim, factor)` unrolls whose
+/// product is the number of MACs actually used each cycle.
+///
+/// The paper writes these as e.g. `K 16 | B 8 | C 2`.
+///
+/// # Example
+///
+/// ```
+/// use ulm_mapping::SpatialUnroll;
+/// use ulm_workload::Dim;
+///
+/// let s = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+/// assert_eq!(s.product(), 256);
+/// assert_eq!(s.extent(Dim::K), 16);
+/// assert_eq!(s.extent(Dim::OX), 1);
+/// assert_eq!(s.to_string(), "K 16 | B 8 | C 2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SpatialUnroll {
+    factors: Vec<(Dim, u64)>,
+}
+
+impl SpatialUnroll {
+    /// Builds a spatial unrolling from `(dim, factor)` pairs. Unit factors
+    /// are dropped; repeated dims are allowed (their factors multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is zero.
+    pub fn new(factors: Vec<(Dim, u64)>) -> Self {
+        assert!(
+            factors.iter().all(|&(_, f)| f > 0),
+            "spatial unroll factors must be positive"
+        );
+        Self {
+            factors: factors.into_iter().filter(|&(_, f)| f > 1).collect(),
+        }
+    }
+
+    /// No spatial parallelism (a single MAC).
+    pub fn unit() -> Self {
+        Self { factors: vec![] }
+    }
+
+    /// The unroll pairs in declaration order.
+    pub fn factors(&self) -> &[(Dim, u64)] {
+        &self.factors
+    }
+
+    /// Product of all factors: MACs occupied per cycle.
+    pub fn product(&self) -> u64 {
+        self.factors.iter().map(|&(_, f)| f).product()
+    }
+
+    /// Total unroll factor along `dim` (1 if not unrolled).
+    pub fn extent(&self, dim: Dim) -> u64 {
+        self.factors
+            .iter()
+            .filter(|&&(d, _)| d == dim)
+            .map(|&(_, f)| f)
+            .product()
+    }
+
+    /// All per-dimension extents as a [`DimSizes`].
+    pub fn extents(&self) -> DimSizes {
+        let mut e = DimSizes::ones();
+        for &(d, f) in &self.factors {
+            e.multiply(d, f);
+        }
+        e
+    }
+
+    /// Fraction of an array of `num_macs` MACs this unrolling occupies.
+    pub fn utilization(&self, num_macs: u64) -> f64 {
+        self.product() as f64 / num_macs as f64
+    }
+}
+
+impl fmt::Display for SpatialUnroll {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "(none)");
+        }
+        let parts: Vec<String> = self
+            .factors
+            .iter()
+            .map(|(d, n)| format!("{d} {n}"))
+            .collect();
+        write!(f, "{}", parts.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_and_extents() {
+        let s = SpatialUnroll::new(vec![(Dim::K, 4), (Dim::B, 2), (Dim::K, 2)]);
+        assert_eq!(s.product(), 16);
+        assert_eq!(s.extent(Dim::K), 8);
+        assert_eq!(s.extent(Dim::B), 2);
+        assert_eq!(s.extents()[Dim::K], 8);
+    }
+
+    #[test]
+    fn unit_factors_dropped() {
+        let s = SpatialUnroll::new(vec![(Dim::K, 1), (Dim::B, 2)]);
+        assert_eq!(s.factors().len(), 1);
+        assert_eq!(s.product(), 2);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let s = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8)]);
+        assert!((s.utilization(256) - 0.5).abs() < 1e-12);
+        assert!((SpatialUnroll::unit().utilization(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_factor_rejected() {
+        let _ = SpatialUnroll::new(vec![(Dim::K, 0)]);
+    }
+}

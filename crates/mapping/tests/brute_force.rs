@@ -1,0 +1,168 @@
+//! Ground-truth validation of the mapping crate's derived quantities: a
+//! brute-force loop-nest interpreter walks every temporal iteration,
+//! tracks which distinct data words each memory level holds, and checks
+//! `Mem_DATA`, `Mem_CC` alignment and the exact refill counts against the
+//! closed forms.
+
+use proptest::prelude::*;
+use ulm_arch::presets;
+use ulm_mapping::{LoopStack, MappedLayer, Mapping, OperandAlloc, SpatialUnroll};
+use ulm_workload::{Dim, Layer, Operand, PerOperand, Precision};
+
+/// The index tuple (b, k, c) addressed at temporal step `t` by the loops
+/// above `bound` (lower loops enumerate within the block).
+fn upper_digits(stack: &LoopStack, bound: usize, t: u64) -> Vec<(Dim, u64)> {
+    let mut rem = t;
+    let mut out = Vec::new();
+    for (i, l) in stack.loops().iter().enumerate() {
+        let d = rem % l.size;
+        rem /= l.size;
+        if i >= bound {
+            out.push((l.dim, d));
+        }
+    }
+    out
+}
+
+/// Distinct words of `op` resident at a level holding the innermost
+/// `bound` loops, at temporal step `t`: the relevant upper digits pin a
+/// region; everything below (plus spatial) enumerates within it. For a
+/// matmul the word count is the product of relevant extents below.
+fn region_id(layer: &Layer, op: Operand, stack: &LoopStack, bound: usize, t: u64) -> u64 {
+    let rel = layer.operand_relevance(op);
+    let mut id = 0u64;
+    let mut mul = 1u64;
+    for (dim, digit) in upper_digits(stack, bound, t) {
+        if rel.get(dim).is_relevant() {
+            id += digit * mul;
+            // A radix larger than any loop size keeps ids unique.
+            mul *= 1 << 10;
+        }
+    }
+    id
+}
+
+fn arb_point() -> impl Strategy<Value = (Layer, Vec<(Dim, u64)>, Vec<usize>)> {
+    // Small matmul layers on the toy chip with explicit W allocation.
+    (1u32..3, 1u32..3, 1u32..4, 0usize..4, any::<u64>()).prop_map(
+        |(bexp, kexp, cexp, cut, seed)| {
+            let layer = Layer::matmul(
+                "bf",
+                2 << bexp,
+                2 << kexp,
+                2 << cexp,
+                Precision::int8_acc24(),
+            );
+            let mut factors = Vec::new();
+            for _ in 0..bexp {
+                factors.push((Dim::B, 2u64));
+            }
+            for _ in 0..kexp {
+                factors.push((Dim::K, 2));
+            }
+            for _ in 0..=cexp {
+                factors.push((Dim::C, 2));
+            }
+            // Deterministic shuffle.
+            let mut s = seed;
+            for i in (1..factors.len()).rev() {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                factors.swap(i, j);
+            }
+            let cut = cut.min(factors.len());
+            (layer, factors, vec![cut])
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `refill_count` equals the number of distinct-region *runs* the
+    /// interpreter observes; region changes only occur at `Mem_CC`
+    /// multiples.
+    #[test]
+    fn refill_count_matches_interpreter((layer, factors, cuts) in arb_point()) {
+        let chip = presets::toy_chip();
+        let stack = LoopStack::from_pairs(&factors);
+        let total = stack.total_cycles();
+        // Explicit W allocation at the requested cut; everything else at
+        // the top. (Capacity may reject — skip those draws.)
+        let cut = cuts[0].min(stack.len());
+        let allocs = PerOperand::new(
+            OperandAlloc::new(vec![cut, stack.len()]),
+            OperandAlloc::new(vec![0, stack.len()]),
+            OperandAlloc::new(vec![0, stack.len()]),
+        );
+        let mapping = Mapping::new(
+            SpatialUnroll::new(chip.spatial.clone()),
+            stack.clone(),
+            allocs,
+        );
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+
+        for (op, bound) in [(Operand::W, cut), (Operand::I, 0), (Operand::O, 0)] {
+            let level = 0usize;
+            let mem_cc = view.mem_cc(op, level);
+            let expected = view.refill_count(op, level);
+            // Walk the nest and count region *changes* (runs).
+            let mut runs = 0u64;
+            let mut last = None;
+            for t in 0..total {
+                let region = region_id(&layer, op, &stack, bound, t);
+                if last != Some(region) {
+                    runs += 1;
+                    last = Some(region);
+                    // A change may only happen on a period boundary.
+                    prop_assert_eq!(
+                        t % mem_cc, 0,
+                        "region change off-period for {} at t={}", op, t
+                    );
+                }
+            }
+            prop_assert_eq!(
+                runs, expected,
+                "refill_count mismatch for {} (bound {})", op, bound
+            );
+        }
+    }
+
+    /// `Mem_DATA` for a matmul equals the product of the operand-relevant
+    /// extents at/below the level (spatial included).
+    #[test]
+    fn mem_data_matches_extent_product((layer, factors, cuts) in arb_point()) {
+        let chip = presets::toy_chip();
+        let stack = LoopStack::from_pairs(&factors);
+        let cut = cuts[0].min(stack.len());
+        let allocs = PerOperand::new(
+            OperandAlloc::new(vec![cut, stack.len()]),
+            OperandAlloc::new(vec![0, stack.len()]),
+            OperandAlloc::new(vec![0, stack.len()]),
+        );
+        let mapping = Mapping::new(
+            SpatialUnroll::new(chip.spatial.clone()),
+            stack.clone(),
+            allocs,
+        );
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        for op in Operand::all() {
+            let rel = layer.operand_relevance(op);
+            for level in 0..2 {
+                let ext = view.extents_at(op, level);
+                let expected: u64 = ulm_workload::ALL_DIMS
+                    .iter()
+                    .filter(|d| rel.get(**d).is_relevant())
+                    .map(|d| ext[*d])
+                    .product();
+                prop_assert_eq!(view.mem_data_words(op, level), expected);
+            }
+        }
+    }
+}

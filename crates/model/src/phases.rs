@@ -1,0 +1,92 @@
+//! Data pre-loading and off-loading phases (Fig. 1a).
+//!
+//! Pre-loading fills the first working set of W and I down the hierarchy
+//! before computation starts; off-loading writes the last output block up
+//! to the top memory after computation ends. Both are "derived based on
+//! the required data transfer amount and the related memories' BW"
+//! (Section III); W and I load in parallel, so the pre-load phase is their
+//! maximum.
+
+use ulm_arch::PortUse;
+use ulm_mapping::MappedLayer;
+use ulm_workload::Operand;
+
+/// Cycles to pre-load the first W and I working sets (max over the two
+/// operands of the pipeline-fill chain down their hierarchies).
+pub fn preload_cycles(view: &MappedLayer<'_>) -> u64 {
+    let h = view.arch().hierarchy();
+    let mut worst = 0u64;
+    for op in [Operand::W, Operand::I] {
+        let chain = h.chain(op);
+        let bits = view.layer().precision().bits(op);
+        let mut total = 0u64;
+        for level in 0..chain.len().saturating_sub(1) {
+            let block_bits = view.mem_data_words(op, level) * bits;
+            let (_, wbw) = h.port(chain[level], op, PortUse::WriteIn);
+            let (_, rbw) = h.port(chain[level + 1], op, PortUse::ReadOut);
+            let bw = wbw.min(rbw);
+            total += block_bits.div_ceil(bw);
+        }
+        worst = worst.max(total);
+    }
+    worst
+}
+
+/// Cycles to off-load the final output block up to the top memory.
+pub fn offload_cycles(view: &MappedLayer<'_>) -> u64 {
+    let h = view.arch().hierarchy();
+    let chain = h.chain(Operand::O);
+    let mut total = 0u64;
+    for level in 0..chain.len().saturating_sub(1) {
+        let is_final = view.outputs_final_above(level);
+        let bits = view.layer().precision().output_bits(is_final);
+        let block_bits = view.mem_data_words(Operand::O, level) * bits;
+        let (_, rbw) = h.port(chain[level], Operand::O, PortUse::ReadOut);
+        let (_, wbw) = h.port(chain[level + 1], Operand::O, PortUse::WriteIn);
+        let bw = rbw.min(wbw);
+        total += block_bits.div_ceil(bw);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
+    use ulm_workload::{Dim, Layer, Precision};
+
+    #[test]
+    fn toy_phases_match_hand_computation() {
+        let chip = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        let mapping = Mapping::with_greedy_alloc(
+            &chip.arch,
+            &layer,
+            SpatialUnroll::new(chip.spatial.clone()),
+            LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]),
+        )
+        .unwrap();
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        // W first block: 2 words x 8b over an 8 b/cy link = 2 cycles.
+        // I first block: 2 words x 8b over 8 b/cy = 2 cycles. Max = 2.
+        assert_eq!(preload_cycles(&view), 2);
+        // O final block: 4 words, final (8b) over min(O-Reg rd 96,
+        // LB wr 16) = 16 b/cy -> 32/16 = 2 cycles.
+        assert_eq!(offload_cycles(&view), 2);
+    }
+
+    #[test]
+    fn deeper_chains_accumulate_fill_time() {
+        let chip = presets::case_study_chip(128);
+        let layer = Layer::matmul("mm", 64, 64, 64, Precision::int8_acc24());
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+        let stack = LoopStack::from_pairs(&[(Dim::C, 32), (Dim::B, 8), (Dim::K, 4)]);
+        let mapping =
+            Mapping::with_greedy_alloc(&chip, &layer, spatial, stack).unwrap();
+        let view = MappedLayer::new(&layer, &chip, &mapping).unwrap();
+        // Three levels for W/I: two links each, so preload covers both.
+        assert!(preload_cycles(&view) > 0);
+        assert!(offload_cycles(&view) > 0);
+    }
+}

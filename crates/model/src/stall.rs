@@ -1,0 +1,286 @@
+//! Steps 2 and 3: combine DTL attributes over shared ports and memory
+//! modules (Eq. (1)/(2)), then integrate across the hierarchy into the
+//! overall temporal stall `SS_overall`.
+
+use crate::dtl::Dtl;
+use std::collections::BTreeMap;
+use ulm_arch::{Architecture, MemoryId, PortId, StallIntegration};
+use ulm_periodic::{union_measure_with, UnionOptions};
+
+/// Step-2 result for one physical memory port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortGroup {
+    /// The memory owning the port.
+    pub mem: MemoryId,
+    /// The port index within the memory.
+    pub port: PortId,
+    /// Indices (into the DTL list) of the links sharing this port.
+    pub dtl_indices: Vec<usize>,
+    /// `ReqBW_comb`: summed required bandwidth on the port, bits/cycle.
+    pub req_bw_comb: f64,
+    /// `MUW_comb`: measure of the union of the links' updating windows.
+    pub muw_comb: f64,
+    /// Whether `MUW_comb` was computed exactly.
+    pub muw_exact: bool,
+    /// `SS_comb`: combined stall (+) or slack (−) of the port, cycles.
+    pub ss_comb: f64,
+    /// The minimum physical port bandwidth (bits/cycle) that would make
+    /// this port stall-free, assuming it is the binding link constraint:
+    /// `max(max_i ReqBW_u(i), Σ(data·Z) / MUW_comb)` — the paper's
+    /// Section V-A guidance of "matching ReqBW with RealBW".
+    pub min_stall_free_bw: f64,
+}
+
+/// Step-2 result for one memory module: the maximum over its ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemStall {
+    /// The memory.
+    pub mem: MemoryId,
+    /// `max` of the memory's port `SS_comb` values, cycles.
+    pub ss: f64,
+}
+
+/// Groups DTLs by the physical ports they occupy and applies Eq. (1)/(2).
+///
+/// Equation (1) — no link stalls by itself (`SS_u ≤ 0` for all): the port
+/// stalls by however much the summed busy time exceeds the combined
+/// window. Equation (2) — some links already stall: their stalls add up
+/// and can never be cancelled by other links' slack; the remaining links'
+/// busy time is checked against the window as in Eq. (1).
+pub fn combine_ports(dtls: &[Dtl], union_opts: UnionOptions) -> Vec<PortGroup> {
+    combine_ports_with(dtls, union_opts, true)
+}
+
+/// [`combine_ports`] with the Eq. (2) oversubscription refinement
+/// switchable (`false` reproduces the paper's literal Eq. (2); see the
+/// ablation bench).
+pub fn combine_ports_with(
+    dtls: &[Dtl],
+    union_opts: UnionOptions,
+    oversubscription_bound: bool,
+) -> Vec<PortGroup> {
+    let mut by_port: BTreeMap<(MemoryId, PortId), Vec<usize>> = BTreeMap::new();
+    for (i, d) in dtls.iter().enumerate() {
+        for ep in &d.endpoints {
+            by_port.entry((ep.mem, ep.port)).or_default().push(i);
+        }
+    }
+    by_port
+        .into_iter()
+        .map(|((mem, port), dtl_indices)| {
+            let group: Vec<&Dtl> = dtl_indices.iter().map(|&i| &dtls[i]).collect();
+            let windows: Vec<_> = group.iter().map(|d| d.window).collect();
+            let muw = union_measure_with(&windows, union_opts);
+            let muw_comb = muw.value();
+            let sum_pos: f64 = group.iter().map(|d| d.ss_u.max(0.0)).sum();
+            let all_busy: f64 = group.iter().map(|d| d.busy()).sum();
+            let ss_comb = if sum_pos == 0.0 {
+                // Eq. (1): Σ (MUW_u + SS_u) − MUW_comb = Σ busy − MUW_comb.
+                all_busy - muw_comb
+            } else {
+                // Eq. (2): positive stalls survive; the rest combine as (1).
+                let neg_busy: f64 = group
+                    .iter()
+                    .filter(|d| d.ss_u <= 0.0)
+                    .map(|d| d.busy())
+                    .sum();
+                let eq2 = sum_pos + (neg_busy - muw_comb).max(0.0);
+                if oversubscription_bound {
+                    // Refinement over the paper's literal Eq. (2): a link
+                    // that stalls by itself still *occupies* the shared
+                    // window, so the port can never beat the Eq. (1)
+                    // oversubscription bound. Take the tighter (larger).
+                    eq2.max(all_busy - muw_comb)
+                } else {
+                    eq2
+                }
+            };
+            let req_bw_comb = group.iter().map(|d| d.req_bw).sum();
+            // Stall-free condition: every link individually non-positive
+            // (bw >= its ReqBW_u) and the port not oversubscribed
+            // (total bits through the window).
+            let per_link: f64 = group.iter().map(|d| d.req_bw).fold(0.0, f64::max);
+            let total_bits: f64 = group
+                .iter()
+                .map(|d| d.data_bits as f64 * d.z_stall as f64)
+                .sum();
+            let min_stall_free_bw = if muw_comb > 0.0 {
+                per_link.max(total_bits / muw_comb)
+            } else {
+                per_link
+            };
+            PortGroup {
+                mem,
+                port,
+                dtl_indices,
+                req_bw_comb,
+                muw_comb,
+                muw_exact: muw.is_exact(),
+                ss_comb,
+                min_stall_free_bw,
+            }
+        })
+        .collect()
+}
+
+/// Per memory module, takes the maximum `SS_comb` over its ports
+/// ("Combine SS @same served mem", Fig. 2b).
+pub fn combine_memories(groups: &[PortGroup]) -> Vec<MemStall> {
+    let mut by_mem: BTreeMap<MemoryId, f64> = BTreeMap::new();
+    for g in groups {
+        by_mem
+            .entry(g.mem)
+            .and_modify(|s| *s = s.max(g.ss_comb))
+            .or_insert(g.ss_comb);
+    }
+    by_mem
+        .into_iter()
+        .map(|(mem, ss)| MemStall { mem, ss })
+        .collect()
+}
+
+/// Step 3: integrates per-memory stalls into the overall temporal stall
+/// (before the final clamp at zero).
+///
+/// Concurrent memories hide each other's stalls (`max`); sequential ones
+/// accumulate (`sum` of the positive parts — one memory's slack cannot
+/// run another memory's transfers).
+pub fn integrate(arch: &Architecture, mem_stalls: &[MemStall]) -> f64 {
+    match arch.stall_integration() {
+        StallIntegration::Concurrent => {
+            if mem_stalls.is_empty() {
+                0.0
+            } else {
+                mem_stalls
+                    .iter()
+                    .map(|m| m.ss)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            }
+        }
+        StallIntegration::Sequential => mem_stalls.iter().map(|m| m.ss.max(0.0)).sum(),
+        StallIntegration::Groups(groups) => {
+            let mut best: f64 = 0.0;
+            let mut grouped: Vec<MemoryId> = Vec::new();
+            for g in groups {
+                let sum: f64 = mem_stalls
+                    .iter()
+                    .filter(|m| g.contains(&m.mem))
+                    .map(|m| m.ss.max(0.0))
+                    .sum();
+                best = best.max(sum);
+                grouped.extend_from_slice(g);
+            }
+            for m in mem_stalls {
+                if !grouped.contains(&m.mem) {
+                    best = best.max(m.ss);
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtl::{DtlKind, Endpoint};
+    use ulm_arch::PortUse;
+    use ulm_periodic::PeriodicWindow;
+    use ulm_workload::Operand;
+
+    /// Hand-built DTL with the given stall characteristics on port
+    /// (mem 0, port `port`).
+    fn dtl(port: usize, period: u64, z: u64, x_req: f64, x_real: f64) -> Dtl {
+        Dtl {
+            operand: Operand::W,
+            kind: DtlKind::RefillDown,
+            level: 0,
+            data_bits: 1,
+            period,
+            z,
+            z_stall: z,
+            req_bw: 1.0 / x_req,
+            x_req,
+            real_bw: 1.0 / x_real,
+            x_real,
+            ss_u: (x_real - x_req) * z as f64,
+            window: if x_req >= period as f64 {
+                PeriodicWindow::full(period as f64, z).unwrap()
+            } else {
+                PeriodicWindow::trailing(period as f64, x_req, z).unwrap()
+            },
+            endpoints: vec![Endpoint {
+                mem: MemoryId(0),
+                port,
+                usage: PortUse::WriteIn,
+            }],
+        }
+    }
+
+    #[test]
+    fn single_slack_dtl_passes_through() {
+        let d = dtl(0, 4, 8, 4.0, 1.0); // busy 8 of 32 -> slack -24
+        let groups = combine_ports(&[d], UnionOptions::default());
+        assert_eq!(groups.len(), 1);
+        assert!((groups[0].ss_comb - (-24.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_two_slack_dtls_can_still_stall_the_port() {
+        // Two full-window links on one port, each using 3/4 of the time:
+        // individually slack, together 1.5x oversubscribed.
+        let a = dtl(0, 4, 8, 4.0, 3.0);
+        let b = dtl(0, 4, 8, 4.0, 3.0);
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        // Σ busy = 48, MUW_comb = 32 -> stall 16.
+        assert!((groups[0].ss_comb - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_positive_stall_not_cancelled_by_slack() {
+        // One link stalls by itself (+8); the other has huge slack.
+        let a = dtl(0, 4, 8, 1.0, 2.0); // trailing window, ss_u = +8
+        let b = dtl(0, 4, 8, 4.0, 0.5); // busy 4 only
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        // Eq (2): 8 + max(0, 4 − 32) = 8. Slack must NOT cancel it.
+        assert!((groups[0].ss_comb - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_adds_residual_oversubscription() {
+        let a = dtl(0, 4, 8, 1.0, 2.0); // ss_u = +8, busy 16
+        let b = dtl(0, 4, 8, 4.0, 5.0); // busy 40 > window
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        // Literal Eq. (2) gives 8 + max(0, 40 − 32) = 16, but the port
+        // must move 56 busy cycles through a 32-cycle window: the
+        // oversubscription bound (56 − 32 = 24) dominates.
+        assert!((groups[0].ss_comb - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separate_ports_do_not_interact() {
+        let a = dtl(0, 4, 8, 4.0, 3.0);
+        let b = dtl(1, 4, 8, 4.0, 3.0);
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.ss_comb < 0.0));
+    }
+
+    #[test]
+    fn memory_takes_max_over_ports() {
+        let a = dtl(0, 4, 8, 4.0, 3.0); // slack
+        let b = dtl(1, 4, 8, 1.0, 2.0); // stall +8
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        let mems = combine_memories(&groups);
+        assert_eq!(mems.len(), 1);
+        assert!((mems[0].ss - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn req_bw_comb_is_summed() {
+        let a = dtl(0, 4, 8, 2.0, 1.0);
+        let b = dtl(0, 4, 8, 4.0, 1.0);
+        let groups = combine_ports(&[a, b], UnionOptions::default());
+        assert!((groups[0].req_bw_comb - (0.5 + 0.25)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,343 @@
+//! Cross-layer (whole-network) latency and energy aggregation.
+//!
+//! The paper closes with: "This intra-layer latency model builds a solid
+//! foundation for future work of modeling and optimizing latency in
+//! cross-layer multi-core DNN mapping scenarios." This crate takes the
+//! first step of that future work: it schedules a sequence of layers on
+//! one accelerator, optimizes each layer's mapping independently with the
+//! intra-layer model, and aggregates network-level latency under two
+//! inter-layer policies:
+//!
+//! * [`InterLayerOverlap::None`] — strictly sequential execution (the sum
+//!   of per-layer totals);
+//! * [`InterLayerOverlap::WeightPrefetch`] — the next layer's weight
+//!   pre-load is hidden under the current layer's computation (classic
+//!   double-buffered weight staging at the GB boundary), saving
+//!   `min(next.preload, current.compute)` cycles per boundary.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ulm_arch::presets;
+//! use ulm_mapping::SpatialUnroll;
+//! use ulm_network::{InterLayerOverlap, NetworkEvaluator};
+//! use ulm_workload::networks;
+//!
+//! let chip = presets::validation_chip();
+//! let eval = NetworkEvaluator::new(&chip.arch, SpatialUnroll::new(chip.spatial.clone()))
+//!     .with_overlap(InterLayerOverlap::WeightPrefetch);
+//! let report = eval.evaluate(&networks::handtracking_validation_layers())?;
+//! println!("{report}");
+//! # Ok::<(), ulm_network::NetworkError>(())
+//! ```
+
+pub mod multicore;
+
+pub use multicore::{
+    scaling_sweep, BackingStore, MultiCoreEvaluator, MultiCoreLayerReport, MultiCoreReport,
+    Partition,
+};
+
+use std::error::Error;
+use std::fmt;
+use ulm_arch::Architecture;
+use ulm_energy::{EnergyModel, EnergyReport};
+use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
+use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
+use ulm_model::{LatencyModel, LatencyReport};
+use ulm_workload::Layer;
+
+/// How consecutive layers may overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterLayerOverlap {
+    /// Strictly sequential: each layer starts after the previous finishes.
+    #[default]
+    None,
+    /// The next layer's weight pre-load is prefetched during the current
+    /// layer's computation phase.
+    WeightPrefetch,
+}
+
+/// Per-layer outcome inside a network schedule.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// The layer's name.
+    pub name: String,
+    /// The optimized mapping.
+    pub mapping: Mapping,
+    /// The intra-layer latency report.
+    pub latency: LatencyReport,
+    /// The intra-layer energy report.
+    pub energy: EnergyReport,
+    /// Cycles of this layer's pre-load hidden under the previous layer.
+    pub hidden_preload: u64,
+}
+
+/// The whole-network result.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerResult>,
+    /// The overlap policy used.
+    pub overlap: InterLayerOverlap,
+}
+
+impl NetworkReport {
+    /// End-to-end cycles under the chosen overlap policy.
+    pub fn total_cycles(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.latency.cc_total - l.hidden_preload as f64)
+            .sum()
+    }
+
+    /// End-to-end cycles with no overlap (the strict sequential bound).
+    pub fn sequential_cycles(&self) -> f64 {
+        self.layers.iter().map(|l| l.latency.cc_total).sum()
+    }
+
+    /// Total energy in fJ.
+    pub fn total_fj(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy.total_fj).sum()
+    }
+
+    /// Network-level MAC-array utilization: summed ideal cycles over the
+    /// end-to-end cycles.
+    pub fn utilization(&self) -> f64 {
+        let ideal: f64 = self.layers.iter().map(|l| l.latency.cc_ideal).sum();
+        ideal / self.total_cycles()
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "network: {} layers, {:.0} cycles ({}), U {:.1}%, {:.1} uJ",
+            self.layers.len(),
+            self.total_cycles(),
+            match self.overlap {
+                InterLayerOverlap::None => "sequential",
+                InterLayerOverlap::WeightPrefetch => "weight-prefetch overlap",
+            },
+            self.utilization() * 100.0,
+            self.total_fj() / 1.0e9
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:<24} {:>12.0} cc  U {:>5.1}%  hidden preload {:>6}",
+                l.name,
+                l.latency.cc_total,
+                l.latency.utilization * 100.0,
+                l.hidden_preload
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from network evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A layer could not be mapped at all.
+    LayerUnmappable {
+        /// The layer's name.
+        layer: String,
+        /// The mapper's error.
+        source: MapperError,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::LayerUnmappable { layer, source } => {
+                write!(f, "layer `{layer}` cannot be mapped: {source}")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// Evaluates layer sequences on one accelerator.
+pub struct NetworkEvaluator<'a> {
+    arch: &'a Architecture,
+    spatial: SpatialUnroll,
+    mapper_opts: MapperOptions,
+    overlap: InterLayerOverlap,
+    objective: Objective,
+}
+
+impl<'a> NetworkEvaluator<'a> {
+    /// An evaluator with default mapper options, sequential execution and
+    /// the latency objective.
+    pub fn new(arch: &'a Architecture, spatial: SpatialUnroll) -> Self {
+        Self {
+            arch,
+            spatial,
+            mapper_opts: MapperOptions {
+                max_exhaustive: 2_000,
+                samples: 100,
+                ..MapperOptions::default()
+            },
+            overlap: InterLayerOverlap::None,
+            objective: Objective::Latency,
+        }
+    }
+
+    /// Sets the inter-layer overlap policy.
+    pub fn with_overlap(mut self, overlap: InterLayerOverlap) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the per-layer mapping-search options.
+    pub fn with_mapper_options(mut self, opts: MapperOptions) -> Self {
+        self.mapper_opts = opts;
+        self
+    }
+
+    /// Sets the per-layer mapping objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Optimizes and schedules every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::LayerUnmappable`] naming the first layer
+    /// with no legal mapping.
+    pub fn evaluate(&self, layers: &[Layer]) -> Result<NetworkReport, NetworkError> {
+        let energy_model = EnergyModel::new();
+        let mut results: Vec<LayerResult> = Vec::with_capacity(layers.len());
+        for layer in layers {
+            let mapper = Mapper::new(self.arch, layer, self.spatial.clone())
+                .with_options(self.mapper_opts);
+            let best = mapper
+                .search(self.objective)
+                .map_err(|source| NetworkError::LayerUnmappable {
+                    layer: layer.name().to_string(),
+                    source,
+                })?
+                .best;
+            let view = MappedLayer::new(layer, self.arch, &best.mapping)
+                .expect("search returns validated mappings");
+            let latency = LatencyModel::new().evaluate(&view);
+            let energy = energy_model.evaluate(&view);
+            // Weight prefetch: this layer's preload hides under the
+            // previous layer's computation phase.
+            let hidden_preload = match (self.overlap, results.last()) {
+                (InterLayerOverlap::WeightPrefetch, Some(prev)) => {
+                    (latency.preload as f64).min(prev.latency.cc_compute()) as u64
+                }
+                _ => 0,
+            };
+            results.push(LayerResult {
+                name: layer.name().to_string(),
+                mapping: best.mapping,
+                latency,
+                energy,
+                hidden_preload,
+            });
+        }
+        Ok(NetworkReport {
+            layers: results,
+            overlap: self.overlap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_workload::{Layer, Precision};
+
+    fn small_net() -> Vec<Layer> {
+        vec![
+            Layer::matmul("l0", 64, 64, 128, Precision::int8_acc24()),
+            Layer::matmul("l1", 64, 128, 64, Precision::int8_acc24()),
+            Layer::matmul("l2", 64, 32, 128, Precision::int8_acc24()),
+        ]
+    }
+
+    fn quick(arch: &Architecture) -> NetworkEvaluator<'_> {
+        NetworkEvaluator::new(
+            arch,
+            SpatialUnroll::new(vec![
+                (ulm_workload::Dim::K, 16),
+                (ulm_workload::Dim::B, 8),
+                (ulm_workload::Dim::C, 2),
+            ]),
+        )
+        .with_mapper_options(MapperOptions {
+            max_exhaustive: 300,
+            samples: 30,
+            ..MapperOptions::default()
+        })
+    }
+
+    #[test]
+    fn sequential_total_is_sum_of_layers() {
+        let arch = presets::case_study_chip(128);
+        let r = quick(&arch).evaluate(&small_net()).unwrap();
+        assert_eq!(r.layers.len(), 3);
+        let sum: f64 = r.layers.iter().map(|l| l.latency.cc_total).sum();
+        assert!((r.total_cycles() - sum).abs() < 1e-9);
+        assert!((r.sequential_cycles() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_prefetch_never_slower() {
+        let arch = presets::case_study_chip(128);
+        let seq = quick(&arch).evaluate(&small_net()).unwrap();
+        let ov = quick(&arch)
+            .with_overlap(InterLayerOverlap::WeightPrefetch)
+            .evaluate(&small_net())
+            .unwrap();
+        assert!(ov.total_cycles() <= seq.total_cycles());
+        // The first layer can never hide its preload.
+        assert_eq!(ov.layers[0].hidden_preload, 0);
+        // The strict bound is unchanged.
+        assert!((ov.sequential_cycles() - seq.sequential_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_adds_across_layers() {
+        let arch = presets::case_study_chip(128);
+        let r = quick(&arch).evaluate(&small_net()).unwrap();
+        let sum: f64 = r.layers.iter().map(|l| l.energy.total_fj).sum();
+        assert!((r.total_fj() - sum).abs() < 1e-6);
+        assert!(r.total_fj() > 0.0);
+    }
+
+    #[test]
+    fn utilization_is_ideal_over_total() {
+        let arch = presets::case_study_chip(128);
+        let r = quick(&arch).evaluate(&small_net()).unwrap();
+        assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn unmappable_layer_is_reported_by_name() {
+        let arch = presets::case_study_chip(128);
+        // A layer whose spatial block cannot enter the registers.
+        let fat = vec![Layer::matmul("fat", 64, 64, 64, Precision::uniform(512))];
+        let err = quick(&arch).evaluate(&fat).unwrap_err();
+        assert!(err.to_string().contains("fat"), "{err}");
+    }
+
+    #[test]
+    fn display_lists_every_layer() {
+        let arch = presets::case_study_chip(128);
+        let r = quick(&arch).evaluate(&small_net()).unwrap();
+        let s = r.to_string();
+        for l in &r.layers {
+            assert!(s.contains(&l.name), "{s}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the union/intersection sweeps agree with a brute-force
+//! integer-grid oracle on randomized window sets.
+
+use proptest::prelude::*;
+use ulm_periodic::{intersection_measure, union_measure, PeriodicWindow, UnionOptions};
+
+/// Strategy for a small integer-parameter window.
+fn arb_window() -> impl Strategy<Value = PeriodicWindow> {
+    (2u64..24, 1u64..6).prop_flat_map(|(period, count)| {
+        (0..period, Just(period), Just(count)).prop_flat_map(move |(start, period, count)| {
+            (0..=(period - start)).prop_map(move |len| {
+                PeriodicWindow::new(period as f64, start as f64, len as f64, count)
+                    .expect("constructed within bounds")
+            })
+        })
+    })
+}
+
+/// Strategy for chained-period windows (period = base * 2^i), the shape the
+/// latency model actually produces, with equal spans.
+fn arb_chain() -> impl Strategy<Value = Vec<PeriodicWindow>> {
+    (1u64..6, 1u64..4).prop_flat_map(|(base, levels)| {
+        let span = base * (1 << levels); // hyperperiod = largest period
+        proptest::collection::vec((0u64..3, 0u64..100), 1..=levels as usize).prop_map(
+            move |params| {
+                params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(_, seed))| {
+                        let period = base * (1 << (i + 1));
+                        let count = span / period;
+                        let start = seed % period;
+                        let len = (seed / 7) % (period - start + 1);
+                        PeriodicWindow::new(period as f64, start as f64, len as f64, count)
+                            .expect("constructed within bounds")
+                    })
+                    .collect()
+            },
+        )
+    })
+}
+
+fn brute_union(windows: &[PeriodicWindow]) -> f64 {
+    let span = windows.iter().map(|w| w.span()).fold(0.0, f64::max) as usize;
+    let mut grid = vec![false; span];
+    for w in windows {
+        for k in 0..w.count() {
+            let (lo, hi) = w.interval(k);
+            for cell in grid.iter_mut().take(hi.round() as usize).skip(lo.round() as usize) {
+                *cell = true;
+            }
+        }
+    }
+    grid.iter().filter(|&&b| b).count() as f64
+}
+
+fn brute_intersection(a: &PeriodicWindow, b: &PeriodicWindow) -> f64 {
+    let span = a.span().min(b.span()) as usize;
+    let mark = |w: &PeriodicWindow| {
+        let mut grid = vec![false; span];
+        for k in 0..w.count() {
+            let (lo, hi) = w.interval(k);
+            for cell in grid
+                .iter_mut()
+                .take((hi.round() as usize).min(span))
+                .skip((lo.round() as usize).min(span))
+            {
+                *cell = true;
+            }
+        }
+        grid
+    };
+    let (ga, gb) = (mark(a), mark(b));
+    ga.iter().zip(gb.iter()).filter(|(x, y)| **x && **y).count() as f64
+}
+
+proptest! {
+    #[test]
+    fn union_matches_brute_force(windows in proptest::collection::vec(arb_window(), 1..6)) {
+        let m = union_measure(&windows);
+        prop_assert!(m.is_exact());
+        let expected = brute_union(&windows);
+        prop_assert!((m.value() - expected).abs() < 1e-6,
+            "sweep {} != brute {expected}", m.value());
+    }
+
+    #[test]
+    fn chained_union_matches_brute_force(windows in arb_chain()) {
+        let m = union_measure(&windows);
+        prop_assert!(m.is_exact());
+        let expected = brute_union(&windows);
+        prop_assert!((m.value() - expected).abs() < 1e-6,
+            "sweep {} != brute {expected}", m.value());
+    }
+
+    #[test]
+    fn union_bounds_hold(windows in proptest::collection::vec(arb_window(), 1..6)) {
+        let m = union_measure(&windows);
+        let max_single = windows.iter().map(|w| w.measure()).fold(0.0, f64::max);
+        let sum: f64 = windows.iter().map(|w| w.measure()).sum();
+        let span = windows.iter().map(|w| w.span()).fold(0.0, f64::max);
+        prop_assert!(m.value() + 1e-9 >= max_single);
+        prop_assert!(m.value() <= sum.min(span) + 1e-9);
+    }
+
+    #[test]
+    fn approximation_respects_bounds(windows in proptest::collection::vec(arb_window(), 2..6)) {
+        let opts = UnionOptions { max_intervals: 0 };
+        let m = ulm_periodic::union_measure_with(&windows, opts);
+        let max_single = windows.iter().map(|w| w.measure()).fold(0.0, f64::max);
+        let sum: f64 = windows.iter().map(|w| w.measure()).sum();
+        let span = windows.iter().map(|w| w.span()).fold(0.0, f64::max);
+        prop_assert!(m.value() + 1e-9 >= max_single);
+        prop_assert!(m.value() <= sum.min(span) + 1e-9);
+    }
+
+    #[test]
+    fn intersection_matches_brute_force(a in arb_window(), b in arb_window()) {
+        let m = intersection_measure(&a, &b, UnionOptions::default());
+        prop_assert!(m.is_exact());
+        let expected = brute_intersection(&a, &b);
+        prop_assert!((m.value() - expected).abs() < 1e-6,
+            "sweep {} != brute {expected}", m.value());
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in arb_window(), b in arb_window()) {
+        let ab = intersection_measure(&a, &b, UnionOptions::default());
+        let ba = intersection_measure(&b, &a, UnionOptions::default());
+        prop_assert!((ab.value() - ba.value()).abs() < 1e-9);
+    }
+}

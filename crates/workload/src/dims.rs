@@ -1,0 +1,242 @@
+//! The seven nested-loop dimensions of a DNN layer.
+
+use std::fmt;
+
+/// One of the seven nested for-loop dimensions used to describe a dense DNN
+/// layer in the ZigZag loop notation adopted by the paper:
+///
+/// | Dim  | Meaning                      |
+/// |------|------------------------------|
+/// | `B`  | batch                        |
+/// | `K`  | output channel               |
+/// | `C`  | input channel                |
+/// | `OY` | output feature-map height    |
+/// | `OX` | output feature-map width     |
+/// | `FY` | filter height                |
+/// | `FX` | filter width                 |
+///
+/// # Example
+///
+/// ```
+/// use ulm_workload::Dim;
+/// assert_eq!(Dim::OX.to_string(), "OX");
+/// assert_eq!(Dim::parse("fy"), Some(Dim::FY));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Dim {
+    /// Batch.
+    B,
+    /// Output channel.
+    K,
+    /// Input channel.
+    C,
+    /// Output y (height).
+    OY,
+    /// Output x (width).
+    OX,
+    /// Filter y (height).
+    FY,
+    /// Filter x (width).
+    FX,
+}
+
+/// All dimensions in canonical `B, K, C, OY, OX, FY, FX` order.
+pub const ALL_DIMS: [Dim; 7] = [
+    Dim::B,
+    Dim::K,
+    Dim::C,
+    Dim::OY,
+    Dim::OX,
+    Dim::FY,
+    Dim::FX,
+];
+
+impl Dim {
+    /// Canonical index of this dimension within [`ALL_DIMS`].
+    pub fn index(self) -> usize {
+        match self {
+            Dim::B => 0,
+            Dim::K => 1,
+            Dim::C => 2,
+            Dim::OY => 3,
+            Dim::OX => 4,
+            Dim::FY => 5,
+            Dim::FX => 6,
+        }
+    }
+
+    /// Iterate over all dimensions in canonical order.
+    pub fn all() -> impl Iterator<Item = Dim> {
+        ALL_DIMS.iter().copied()
+    }
+
+    /// Parses a case-insensitive dimension name (`"b"`, `"OX"`, …).
+    ///
+    /// Returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Dim> {
+        match s.to_ascii_uppercase().as_str() {
+            "B" => Some(Dim::B),
+            "K" => Some(Dim::K),
+            "C" => Some(Dim::C),
+            "OY" => Some(Dim::OY),
+            "OX" => Some(Dim::OX),
+            "FY" => Some(Dim::FY),
+            "FX" => Some(Dim::FX),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::B => "B",
+            Dim::K => "K",
+            Dim::C => "C",
+            Dim::OY => "OY",
+            Dim::OX => "OX",
+            Dim::FY => "FY",
+            Dim::FX => "FX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A size per loop dimension — the layer's loop bounds, or the extents
+/// covered by a subset of mapped loops.
+///
+/// # Example
+///
+/// ```
+/// use ulm_workload::{Dim, DimSizes};
+///
+/// let mut ext = DimSizes::ones();
+/// ext[Dim::K] = 16;
+/// ext[Dim::C] = 2;
+/// assert_eq!(ext.product(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DimSizes {
+    sizes: [u64; 7],
+}
+
+impl DimSizes {
+    /// All dimensions set to 1 (the neutral element for loop products).
+    pub fn ones() -> Self {
+        Self { sizes: [1; 7] }
+    }
+
+    /// Builds sizes in canonical order `B, K, C, OY, OX, FY, FX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero: a zero loop bound makes the loop nest
+    /// empty and every derived quantity meaningless.
+    pub fn new(b: u64, k: u64, c: u64, oy: u64, ox: u64, fy: u64, fx: u64) -> Self {
+        let sizes = [b, k, c, oy, ox, fy, fx];
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "loop dimension sizes must be positive, got {sizes:?}"
+        );
+        Self { sizes }
+    }
+
+    /// Product of all seven sizes (the total iteration count of the nest).
+    pub fn product(&self) -> u64 {
+        self.sizes.iter().product()
+    }
+
+    /// Multiplies the entry for `dim` by `factor`.
+    pub fn multiply(&mut self, dim: Dim, factor: u64) {
+        self.sizes[dim.index()] *= factor;
+    }
+
+    /// Iterates `(dim, size)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, u64)> + '_ {
+        ALL_DIMS.iter().copied().zip(self.sizes.iter().copied())
+    }
+}
+
+impl Default for DimSizes {
+    fn default() -> Self {
+        Self::ones()
+    }
+}
+
+impl std::ops::Index<Dim> for DimSizes {
+    type Output = u64;
+    fn index(&self, d: Dim) -> &u64 {
+        &self.sizes[d.index()]
+    }
+}
+
+impl std::ops::IndexMut<Dim> for DimSizes {
+    fn index_mut(&mut self, d: Dim) -> &mut u64 {
+        &mut self.sizes[d.index()]
+    }
+}
+
+impl fmt::Display for DimSizes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (d, s) in self.iter() {
+            if s != 1 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{d}={s}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(unit)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_parse_round_trips() {
+        for d in Dim::all() {
+            assert_eq!(Dim::parse(&d.to_string()), Some(d));
+            assert_eq!(Dim::parse(&d.to_string().to_lowercase()), Some(d));
+        }
+        assert_eq!(Dim::parse("Q"), None);
+        assert_eq!(Dim::parse(""), None);
+    }
+
+    #[test]
+    fn dim_indices_match_all_dims() {
+        for (i, d) in ALL_DIMS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn sizes_product_and_mutation() {
+        let mut s = DimSizes::new(2, 3, 5, 1, 1, 1, 1);
+        assert_eq!(s.product(), 30);
+        s.multiply(Dim::OX, 4);
+        assert_eq!(s[Dim::OX], 4);
+        assert_eq!(s.product(), 120);
+        s[Dim::B] = 1;
+        assert_eq!(s.product(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_size_rejected() {
+        let _ = DimSizes::new(0, 1, 1, 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn display_skips_unit_dims() {
+        let s = DimSizes::new(1, 16, 2, 1, 1, 1, 1);
+        assert_eq!(s.to_string(), "K=16 C=2");
+        assert_eq!(DimSizes::ones().to_string(), "(unit)");
+    }
+}

@@ -1,0 +1,156 @@
+//! Im2Col lowering: convolution → matrix-matrix multiplication.
+//!
+//! The paper's validation chip performs Im2Col on a RISC-V core before the
+//! accelerator processes a layer ("unrolling convolution into
+//! matrix-matrix-multiplication", Section IV), and "Im2Col layer transfer
+//! is applied to all the case studies" (Section V). The lowering maps a
+//! convolution with bounds `(B, K, C, OY, OX, FY, FX)` onto a
+//! [`LayerType::Matmul`] with
+//!
+//! - `B' = B * OY * OX` (every output pixel becomes a GEMM row),
+//! - `K' = K`,
+//! - `C' = C * FY * FX` (the unrolled receptive field),
+//!
+//! which preserves the MAC count and the weight/output tensor sizes while
+//! *duplicating* overlapping input pixels (each input word appears once per
+//! filter window covering it).
+
+use crate::{Dim, Layer, LayerType};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`im2col`] for layers it cannot lower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Im2ColError {
+    /// Depthwise convolutions pair each output channel with one input
+    /// channel; a single dense GEMM cannot express that coupling.
+    DepthwiseUnsupported {
+        /// Name of the offending layer.
+        layer: String,
+    },
+}
+
+impl fmt::Display for Im2ColError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Im2ColError::DepthwiseUnsupported { layer } => {
+                write!(f, "cannot lower depthwise layer `{layer}` to a single matmul")
+            }
+        }
+    }
+}
+
+impl Error for Im2ColError {}
+
+/// Lowers `layer` to an equivalent [`LayerType::Matmul`] layer via Im2Col.
+///
+/// Already-matmul-shaped layers ([`LayerType::Dense`], [`LayerType::Matmul`])
+/// are relabelled as `Matmul` with unchanged bounds. The lowered layer's
+/// name gains an `.im2col` suffix when the bounds actually change.
+///
+/// # Errors
+///
+/// Returns [`Im2ColError::DepthwiseUnsupported`] for depthwise layers.
+///
+/// # Example
+///
+/// ```
+/// use ulm_workload::{im2col, Layer, LayerShape, Precision, Operand, Dim};
+///
+/// let conv = Layer::conv2d(
+///     "c",
+///     LayerShape::conv(1, 16, 8, 7, 7, 3, 3),
+///     Precision::int8_acc24(),
+/// );
+/// let mm = im2col(&conv)?;
+/// assert_eq!(mm.shape().dim(Dim::B), 7 * 7);
+/// assert_eq!(mm.shape().dim(Dim::C), 8 * 3 * 3);
+/// assert_eq!(mm.total_macs(), conv.total_macs());
+/// assert_eq!(mm.tensor_words(Operand::O), conv.tensor_words(Operand::O));
+/// # Ok::<(), ulm_workload::im2col::Im2ColError>(())
+/// ```
+pub fn im2col(layer: &Layer) -> Result<Layer, Im2ColError> {
+    let d = layer.shape().dims();
+    match layer.layer_type() {
+        LayerType::DepthwiseConv2d => Err(Im2ColError::DepthwiseUnsupported {
+            layer: layer.name().to_string(),
+        }),
+        LayerType::Dense | LayerType::Matmul => Ok(Layer::matmul(
+            layer.name().to_string(),
+            d[Dim::B],
+            d[Dim::K],
+            d[Dim::C],
+            *layer.precision(),
+        )),
+        LayerType::Conv2d | LayerType::PointwiseConv2d => {
+            let b = d[Dim::B] * d[Dim::OY] * d[Dim::OX];
+            let k = d[Dim::K];
+            let c = d[Dim::C] * d[Dim::FY] * d[Dim::FX];
+            let changed = b != d[Dim::B] || c != d[Dim::C];
+            let name = if changed {
+                format!("{}.im2col", layer.name())
+            } else {
+                layer.name().to_string()
+            };
+            Ok(Layer::matmul(name, b, k, c, *layer.precision()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerShape, Operand, Precision};
+
+    #[test]
+    fn conv_lowering_preserves_macs_w_and_o() {
+        let conv = Layer::conv2d(
+            "c",
+            LayerShape::conv(2, 16, 8, 5, 5, 3, 3),
+            Precision::int8_acc24(),
+        );
+        let mm = im2col(&conv).unwrap();
+        assert_eq!(mm.layer_type(), LayerType::Matmul);
+        assert_eq!(mm.total_macs(), conv.total_macs());
+        assert_eq!(mm.tensor_words(Operand::W), conv.tensor_words(Operand::W));
+        assert_eq!(mm.tensor_words(Operand::O), conv.tensor_words(Operand::O));
+        // Inputs are duplicated by the overlapping windows.
+        assert!(mm.tensor_words(Operand::I) > conv.tensor_words(Operand::I));
+        assert_eq!(mm.tensor_words(Operand::I), 2 * 5 * 5 * 8 * 3 * 3);
+        assert!(mm.name().ends_with(".im2col"));
+    }
+
+    #[test]
+    fn pointwise_lowering_duplicates_nothing() {
+        let pw = Layer::new(
+            "pw",
+            LayerType::PointwiseConv2d,
+            LayerShape::conv(1, 32, 16, 7, 7, 1, 1),
+            Precision::int8_acc24(),
+        );
+        let mm = im2col(&pw).unwrap();
+        assert_eq!(mm.tensor_words(Operand::I), pw.tensor_words(Operand::I));
+        assert_eq!(mm.shape().dim(Dim::B), 49);
+        assert_eq!(mm.shape().dim(Dim::C), 16);
+    }
+
+    #[test]
+    fn matmul_passthrough_keeps_name() {
+        let m = Layer::matmul("mm", 4, 8, 16, Precision::uniform(8));
+        let out = im2col(&m).unwrap();
+        assert_eq!(out.name(), "mm");
+        assert_eq!(out.shape().dims(), m.shape().dims());
+    }
+
+    #[test]
+    fn depthwise_is_rejected() {
+        let dw = Layer::new(
+            "dw",
+            LayerType::DepthwiseConv2d,
+            LayerShape::conv(1, 32, 1, 14, 14, 3, 3),
+            Precision::int8_acc24(),
+        );
+        let err = im2col(&dw).unwrap_err();
+        assert!(err.to_string().contains("dw"));
+    }
+}

@@ -1,0 +1,347 @@
+//! DNN layer description: type, loop bounds, geometry and precision.
+
+use crate::relevance::{data_words, OperandRelevance, Relevance};
+use crate::{Dim, DimSizes, Operand, PerOperand, Precision};
+use std::fmt;
+
+/// The dense layer types the paper's intra-layer model covers
+/// (Section II-A: "Conv2D, Dense, Depthwise and Pointwise").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LayerType {
+    /// Standard 2-D convolution.
+    Conv2d,
+    /// 1x1 convolution (pointwise); `FY = FX = 1`.
+    PointwiseConv2d,
+    /// Depthwise 2-D convolution; `C = 1`, the `K` loop walks channels.
+    DepthwiseConv2d,
+    /// Fully-connected layer; all spatial dims are 1.
+    Dense,
+    /// General matrix multiplication `B x C . C x K` — the shape every
+    /// layer takes after Im2Col lowering.
+    Matmul,
+}
+
+impl fmt::Display for LayerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerType::Conv2d => "Conv2D",
+            LayerType::PointwiseConv2d => "Pointwise",
+            LayerType::DepthwiseConv2d => "Depthwise",
+            LayerType::Dense => "Dense",
+            LayerType::Matmul => "Matmul",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Loop bounds plus convolution geometry (stride, dilation).
+///
+/// # Example
+///
+/// ```
+/// use ulm_workload::LayerShape;
+///
+/// let s = LayerShape::conv(1, 64, 32, 56, 56, 3, 3).with_stride(2, 2);
+/// assert_eq!(s.input_height(), 113); // (56-1)*2 + (3-1) + 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LayerShape {
+    dims: DimSizes,
+    stride: (u64, u64),
+    dilation: (u64, u64),
+}
+
+impl LayerShape {
+    /// Convolution-style shape `B, K, C, OY, OX, FY, FX`, stride and
+    /// dilation 1.
+    pub fn conv(b: u64, k: u64, c: u64, oy: u64, ox: u64, fy: u64, fx: u64) -> Self {
+        Self {
+            dims: DimSizes::new(b, k, c, oy, ox, fy, fx),
+            stride: (1, 1),
+            dilation: (1, 1),
+        }
+    }
+
+    /// Matmul shape: `B x C` inputs against `C x K` weights.
+    pub fn matmul(b: u64, k: u64, c: u64) -> Self {
+        Self::conv(b, k, c, 1, 1, 1, 1)
+    }
+
+    /// Sets the x/y stride.
+    pub fn with_stride(mut self, sx: u64, sy: u64) -> Self {
+        assert!(sx > 0 && sy > 0, "strides must be positive");
+        self.stride = (sx, sy);
+        self
+    }
+
+    /// Sets the x/y dilation.
+    pub fn with_dilation(mut self, dx: u64, dy: u64) -> Self {
+        assert!(dx > 0 && dy > 0, "dilations must be positive");
+        self.dilation = (dx, dy);
+        self
+    }
+
+    /// The seven loop bounds.
+    pub fn dims(&self) -> &DimSizes {
+        &self.dims
+    }
+
+    /// Loop bound of `dim`.
+    pub fn dim(&self, dim: Dim) -> u64 {
+        self.dims[dim]
+    }
+
+    /// `(sx, sy)` stride.
+    pub fn stride(&self) -> (u64, u64) {
+        self.stride
+    }
+
+    /// `(dx, dy)` dilation.
+    pub fn dilation(&self) -> (u64, u64) {
+        self.dilation
+    }
+
+    /// Input feature-map height implied by the output/filter geometry.
+    pub fn input_height(&self) -> u64 {
+        crate::relevance::input_axis_extent(
+            self.dims[Dim::OY],
+            self.dims[Dim::FY],
+            self.stride.1,
+            self.dilation.1,
+        )
+    }
+
+    /// Input feature-map width implied by the output/filter geometry.
+    pub fn input_width(&self) -> u64 {
+        crate::relevance::input_axis_extent(
+            self.dims[Dim::OX],
+            self.dims[Dim::FX],
+            self.stride.0,
+            self.dilation.0,
+        )
+    }
+}
+
+/// A DNN layer: the *Algorithm* corner of the AHM design space.
+///
+/// # Example
+///
+/// ```
+/// use ulm_workload::{Layer, LayerShape, Precision, Operand};
+///
+/// let fc = Layer::dense("fc", 1, 1000, 1024, Precision::int8_acc24());
+/// assert_eq!(fc.total_macs(), 1000 * 1024);
+/// assert_eq!(fc.tensor_words(Operand::W), 1000 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Layer {
+    name: String,
+    ltype: LayerType,
+    shape: LayerShape,
+    precision: Precision,
+}
+
+impl Layer {
+    /// Builds a layer from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape violates the layer type's structural constraints
+    /// (e.g. a depthwise layer with `C != 1`, a pointwise layer with a
+    /// non-1x1 filter, or a dense/matmul layer with spatial dims).
+    pub fn new(
+        name: impl Into<String>,
+        ltype: LayerType,
+        shape: LayerShape,
+        precision: Precision,
+    ) -> Self {
+        let d = shape.dims();
+        match ltype {
+            LayerType::Conv2d => {}
+            LayerType::PointwiseConv2d => {
+                assert!(
+                    d[Dim::FY] == 1 && d[Dim::FX] == 1,
+                    "pointwise layers must have a 1x1 filter"
+                );
+            }
+            LayerType::DepthwiseConv2d => {
+                assert!(d[Dim::C] == 1, "depthwise layers must have C = 1");
+            }
+            LayerType::Dense | LayerType::Matmul => {
+                assert!(
+                    d[Dim::OY] == 1 && d[Dim::OX] == 1 && d[Dim::FY] == 1 && d[Dim::FX] == 1,
+                    "dense/matmul layers must have unit spatial dims"
+                );
+            }
+        }
+        Self {
+            name: name.into(),
+            ltype,
+            shape,
+            precision,
+        }
+    }
+
+    /// Convenience constructor for a [`LayerType::Conv2d`] layer.
+    pub fn conv2d(name: impl Into<String>, shape: LayerShape, precision: Precision) -> Self {
+        Self::new(name, LayerType::Conv2d, shape, precision)
+    }
+
+    /// Convenience constructor for a [`LayerType::Matmul`] layer.
+    pub fn matmul(name: impl Into<String>, b: u64, k: u64, c: u64, precision: Precision) -> Self {
+        Self::new(name, LayerType::Matmul, LayerShape::matmul(b, k, c), precision)
+    }
+
+    /// Convenience constructor for a [`LayerType::Dense`] layer
+    /// (`b` batch, `k` outputs, `c` inputs).
+    pub fn dense(name: impl Into<String>, b: u64, k: u64, c: u64, precision: Precision) -> Self {
+        Self::new(name, LayerType::Dense, LayerShape::matmul(b, k, c), precision)
+    }
+
+    /// Layer name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer type.
+    pub fn layer_type(&self) -> LayerType {
+        self.ltype
+    }
+
+    /// Loop bounds and geometry.
+    pub fn shape(&self) -> &LayerShape {
+        &self.shape
+    }
+
+    /// Operand precisions.
+    pub fn precision(&self) -> &Precision {
+        &self.precision
+    }
+
+    /// Total multiply-accumulate operations in the layer: the product of
+    /// all seven loop bounds.
+    pub fn total_macs(&self) -> u64 {
+        self.shape.dims().product()
+    }
+
+    /// Relevance of `dim` for operand `op` under this layer's type.
+    pub fn relevance(&self, op: Operand, dim: Dim) -> Relevance {
+        OperandRelevance::of(self.ltype, op).get(dim)
+    }
+
+    /// Full relevance table for operand `op`.
+    pub fn operand_relevance(&self, op: Operand) -> OperandRelevance {
+        OperandRelevance::of(self.ltype, op)
+    }
+
+    /// Number of data words of operand `op` covered by the given loop
+    /// `extents` (the `Mem_DATA` primitive).
+    pub fn data_words(&self, op: Operand, extents: &DimSizes) -> u64 {
+        data_words(
+            self.ltype,
+            op,
+            extents,
+            self.shape.stride(),
+            self.shape.dilation(),
+        )
+    }
+
+    /// Total words of operand `op` in the layer (extents = full bounds).
+    pub fn tensor_words(&self, op: Operand) -> u64 {
+        self.data_words(op, self.shape.dims())
+    }
+
+    /// Total bits of operand `op` in the layer. Outputs are counted at
+    /// partial-sum precision (their on-chip storage width).
+    pub fn tensor_bits(&self, op: Operand) -> u64 {
+        self.tensor_words(op) * self.precision.bits(op)
+    }
+
+    /// Per-operand tensor sizes in words.
+    pub fn tensor_sizes(&self) -> PerOperand<u64> {
+        PerOperand::from_fn(|op| self.tensor_words(op))
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}: {}]", self.name, self.ltype, self.shape.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_example() -> Layer {
+        Layer::conv2d(
+            "l",
+            LayerShape::conv(2, 8, 4, 5, 5, 3, 3),
+            Precision::int8_acc24(),
+        )
+    }
+
+    #[test]
+    fn macs_are_loop_product() {
+        assert_eq!(conv_example().total_macs(), 2 * 8 * 4 * 5 * 5 * 3 * 3);
+    }
+
+    #[test]
+    fn tensor_sizes_match_formulas() {
+        let l = conv_example();
+        assert_eq!(l.tensor_words(Operand::W), 8 * 4 * 3 * 3);
+        assert_eq!(l.tensor_words(Operand::O), 2 * 8 * 5 * 5);
+        assert_eq!(l.tensor_words(Operand::I), 2 * 4 * 7 * 7);
+        assert_eq!(l.tensor_bits(Operand::O), 2 * 8 * 5 * 5 * 24);
+    }
+
+    #[test]
+    fn strided_conv_input_geometry() {
+        let l = Layer::conv2d(
+            "s2",
+            LayerShape::conv(1, 16, 3, 14, 14, 3, 3).with_stride(2, 2),
+            Precision::int8_acc24(),
+        );
+        assert_eq!(l.shape().input_width(), 13 * 2 + 2 + 1);
+        assert_eq!(
+            l.tensor_words(Operand::I),
+            3 * l.shape().input_height() * l.shape().input_width()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 filter")]
+    fn pointwise_shape_validated() {
+        let _ = Layer::new(
+            "bad",
+            LayerType::PointwiseConv2d,
+            LayerShape::conv(1, 8, 8, 4, 4, 3, 3),
+            Precision::int8_acc24(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "C = 1")]
+    fn depthwise_shape_validated() {
+        let _ = Layer::new(
+            "bad",
+            LayerType::DepthwiseConv2d,
+            LayerShape::conv(1, 8, 8, 4, 4, 3, 3),
+            Precision::int8_acc24(),
+        );
+    }
+
+    #[test]
+    fn dense_is_matmul_shaped() {
+        let l = Layer::dense("fc", 4, 10, 20, Precision::uniform(8));
+        assert_eq!(l.tensor_words(Operand::I), 4 * 20);
+        assert_eq!(l.tensor_words(Operand::W), 10 * 20);
+        assert_eq!(l.tensor_words(Operand::O), 4 * 10);
+    }
+
+    #[test]
+    fn display_mentions_name_and_type() {
+        let s = conv_example().to_string();
+        assert!(s.contains('l') && s.contains("Conv2D"), "{s}");
+    }
+}

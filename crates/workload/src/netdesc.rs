@@ -1,0 +1,225 @@
+//! Network description files: a small JSON schema for user-supplied
+//! networks, used by the `ulm` CLI's `--file` options.
+//!
+//! ```json
+//! {
+//!   "name": "mynet",
+//!   "precision": { "w": 8, "i": 8, "o_partial": 24, "o_final": 8 },
+//!   "layers": [
+//!     { "kind": "conv2d", "name": "c1", "b": 1, "k": 64, "c": 3,
+//!       "oy": 112, "ox": 112, "fy": 7, "fx": 7, "stride": 2 },
+//!     { "kind": "depthwise", "name": "dw1", "b": 1, "k": 64,
+//!       "oy": 112, "ox": 112, "fy": 3, "fx": 3 },
+//!     { "kind": "matmul", "name": "fc", "b": 1, "k": 1000, "c": 2048 }
+//!   ]
+//! }
+//! ```
+//!
+//! Omitted geometry fields default to 1 (so a `matmul` needs only
+//! `b`/`k`/`c`); `stride` and `dilation` default to 1 and apply to both
+//! axes.
+
+use crate::{Layer, LayerShape, LayerType, Precision};
+use serde::Deserialize;
+use std::error::Error;
+use std::fmt;
+
+/// Precision block of a network description.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct PrecisionDesc {
+    /// Weight bits.
+    pub w: u64,
+    /// Input bits.
+    pub i: u64,
+    /// Partial-sum bits.
+    pub o_partial: u64,
+    /// Final output bits.
+    pub o_final: u64,
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// One layer of a network description.
+#[derive(Debug, Clone, Deserialize)]
+pub struct LayerDesc {
+    /// `conv2d`, `pointwise`, `depthwise`, `dense` or `matmul`.
+    pub kind: String,
+    /// Layer name.
+    pub name: String,
+    /// Batch.
+    #[serde(default = "one")]
+    pub b: u64,
+    /// Output channels.
+    #[serde(default = "one")]
+    pub k: u64,
+    /// Input channels.
+    #[serde(default = "one")]
+    pub c: u64,
+    /// Output height.
+    #[serde(default = "one")]
+    pub oy: u64,
+    /// Output width.
+    #[serde(default = "one")]
+    pub ox: u64,
+    /// Filter height.
+    #[serde(default = "one")]
+    pub fy: u64,
+    /// Filter width.
+    #[serde(default = "one")]
+    pub fx: u64,
+    /// Stride (both axes).
+    #[serde(default = "one")]
+    pub stride: u64,
+    /// Dilation (both axes).
+    #[serde(default = "one")]
+    pub dilation: u64,
+}
+
+/// A whole network description.
+#[derive(Debug, Clone, Deserialize)]
+pub struct NetworkDesc {
+    /// Network name.
+    pub name: String,
+    /// Operand precisions (defaults to INT8 with 24-bit partials).
+    pub precision: Option<PrecisionDesc>,
+    /// The layers in execution order.
+    pub layers: Vec<LayerDesc>,
+}
+
+/// Errors from network descriptions.
+#[derive(Debug)]
+pub enum NetDescError {
+    /// The JSON failed to parse.
+    Json(serde_json::Error),
+    /// A layer kind string is unknown.
+    UnknownKind {
+        /// The offending layer.
+        layer: String,
+        /// The unknown kind.
+        kind: String,
+    },
+}
+
+impl fmt::Display for NetDescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetDescError::Json(e) => write!(f, "invalid network description: {e}"),
+            NetDescError::UnknownKind { layer, kind } => write!(
+                f,
+                "layer `{layer}` has unknown kind `{kind}` \
+                 (conv2d|pointwise|depthwise|dense|matmul)"
+            ),
+        }
+    }
+}
+
+impl Error for NetDescError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetDescError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl NetworkDesc {
+    /// Parses a JSON network description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetDescError::Json`] on malformed JSON.
+    pub fn from_json(s: &str) -> Result<Self, NetDescError> {
+        serde_json::from_str(s).map_err(NetDescError::Json)
+    }
+
+    /// Instantiates the layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetDescError::UnknownKind`] for unrecognized layer kinds.
+    pub fn to_layers(&self) -> Result<Vec<Layer>, NetDescError> {
+        let precision = match self.precision {
+            Some(p) => Precision::new(p.w, p.i, p.o_partial, p.o_final),
+            None => Precision::int8_acc24(),
+        };
+        self.layers
+            .iter()
+            .map(|l| {
+                let ltype = match l.kind.as_str() {
+                    "conv2d" => LayerType::Conv2d,
+                    "pointwise" => LayerType::PointwiseConv2d,
+                    "depthwise" => LayerType::DepthwiseConv2d,
+                    "dense" => LayerType::Dense,
+                    "matmul" => LayerType::Matmul,
+                    other => {
+                        return Err(NetDescError::UnknownKind {
+                            layer: l.name.clone(),
+                            kind: other.to_string(),
+                        })
+                    }
+                };
+                let shape = LayerShape::conv(l.b, l.k, l.c, l.oy, l.ox, l.fy, l.fx)
+                    .with_stride(l.stride, l.stride)
+                    .with_dilation(l.dilation, l.dilation);
+                Ok(Layer::new(l.name.clone(), ltype, shape, precision))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, Operand};
+
+    const EXAMPLE: &str = r#"{
+        "name": "mini",
+        "precision": { "w": 8, "i": 8, "o_partial": 24, "o_final": 8 },
+        "layers": [
+            { "kind": "conv2d", "name": "c1", "b": 1, "k": 16, "c": 3,
+              "oy": 16, "ox": 16, "fy": 3, "fx": 3, "stride": 2 },
+            { "kind": "matmul", "name": "fc", "b": 4, "k": 10, "c": 64 }
+        ]
+    }"#;
+
+    #[test]
+    fn example_round_trips() {
+        let desc = NetworkDesc::from_json(EXAMPLE).unwrap();
+        assert_eq!(desc.name, "mini");
+        let layers = desc.to_layers().unwrap();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].shape().dim(Dim::K), 16);
+        assert_eq!(layers[0].shape().stride(), (2, 2));
+        assert_eq!(layers[1].tensor_words(Operand::W), 10 * 64);
+    }
+
+    #[test]
+    fn defaults_fill_unit_dims() {
+        let desc = NetworkDesc::from_json(
+            r#"{ "name": "d", "precision": null,
+                 "layers": [ { "kind": "matmul", "name": "m", "b": 2, "k": 3, "c": 4 } ] }"#,
+        )
+        .unwrap();
+        let layers = desc.to_layers().unwrap();
+        assert_eq!(layers[0].total_macs(), 24);
+        assert_eq!(layers[0].precision().partial_sum_bits(), 24);
+    }
+
+    #[test]
+    fn unknown_kind_is_reported() {
+        let desc = NetworkDesc::from_json(
+            r#"{ "name": "d", "precision": null,
+                 "layers": [ { "kind": "lstm", "name": "l", "b": 2 } ] }"#,
+        )
+        .unwrap();
+        let err = desc.to_layers().unwrap_err();
+        assert!(err.to_string().contains("lstm"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        assert!(NetworkDesc::from_json("{ not json").is_err());
+    }
+}

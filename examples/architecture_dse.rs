@@ -1,0 +1,59 @@
+//! Architecture design-space exploration: sweep register/local-buffer
+//! capacities and array sizes, optimize the mapping of each design, and
+//! print the latency-area Pareto front at two GB bandwidths — a compact
+//! version of the paper's Case study 3.
+//!
+//! ```sh
+//! cargo run --release --example architecture_dse
+//! ```
+
+use ulm::prelude::*;
+
+fn main() {
+    // A reduced pool so the example runs in seconds; the fig8 bench runs
+    // the full one.
+    let pool = MemoryPool {
+        w_reg_words_per_mac: vec![1, 2],
+        i_reg_words_per_mac: vec![1, 2],
+        o_reg_words_per_pe: vec![1],
+        w_lb_kb: vec![4, 16, 64],
+        i_lb_kb: vec![4, 16, 64],
+    };
+    let layer = Layer::matmul("l", 64, 128, 256, Precision::int8_out24());
+    let opts = ExploreOptions::default();
+
+    for gb_bw in [128u64, 1024] {
+        let designs = enumerate_designs(&pool, &[16, 32], gb_bw);
+        let points = explore(&designs, &layer, &opts);
+        let front = pareto_front(&points);
+        println!(
+            "\nGB BW = {gb_bw} bit/cycle: {} designs evaluated, {} on the Pareto front",
+            points.len(),
+            front.len()
+        );
+        println!(
+            "{:>6} {:>5} {:>5} {:>5} {:>6} {:>6} {:>12} {:>10} {:>7}",
+            "array", "wReg", "iReg", "wLB", "iLB", "", "latency[cc]", "area[mm2]", "U[%]"
+        );
+        for &i in &front {
+            let p = &points[i];
+            println!(
+                "{:>4}x{:<3} {:>4} {:>5} {:>5} {:>6} {:>12.0} {:>10.3} {:>7.1}",
+                p.params.array_side,
+                p.params.array_side,
+                p.params.w_reg_words,
+                p.params.i_reg_words,
+                p.params.w_lb_kb,
+                p.params.i_lb_kb,
+                p.latency,
+                p.area_mm2,
+                p.utilization * 100.0
+            );
+        }
+    }
+    println!(
+        "\nNote how at low GB bandwidth the front spans many memory \
+         configurations (local reuse matters), while at high bandwidth \
+         designs of one array size collapse toward a single latency."
+    );
+}

@@ -1,0 +1,68 @@
+//! Whole-network evaluation: run the hand-tracking workload (the paper's
+//! validation network) through Im2Col, optimize a mapping per layer on
+//! the validation chip, and print a per-layer latency/utilization table
+//! with a simulator cross-check.
+//!
+//! ```sh
+//! cargo run --release --example handtracking_network
+//! ```
+
+use ulm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = presets::validation_chip();
+    println!("architecture: {}", chip.arch);
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    println!("spatial unrolling: {spatial}\n");
+
+    let layers = networks::handtracking_validation_layers();
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>7} {:>8}",
+        "layer", "MAC ops", "model cc", "sim cc", "U[%]", "acc[%]"
+    );
+
+    let mut total_model = 0.0;
+    let mut total_sim = 0u64;
+    let mut acc_sum = 0.0;
+    let mut n = 0usize;
+    for layer in &layers {
+        let mapper = Mapper::new(&chip.arch, layer, spatial.clone()).with_options(MapperOptions {
+            max_exhaustive: 3_000,
+            samples: 120,
+            ..MapperOptions::default()
+        });
+        let result = match mapper.search(Objective::Latency) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<22} skipped: {e}", layer.name());
+                continue;
+            }
+        };
+        let report = &result.best.latency;
+        let view = MappedLayer::new(layer, &chip.arch, &result.best.mapping)?;
+        let sim = Simulator::new().simulate(&view)?;
+        let acc =
+            (1.0 - (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
+                * 100.0;
+        println!(
+            "{:<22} {:>12} {:>12.0} {:>12} {:>7.1} {:>8.1}",
+            layer.name(),
+            layer.total_macs(),
+            report.cc_total,
+            sim.total_cycles,
+            report.utilization * 100.0,
+            acc
+        );
+        total_model += report.cc_total;
+        total_sim += sim.total_cycles;
+        acc_sum += acc;
+        n += 1;
+    }
+    println!(
+        "\nnetwork total: model {:.0} cc vs sim {} cc | mean per-layer accuracy {:.1}%",
+        total_model,
+        total_sim,
+        acc_sum / n as f64
+    );
+    Ok(())
+}

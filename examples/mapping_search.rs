@@ -1,0 +1,72 @@
+//! Mapping search: explore a layer's full dataflow space on a fixed
+//! accelerator and expose the energy/latency trade-off the paper's Case
+//! study 1 is about — the energy-optimal mapping is *not* the
+//! latency-optimal one once temporal stalls are modeled.
+//!
+//! ```sh
+//! cargo run --release --example mapping_search
+//! ```
+
+use ulm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::case_study_chip(128);
+    let layer = Layer::matmul("l", 64, 96, 640, Precision::int8_out24());
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+
+    let mapper = Mapper::new(&arch, &layer, spatial);
+    println!(
+        "mapping space: {} orderings of {} loop factors",
+        mapper.space_size(),
+        mapper.factors().len()
+    );
+
+    // All legal mappings, exhaustively (the space here is enumerable).
+    let all = mapper.enumerate_all()?;
+    println!("legal mappings evaluated: {}", all.len());
+
+    let by = |f: fn(&EvaluatedMapping) -> f64, all: &[EvaluatedMapping]| {
+        let mut idx: Vec<usize> = (0..all.len()).collect();
+        idx.sort_by(|&a, &b| f(&all[a]).partial_cmp(&f(&all[b])).unwrap());
+        idx
+    };
+    let by_latency = by(|em| em.latency.cc_total, &all);
+    let by_energy = by(|em| em.energy.total_fj, &all);
+
+    let lat_best = &all[by_latency[0]];
+    let lat_worst = &all[*by_latency.last().unwrap()];
+    let en_best = &all[by_energy[0]];
+
+    println!("\nlatency-optimal mapping: {}", lat_best.mapping);
+    println!(
+        "  latency {:>10.0} cc | energy {:>8.1} nJ | U {:>5.1}%",
+        lat_best.latency.cc_total,
+        lat_best.energy.total_pj() / 1000.0,
+        lat_best.latency.utilization * 100.0
+    );
+    println!("energy-optimal mapping:  {}", en_best.mapping);
+    println!(
+        "  latency {:>10.0} cc | energy {:>8.1} nJ | U {:>5.1}%",
+        en_best.latency.cc_total,
+        en_best.energy.total_pj() / 1000.0,
+        en_best.latency.utilization * 100.0
+    );
+    println!("latency-worst mapping:   {}", lat_worst.mapping);
+    println!(
+        "  latency {:>10.0} cc | energy {:>8.1} nJ | U {:>5.1}%",
+        lat_worst.latency.cc_total,
+        lat_worst.energy.total_pj() / 1000.0,
+        lat_worst.latency.utilization * 100.0
+    );
+
+    let spread = lat_worst.latency.cc_total / lat_best.latency.cc_total;
+    println!("\nlatency spread across the mapping space: {spread:.1}x");
+    if en_best.latency.cc_total > lat_best.latency.cc_total {
+        println!(
+            "the energy-optimal mapping is {:.0}% slower than the latency-optimal one — \
+             exactly the trap Case study 1 warns about",
+            (en_best.latency.cc_total / lat_best.latency.cc_total - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

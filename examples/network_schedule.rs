@@ -1,0 +1,44 @@
+//! Cross-layer scheduling (the paper's stated future work): evaluate a
+//! whole network end to end, comparing strictly sequential execution
+//! against weight-prefetch overlap between layers.
+//!
+//! ```sh
+//! cargo run --release --example network_schedule
+//! ```
+
+use ulm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = presets::validation_chip();
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let layers = networks::handtracking_validation_layers();
+    println!(
+        "scheduling {} layers of the hand-tracking workload on {}",
+        layers.len(),
+        chip.arch
+    );
+
+    let sequential = NetworkEvaluator::new(&chip.arch, spatial.clone())
+        .evaluate(&layers)?;
+    let overlapped = NetworkEvaluator::new(&chip.arch, spatial)
+        .with_overlap(InterLayerOverlap::WeightPrefetch)
+        .evaluate(&layers)?;
+
+    println!("\n--- sequential ---");
+    print!("{sequential}");
+    println!("\n--- with weight-prefetch overlap ---");
+    print!("{overlapped}");
+
+    let saved = sequential.total_cycles() - overlapped.total_cycles();
+    println!(
+        "\nweight prefetch hides {:.0} cycles ({:.2}% of the network)",
+        saved,
+        saved / sequential.total_cycles() * 100.0
+    );
+    println!(
+        "network utilization: {:.1}% sequential vs {:.1}% overlapped",
+        sequential.utilization() * 100.0,
+        overlapped.utilization() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: evaluate the latency of one DNN layer on one accelerator
+//! with one mapping, and read the full breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ulm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hardware: the paper's scaled-down case-study accelerator — 16x16
+    // MACs (8x16 PEs x 2), 16 KB W-LB, 8 KB I-LB, 1 MB GB with
+    // 128 bit/cycle read/write bandwidth.
+    let arch = presets::case_study_chip(128);
+    println!("architecture: {arch}");
+
+    // Algorithm: a GEMM layer (every conv becomes one after Im2Col).
+    // INT8 weights/inputs, 24-bit outputs.
+    let layer = Layer::matmul("demo", 64, 96, 640, Precision::int8_out24());
+    println!("layer: {layer} ({} MACs)", layer.total_macs());
+
+    // Mapping, written by hand: spatially unroll K16 | B8 | C2 across the
+    // array, then iterate C320 innermost (output stationary), B8, K6.
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    let stack = LoopStack::from_pairs(&[(Dim::C, 320), (Dim::B, 8), (Dim::K, 6)]);
+    let mapping = Mapping::with_greedy_alloc(&arch, &layer, spatial, stack)?;
+    println!("mapping: {mapping}");
+
+    // Bind and evaluate.
+    let view = MappedLayer::new(&layer, &arch, &mapping)?;
+    let report = LatencyModel::new().evaluate(&view);
+    println!("\n--- analytical latency model ---");
+    print!("{report}");
+
+    // Where does the stall come from?
+    println!("\nper-memory stalls:");
+    for m in &report.memories {
+        println!("  {:8} SS = {:>12.0} cycles", m.memory, m.ss);
+    }
+
+    // And what would fix it? (Section V-A: match ReqBW with RealBW.)
+    for fix in report.bandwidth_fixes() {
+        println!(
+            "  fix: raise {} from {:.0} to {:.0} bits/cycle to remove a {:.0}-cycle stall",
+            fix.port, fix.current_bw, fix.required_bw, fix.stall
+        );
+    }
+
+    // Energy for the same mapping.
+    let energy = EnergyModel::new().evaluate(&view);
+    println!("\n--- analytical energy model ---");
+    print!("{energy}");
+
+    // Cross-check against the discrete-event reference simulator.
+    let sim = Simulator::new().simulate(&view)?;
+    println!("\n--- reference simulator ---");
+    println!(
+        "simulated {} cycles (compute {}, stalls {}, tail {})",
+        sim.total_cycles, sim.compute_cycles, sim.stall_cycles, sim.tail_cycles
+    );
+    let err = (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64;
+    println!("model vs sim: {:.1}% agreement", (1.0 - err) * 100.0);
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Roofline vs the full stall model: the roofline (steady-state bandwidth
+//! bound) catches *fundamental* memory limits, while the 3-step model
+//! additionally prices burstiness, keep-out windows and port sharing. The
+//! gap between the two is exactly the schedule-induced stall the paper
+//! argues prior idealized models miss.
+//!
+//! ```sh
+//! cargo run --release --example roofline_analysis
+//! ```
+
+use ulm::model::roofline;
+use ulm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = presets::case_study_chip(128);
+    println!("architecture: {arch}\n");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>12} {:>26}",
+        "(B,K,C)", "ideal", "roofline", "full model", "sched. gap", "roofline bottleneck"
+    );
+
+    for (b, k, c) in [
+        (8u64, 8u64, 512u64),
+        (64, 96, 640),
+        (128, 128, 128),
+        (128, 128, 8),
+        (512, 512, 8),
+    ] {
+        let layer = Layer::matmul(format!("({b},{k},{c})"), b, k, c, Precision::int8_out24());
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+        let best = Mapper::new(&arch, &layer, spatial)
+            .with_options(MapperOptions {
+                max_exhaustive: 2_000,
+                samples: 100,
+                ..MapperOptions::default()
+            })
+            .search(Objective::Latency)?
+            .best;
+        let view = MappedLayer::new(&layer, &arch, &best.mapping)?;
+        let rl = roofline(&view);
+        let full = best.latency.cc_total;
+        println!(
+            "{:>14} {:>10.0} {:>12.0} {:>12.0} {:>11.0}% {:>26}",
+            layer.name(),
+            view.cc_ideal(),
+            rl.bound_cycles(),
+            full,
+            (full / rl.bound_cycles() - 1.0) * 100.0,
+            rl.bottleneck()
+        );
+    }
+    println!(
+        "\nThe schedule gap is the stall the roofline cannot see: bursty output\n\
+         drains and keep-out refill windows, priced only by the 3-step model."
+    );
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Property tests for the mapper: every enumerated mapping is legal,
+//! search never returns something worse than the seeds, and factorization
+//! invariants hold.
+
+use proptest::prelude::*;
+use ulm::mapper::enumerate::{for_each_ordering, sample_orderings, seeded_orderings};
+use ulm::mapper::factorize::{factorize, ordering_count, temporal_factors};
+use ulm::prelude::*;
+
+proptest! {
+    #[test]
+    fn factorization_reconstructs_n(n in 1u64..100_000) {
+        let f = factorize(n);
+        prop_assert_eq!(f.iter().product::<u64>().max(1), n);
+        // All factors prime.
+        for &p in &f {
+            prop_assert!(p >= 2);
+            prop_assert!((2..p).take_while(|d| d * d <= p).all(|d| p % d != 0));
+        }
+        // Sorted ascending.
+        prop_assert!(f.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn temporal_factors_cover_ceil(b in 1u64..64, k in 1u64..64, c in 1u64..64) {
+        let dims = DimSizes::new(b, k, c, 1, 1, 1, 1);
+        let spatial = SpatialUnroll::new(vec![(Dim::K, 4), (Dim::B, 2)]);
+        let f = temporal_factors(&dims, &spatial);
+        for (dim, bound) in dims.iter() {
+            let prod: u64 = f.iter().filter(|(d, _)| *d == dim).map(|(_, p)| p).product();
+            let needed = bound.div_ceil(spatial.extent(dim));
+            prop_assert_eq!(prod, needed, "dim {}", dim);
+        }
+    }
+
+    #[test]
+    fn every_enumerated_mapping_is_legal(seed in any::<u64>()) {
+        let chip = ulm::arch::presets::toy_chip();
+        // Layer dims derived from the seed, kept small.
+        let b = 1 << (seed % 3 + 1);
+        let k = 1 << (seed / 3 % 3 + 1);
+        let c = 1 << (seed / 9 % 4 + 1);
+        let layer = Layer::matmul("p", b, k, c, Precision::int8_acc24());
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()));
+        if let Ok(all) = mapper.enumerate_all() {
+            for em in &all {
+                // Re-validating must succeed: enumerate_all only returns
+                // mappings that passed MappedLayer::new.
+                prop_assert!(MappedLayer::new(&layer, &chip.arch, &em.mapping).is_ok());
+                prop_assert!(em.latency.cc_total > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn search_beats_or_matches_every_seed(kexp in 1u32..4, cexp in 2u32..6) {
+        let chip = ulm::arch::presets::toy_chip();
+        let layer = Layer::matmul("p", 4, 1u64 << kexp, 1u64 << cexp, Precision::int8_acc24());
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let mapper = Mapper::new(&chip.arch, &layer, spatial.clone());
+        let Ok(best) = mapper.search(Objective::Latency) else { return Ok(()); };
+        for seed_ordering in seeded_orderings(&mapper.factors()) {
+            if let Some(em) = mapper.evaluate_ordering(&seed_ordering) {
+                prop_assert!(
+                    best.best.latency.cc_total <= em.latency.cc_total + 1e-9,
+                    "search ({}) must not lose to a seed ({})",
+                    best.best.latency.cc_total,
+                    em.latency.cc_total
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ordering_enumeration_counts_are_exact() {
+    // Cross-check the closed-form multiset count against actual
+    // enumeration on a handful of multisets.
+    let cases: Vec<Vec<(Dim, u64)>> = vec![
+        vec![(Dim::B, 2), (Dim::B, 2), (Dim::K, 2)],
+        vec![(Dim::B, 2), (Dim::K, 3), (Dim::C, 5), (Dim::C, 5)],
+        vec![(Dim::C, 2); 6],
+    ];
+    for f in cases {
+        let expected = ordering_count(&f) as u64;
+        let mut n = 0u64;
+        for_each_ordering(&f, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, expected, "{f:?}");
+    }
+}
+
+#[test]
+fn samples_are_valid_permutations() {
+    let f = vec![(Dim::B, 2), (Dim::K, 3), (Dim::C, 5), (Dim::C, 2)];
+    for s in sample_orderings(&f, 20, 7) {
+        let mut a = s.clone();
+        let mut b = f.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

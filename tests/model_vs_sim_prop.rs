@@ -1,0 +1,112 @@
+//! Property tests spanning the whole stack: on randomized AHM points the
+//! analytical model must stay structurally sound and within a bounded
+//! factor of the discrete-event simulator.
+
+use proptest::prelude::*;
+use ulm::prelude::*;
+
+/// A random small matmul layer, spatial unrolling and loop ordering on the
+/// toy chip, built so most draws are legal.
+fn arb_point() -> impl Strategy<Value = (Layer, Vec<(Dim, u64)>)> {
+    // Dims as exponents of 2 to keep factorization mild.
+    (1u32..4, 1u32..4, 1u32..5, any::<u64>()).prop_map(|(b, k, c, seed)| {
+        let layer = Layer::matmul(
+            "p",
+            1 << b,
+            1 << k,
+            1 << c,
+            Precision::int8_acc24(),
+        );
+        // Random ordering of the temporal factors (after K2|B2 spatial).
+        let mut factors = Vec::new();
+        for _ in 0..b.saturating_sub(1) {
+            factors.push((Dim::B, 2u64));
+        }
+        for _ in 0..k.saturating_sub(1) {
+            factors.push((Dim::K, 2));
+        }
+        for _ in 0..c {
+            factors.push((Dim::C, 2));
+        }
+        // Deterministic shuffle from the seed.
+        let mut s = seed;
+        for i in (1..factors.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            factors.swap(i, j);
+        }
+        (layer, factors)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_structure_holds((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let r = LatencyModel::new().evaluate(&view);
+        // Composition and bounds.
+        prop_assert!(r.ss_overall >= 0.0);
+        prop_assert!(r.cc_total >= r.cc_spatial as f64);
+        prop_assert!(r.cc_spatial as f64 >= r.cc_ideal - 1e-9);
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-12);
+        prop_assert!(
+            (r.cc_total
+                - (r.preload as f64 + r.cc_spatial as f64 + r.ss_overall + r.offload as f64))
+                .abs() < 1e-6
+        );
+        // The BW-unaware baseline never exceeds the full model.
+        let base = LatencyModel::bw_unaware().evaluate(&view);
+        prop_assert!(base.cc_total <= r.cc_total + 1e-9);
+    }
+
+    #[test]
+    fn model_tracks_simulator((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let r = LatencyModel::new().evaluate(&view);
+        let sim = Simulator::new().simulate(&view).expect("small schedules");
+        let m = r.cc_total;
+        let s = sim.total_cycles as f64;
+        // Within a factor of 2 in both directions on arbitrary (including
+        // adversarially bad) mappings; the validation experiment measures
+        // the much tighter agreement on optimized mappings.
+        prop_assert!(m < 2.0 * s + 16.0, "model {m} far above sim {s}");
+        prop_assert!(s < 2.5 * m + 16.0, "sim {s} far above model {m}");
+    }
+
+    #[test]
+    fn energy_is_mapping_invariant_at_mac_level((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let e = EnergyModel::new().evaluate(&view);
+        // MAC energy depends only on the layer.
+        prop_assert!((e.mac_fj - 50.0 * layer.total_macs() as f64).abs() < 1e-6);
+        // Total traffic at the top memory is at least one pass of each
+        // tensor (compulsory traffic).
+        let lb = e.memories.iter().find(|m| m.memory == "LB").unwrap();
+        let w_bits = layer.tensor_bits(Operand::W);
+        let i_bits = layer.tensor_bits(Operand::I);
+        prop_assert!(lb.read_bits >= w_bits + i_bits);
+    }
+}
