@@ -27,8 +27,7 @@
 //! (memories in one group stall sequentially).
 
 use crate::{
-    ArchError, Architecture, MacArray, Memory, MemoryHierarchy, MemoryKind, Port,
-    StallIntegration,
+    ArchError, Architecture, MacArray, Memory, MemoryHierarchy, MemoryKind, Port, StallIntegration,
 };
 use serde::Deserialize;
 use std::error::Error;
@@ -225,9 +224,9 @@ impl ArchDesc {
             names
                 .iter()
                 .map(|n| {
-                    ids.get(n).copied().ok_or_else(|| ArchDescError::UnknownMemory {
-                        name: n.clone(),
-                    })
+                    ids.get(n)
+                        .copied()
+                        .ok_or_else(|| ArchDescError::UnknownMemory { name: n.clone() })
                 })
                 .collect()
         };

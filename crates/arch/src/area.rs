@@ -9,8 +9,8 @@
 //! lands near 0.04–0.06 µm²/bit after periphery amortization, and flip-flop
 //! based register files cost an order of magnitude more per bit.
 
-use crate::{Architecture, MemoryHierarchy, MemoryId};
 use crate::mem::{Memory, MemoryKind};
+use crate::{Architecture, MemoryHierarchy, MemoryId};
 
 /// Area model parameters (µm²-denominated).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -108,10 +108,8 @@ mod tests {
         let mut b = MemoryHierarchy::builder();
         let reg = b.add_memory(Memory::new("reg", MemoryKind::RegisterFile, 2048));
         let gb = b.add_memory(
-            Memory::new("gb", MemoryKind::Sram, 8 << 20).with_ports(vec![
-                Port::read(128),
-                Port::write(128),
-            ]),
+            Memory::new("gb", MemoryKind::Sram, 8 << 20)
+                .with_ports(vec![Port::read(128), Port::write(128)]),
         );
         b.set_chain(Operand::W, vec![reg, gb]);
         b.set_chain(Operand::I, vec![gb]);

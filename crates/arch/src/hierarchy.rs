@@ -7,7 +7,9 @@ use std::fmt;
 use ulm_workload::{Operand, PerOperand};
 
 /// Stable identifier of a memory module within a hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct MemoryId(pub usize);
 
 impl fmt::Display for MemoryId {
@@ -19,8 +21,7 @@ impl fmt::Display for MemoryId {
 /// How Step 3 of the model integrates per-memory stalls into
 /// `SS_overall` ("Users can customize this memory parallel operation
 /// constraint based on the design", Section III-D).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub enum StallIntegration {
     /// All memory modules operate concurrently: one memory's stall hides
     /// under another's (`SS_overall = max_i SS_i`). The default.
@@ -34,7 +35,6 @@ pub enum StallIntegration {
     /// implicit singleton groups.
     Groups(Vec<Vec<MemoryId>>),
 }
-
 
 /// A multi-level memory system: the memory modules, each operand's chain
 /// of levels (innermost — closest to the MACs — first) and the port
@@ -56,18 +56,13 @@ mod port_map_serde {
 
     type Key = (usize, usize, u8);
 
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<Key, PortId>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize<S: Serializer>(map: &HashMap<Key, PortId>, ser: S) -> Result<S::Ok, S::Error> {
         let mut entries: Vec<(Key, PortId)> = map.iter().map(|(k, v)| (*k, *v)).collect();
         entries.sort_unstable();
         entries.serialize(ser)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<HashMap<Key, PortId>, D::Error> {
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<HashMap<Key, PortId>, D::Error> {
         let entries: Vec<(Key, PortId)> = Vec::deserialize(de)?;
         Ok(entries.into_iter().collect())
     }
@@ -132,12 +127,18 @@ impl MemoryHierarchy {
 
     /// Number of memory levels in the deepest operand chain.
     pub fn depth(&self) -> usize {
-        Operand::all().map(|op| self.chain(op).len()).max().unwrap_or(0)
+        Operand::all()
+            .map(|op| self.chain(op).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The top (outermost) memory of `op`'s chain.
     pub fn top(&self, op: Operand) -> MemoryId {
-        *self.chain(op).last().expect("chains are validated non-empty")
+        *self
+            .chain(op)
+            .last()
+            .expect("chains are validated non-empty")
     }
 }
 
@@ -423,9 +424,8 @@ mod tests {
     fn missing_port_rejected() {
         let mut b = MemoryHierarchy::builder();
         // Read-only memory cannot take O write-backs.
-        let gb = b.add_memory(
-            Memory::new("gb", MemoryKind::Sram, 1024).with_ports(vec![Port::read(8)]),
-        );
+        let gb =
+            b.add_memory(Memory::new("gb", MemoryKind::Sram, 1024).with_ports(vec![Port::read(8)]));
         b.set_chain(Operand::W, vec![gb]);
         b.set_chain(Operand::I, vec![gb]);
         b.set_chain(Operand::O, vec![gb]);
@@ -442,8 +442,10 @@ mod tests {
         assert_eq!(a, back);
         // Ports and chains survive the trip.
         assert_eq!(
-            back.hierarchy().port(MemoryId(1), Operand::I, PortUse::ReadOut),
-            a.hierarchy().port(MemoryId(1), Operand::I, PortUse::ReadOut)
+            back.hierarchy()
+                .port(MemoryId(1), Operand::I, PortUse::ReadOut),
+            a.hierarchy()
+                .port(MemoryId(1), Operand::I, PortUse::ReadOut)
         );
     }
 

@@ -84,10 +84,16 @@ impl fmt::Display for ArchError {
                 write!(f, "memory `{memory}` appears twice in one operand chain")
             }
             ArchError::MissingPort { memory, operand } => {
-                write!(f, "memory `{memory}` has no port assigned for operand {operand}")
+                write!(
+                    f,
+                    "memory `{memory}` has no port assigned for operand {operand}"
+                )
             }
             ArchError::PortDirectionMismatch { memory, port } => {
-                write!(f, "memory `{memory}` port {port} cannot serve the assigned direction")
+                write!(
+                    f,
+                    "memory `{memory}` port {port} cannot serve the assigned direction"
+                )
             }
         }
     }

@@ -248,9 +248,10 @@ impl Memory {
     /// Default port for `usage`: the first port supporting the direction,
     /// preferring dedicated (single-direction) ports over shared ones.
     pub fn default_port(&self, usage: PortUse) -> Option<PortId> {
-        let dedicated = self.ports.iter().position(|p| {
-            p.dir.supports(usage) && p.dir != PortDir::ReadWrite
-        });
+        let dedicated = self
+            .ports
+            .iter()
+            .position(|p| p.dir.supports(usage) && p.dir != PortDir::ReadWrite);
         dedicated.or_else(|| self.ports.iter().position(|p| p.dir.supports(usage)))
     }
 }
@@ -300,8 +301,7 @@ mod tests {
         ]);
         assert_eq!(m.default_port(PortUse::ReadOut), Some(1));
         assert_eq!(m.default_port(PortUse::WriteIn), Some(2));
-        let single = Memory::new("s", MemoryKind::Sram, 64)
-            .with_ports(vec![Port::read_write(32)]);
+        let single = Memory::new("s", MemoryKind::Sram, 64).with_ports(vec![Port::read_write(32)]);
         assert_eq!(single.default_port(PortUse::ReadOut), Some(0));
         assert_eq!(single.default_port(PortUse::WriteIn), Some(0));
     }

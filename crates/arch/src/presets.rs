@@ -84,8 +84,7 @@ pub fn validation_chip_with_gb_bw(gb_bw_bits: u64) -> PresetChip {
     let groups = StallIntegration::Groups(vec![vec![w_reg, w_lb], vec![i_reg, i_lb]]);
 
     PresetChip {
-        arch: Architecture::new("validation-chip", array, hierarchy)
-            .with_stall_integration(groups),
+        arch: Architecture::new("validation-chip", array, hierarchy).with_stall_integration(groups),
         spatial: vec![(Dim::K, 32), (Dim::C, 16), (Dim::C, 2)],
     }
 }
@@ -114,7 +113,10 @@ pub fn case_study_chip(gb_bw_bits: u64) -> Architecture {
 ///
 /// Panics if `side < 2` or `side` is odd.
 pub fn scaled_case_study_chip(side: u64, gb_bw_bits: u64) -> PresetChip {
-    assert!(side >= 2 && side.is_multiple_of(2), "array side must be even, got {side}");
+    assert!(
+        side >= 2 && side.is_multiple_of(2),
+        "array side must be even, got {side}"
+    );
     let array = MacArray::new(side / 2, side, 2);
     let macs = array.num_macs();
     let pes = array.num_pes();
@@ -138,18 +140,16 @@ pub fn scaled_case_study_chip(side: u64, gb_bw_bits: u64) -> PresetChip {
             .with_ports(vec![Port::read(pes * 24), Port::write(pes * 24)]),
     );
     let w_lb = b.add_memory(
-        Memory::new("W-LB", MemoryKind::Sram, 16 * KB * scale.max(1))
-            .with_ports(vec![
-                Port::read(256 * scale.max(1)),
-                Port::write(128 * scale.max(1)),
-            ]),
+        Memory::new("W-LB", MemoryKind::Sram, 16 * KB * scale.max(1)).with_ports(vec![
+            Port::read(256 * scale.max(1)),
+            Port::write(128 * scale.max(1)),
+        ]),
     );
     let i_lb = b.add_memory(
-        Memory::new("I-LB", MemoryKind::Sram, 8 * KB * scale.max(1))
-            .with_ports(vec![
-                Port::read(256 * scale.max(1)),
-                Port::write(128 * scale.max(1)),
-            ]),
+        Memory::new("I-LB", MemoryKind::Sram, 8 * KB * scale.max(1)).with_ports(vec![
+            Port::read(256 * scale.max(1)),
+            Port::write(128 * scale.max(1)),
+        ]),
     );
     let gb = b.add_memory(
         Memory::new("GB", MemoryKind::Sram, 1024 * KB)

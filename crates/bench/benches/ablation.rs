@@ -71,7 +71,10 @@ fn variants() -> Vec<Variant> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chip = presets::validation_chip();
-    let concurrent = chip.arch.clone().with_stall_integration(StallIntegration::Concurrent);
+    let concurrent = chip
+        .arch
+        .clone()
+        .with_stall_integration(StallIntegration::Concurrent);
     let spatial = SpatialUnroll::new(chip.spatial.clone());
     let layers = networks::handtracking_validation_layers();
 
@@ -89,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sim = Simulator::new().simulate(&view)?;
         let mut preds = Vec::new();
         for v in variants() {
-            let arch_ref = if v.force_concurrent { &concurrent } else { &chip.arch };
+            let arch_ref = if v.force_concurrent {
+                &concurrent
+            } else {
+                &chip.arch
+            };
             let view_v = MappedLayer::new(layer, arch_ref, &best.mapping)?;
             let r = LatencyModel::with_options(v.opts).evaluate(&view_v);
             preds.push(r.cc_total);

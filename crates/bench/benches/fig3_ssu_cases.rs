@@ -4,9 +4,9 @@
 //! required bandwidth, for both a relevant-top (cases a-c) and an
 //! irrelevant-top (cases d-f) W-register level.
 
+use ulm::model::DtlKind;
 use ulm::prelude::*;
 use ulm_bench::Table;
-use ulm::model::DtlKind;
 
 /// W-Reg refill attributes for a given write-port bandwidth and stack.
 fn case(bw: u64, ir_top: bool) -> (f64, f64, f64, f64) {
@@ -110,10 +110,17 @@ fn main() {
 
     // The six verdicts must be exactly the paper's: (a)(d) zero,
     // (b)(e) slack, (c)(f) stall.
-    let verdicts: Vec<f64> = [(16, false), (32, false), (8, false), (16, true), (32, true), (8, true)]
-        .iter()
-        .map(|&(bw, ir)| case(bw, ir).2)
-        .collect();
+    let verdicts: Vec<f64> = [
+        (16, false),
+        (32, false),
+        (8, false),
+        (16, true),
+        (32, true),
+        (8, true),
+    ]
+    .iter()
+    .map(|&(bw, ir)| case(bw, ir).2)
+    .collect();
     assert_eq!(verdicts[0], 0.0, "(a)");
     assert!(verdicts[1] < 0.0, "(b)");
     assert!(verdicts[2] > 0.0, "(c)");

@@ -12,8 +12,7 @@ fn main() {
     let spatial = SpatialUnroll::new(chip.spatial.clone());
     // Inner->outer: C8, B2, K2 (the figure's style of a small mixed nest).
     let stack = LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
-    let mapping =
-        Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("legal");
+    let mapping = Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("legal");
     let view = MappedLayer::new(&layer, &chip.arch, &mapping).expect("valid");
     let r = LatencyModel::new().evaluate(&view);
 
@@ -54,7 +53,14 @@ fn main() {
     // Step 2: Combine — per shared physical port.
     let mut t2 = Table::new(
         "Step 2 (Combine): per shared port (Eq. 1/2)",
-        &["port", "ReqBW_comb", "RealBW", "MUW_comb", "SS_comb", "links"],
+        &[
+            "port",
+            "ReqBW_comb",
+            "RealBW",
+            "MUW_comb",
+            "SS_comb",
+            "links",
+        ],
     );
     for p in &r.ports {
         t2.row(vec![

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chip = presets::validation_chip();
     println!("architecture: {}", chip.arch);
     let spatial = SpatialUnroll::new(chip.spatial.clone());
-    println!("spatial unrolling (Fig. 5b): {}", SpatialUnroll::new(chip.spatial.clone()));
+    println!(
+        "spatial unrolling (Fig. 5b): {}",
+        SpatialUnroll::new(chip.spatial.clone())
+    );
 
     let layers = networks::handtracking_validation_layers();
     let mut t = Table::new(

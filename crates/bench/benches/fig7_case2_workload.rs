@@ -63,7 +63,13 @@ fn main() {
     let mut ch_spatial: Vec<f64> = Vec::new();
     let mut ch_temporal: Vec<f64> = Vec::new();
     for &(bb, kk, cc) in &layers {
-        let layer = Layer::matmul(format!("({bb},{kk},{cc})"), bb, kk, cc, Precision::int8_out24());
+        let layer = Layer::matmul(
+            format!("({bb},{kk},{cc})"),
+            bb,
+            kk,
+            cc,
+            Precision::int8_out24(),
+        );
         let Some(best) = best_mapping(&arch, &layer) else {
             continue;
         };
@@ -103,10 +109,7 @@ fn main() {
         ch_spatial.push(r.spatial_stall.max(0.0));
         ch_temporal.push(r.ss_overall);
     }
-    let mut chart = BarChart::stacked(
-        "Fig. 7(b): latency breakdown per layer",
-        "cycles",
-    );
+    let mut chart = BarChart::stacked("Fig. 7(b): latency breakdown per layer", "cycles");
     chart.labels(chart_labels);
     chart.series("preload", ch_pre);
     chart.series("ideal compute", ch_ideal);

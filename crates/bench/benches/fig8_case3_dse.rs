@@ -17,12 +17,21 @@ use ulm_bench::Table;
 fn summarize(points: &[DsePoint], title: &str, csv: &str) -> Vec<(u64, f64, f64)> {
     let mut t = Table::new(
         title,
-        &["array", "designs", "min lat [cc]", "max lat [cc]", "spread", "area@best [mm2]"],
+        &[
+            "array",
+            "designs",
+            "min lat [cc]",
+            "max lat [cc]",
+            "spread",
+            "area@best [mm2]",
+        ],
     );
     let mut best = Vec::new();
     for side in [16u64, 32, 64] {
-        let of_side: Vec<&DsePoint> =
-            points.iter().filter(|p| p.params.array_side == side).collect();
+        let of_side: Vec<&DsePoint> = points
+            .iter()
+            .filter(|p| p.params.array_side == side)
+            .collect();
         if of_side.is_empty() {
             continue;
         }
@@ -49,7 +58,9 @@ fn summarize(points: &[DsePoint], title: &str, csv: &str) -> Vec<(u64, f64, f64)
     // Full scatter to CSV for plotting.
     let mut scatter = Table::new(
         format!("{title} (scatter)"),
-        &["array", "wReg", "iReg", "oReg", "wLB_kb", "iLB_kb", "latency", "area_mm2", "util"],
+        &[
+            "array", "wReg", "iReg", "oReg", "wLB_kb", "iLB_kb", "latency", "area_mm2", "util",
+        ],
     );
     for p in points {
         scatter.row(vec![
@@ -110,18 +121,33 @@ fn main() {
     // (a) BW-unaware baseline at 128 b/cy.
     let designs_128 = enumerate_designs(&pool, &[16, 32, 64], 128);
     let unaware = explore(&designs_128, &layer, &quick(false));
-    let ua = summarize(&unaware, "Fig. 8(a): BW-unaware model, GB 128 b/cy", "fig8a_unaware");
+    let ua = summarize(
+        &unaware,
+        "Fig. 8(a): BW-unaware model, GB 128 b/cy",
+        "fig8a_unaware",
+    );
 
     // (b) proposed model, low bandwidth.
     let aware_128 = explore(&designs_128, &layer, &quick(true));
-    let lo = summarize(&aware_128, "Fig. 8(b): proposed model, GB 128 b/cy", "fig8b_bw128");
+    let lo = summarize(
+        &aware_128,
+        "Fig. 8(b): proposed model, GB 128 b/cy",
+        "fig8b_bw128",
+    );
 
     // (c) proposed model, high bandwidth.
     let designs_1024 = enumerate_designs(&pool, &[16, 32, 64], 1024);
     let aware_1024 = explore(&designs_1024, &layer, &quick(true));
-    let hi = summarize(&aware_1024, "Fig. 8(c): proposed model, GB 1024 b/cy", "fig8c_bw1024");
+    let hi = summarize(
+        &aware_1024,
+        "Fig. 8(c): proposed model, GB 1024 b/cy",
+        "fig8c_bw1024",
+    );
 
-    println!("\ntotal designs evaluated: {}", unaware.len() + aware_128.len() + aware_1024.len());
+    println!(
+        "\ntotal designs evaluated: {}",
+        unaware.len() + aware_128.len() + aware_1024.len()
+    );
 
     // Shape assertions.
     let spread = |points: &[DsePoint], side: u64| -> f64 {
@@ -130,8 +156,7 @@ fn main() {
             .filter(|p| p.params.array_side == side)
             .map(|p| p.latency)
             .collect();
-        of.iter().cloned().fold(0.0, f64::max)
-            / of.iter().cloned().fold(f64::INFINITY, f64::min)
+        of.iter().cloned().fold(0.0, f64::max) / of.iter().cloned().fold(f64::INFINITY, f64::min)
     };
     // (a) The BW-unaware model wildly under-predicts low-bandwidth
     // designs: for the 64x64 array it claims a minimum latency several
@@ -166,7 +191,10 @@ fn main() {
         lat32_lo <= lat64_lo * 1.05,
         "at low BW the 32x32 must match the 64x64: {lat32_lo:.0} vs {lat64_lo:.0}"
     );
-    assert!(area32 < area64 * 0.5, "…at far lower area: {area32:.3} vs {area64:.3}");
+    assert!(
+        area32 < area64 * 0.5,
+        "…at far lower area: {area32:.3} vs {area64:.3}"
+    );
     // (c) At 1024 b/cy the 64x64 array pulls clear again.
     let (_, lat32_hi, _) = *best(&hi, 32);
     let (_, lat64_hi, _) = *best(&hi, 64);
@@ -177,7 +205,10 @@ fn main() {
     // More bandwidth never hurts the per-array best latency.
     for ((s_lo, lat_lo, _), (s_hi, lat_hi, _)) in lo.iter().zip(hi.iter()) {
         assert_eq!(s_lo, s_hi);
-        assert!(lat_hi <= lat_lo, "more bandwidth cannot hurt: {lat_lo} -> {lat_hi}");
+        assert!(
+            lat_hi <= lat_lo,
+            "more bandwidth cannot hurt: {lat_lo} -> {lat_hi}"
+        );
     }
     let _ = ua;
     println!(

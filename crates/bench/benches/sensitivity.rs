@@ -26,7 +26,13 @@ fn best_latency(gb_bw: u64, layer: &Layer) -> f64 {
 fn main() {
     let layers = [
         Layer::matmul("balanced (64,96,640)", 64, 96, 640, Precision::int8_out24()),
-        Layer::matmul("output-heavy (128,128,8)", 128, 128, 8, Precision::int8_out24()),
+        Layer::matmul(
+            "output-heavy (128,128,8)",
+            128,
+            128,
+            8,
+            Precision::int8_out24(),
+        ),
         Layer::matmul("input-heavy (8,8,512)", 8, 8, 512, Precision::int8_out24()),
     ];
     let bws = [32u64, 64, 128, 256, 512, 1024, 2048];
@@ -71,7 +77,10 @@ fn main() {
     for (i, layer) in layers.iter().enumerate() {
         match knees[i] {
             Some(k) => println!("  {:<28} knee at ~{k} bit/cycle", layer.name()),
-            None => println!("  {:<28} still bandwidth-bound at 2048 bit/cycle", layer.name()),
+            None => println!(
+                "  {:<28} still bandwidth-bound at 2048 bit/cycle",
+                layer.name()
+            ),
         }
     }
 

@@ -1,0 +1,79 @@
+//! `ulm-serve` speed benches: what the content-addressed cache buys on
+//! repeated evaluation, and what the parallelism knob buys on a DSE sweep.
+//!
+//! Two groups:
+//!
+//! * `serve_cache` — the same search request answered cold (fresh service
+//!   every iteration) vs warm (one service, cache hit after the first
+//!   iteration);
+//! * `dse_parallelism` — the identical design sweep on 1 vs N threads
+//!   (the results are byte-identical; only the wall clock changes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ulm::dse::{enumerate_designs, explore, ExploreOptions, MemoryPool};
+use ulm::prelude::*;
+use ulm::serve::{EvalService, ServeOptions};
+
+const REQUEST: &str = r#"{"kind":"search","arch":"case16","layer":"64x96x640","mapper":{"max_exhaustive":500,"samples":50}}"#;
+
+fn quiet_service() -> std::sync::Arc<EvalService> {
+    EvalService::new(ServeOptions {
+        parallelism: Some(1),
+        cache_capacity: 256,
+        queue_capacity: None,
+    })
+}
+
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_cache");
+    g.sample_size(10);
+    g.bench_function("uncached_search", |b| {
+        b.iter(|| {
+            // A fresh service each time: every request is a miss.
+            let svc = quiet_service();
+            black_box(svc.handle_line(black_box(REQUEST)))
+        })
+    });
+    let warm = quiet_service();
+    warm.handle_line(REQUEST); // prime the cache
+    g.bench_function("cached_search", |b| {
+        b.iter(|| black_box(warm.handle_line(black_box(REQUEST))))
+    });
+    g.finish();
+}
+
+fn bench_dse_parallelism(c: &mut Criterion) {
+    let layer = Layer::matmul("dse", 256, 256, 64, Precision::int8_out24());
+    let pool = MemoryPool {
+        w_reg_words_per_mac: vec![1, 2],
+        i_reg_words_per_mac: vec![1, 2],
+        o_reg_words_per_pe: vec![1, 2],
+        w_lb_kb: vec![4, 16],
+        i_lb_kb: vec![4, 16],
+    };
+    let designs = enumerate_designs(&pool, &[16], 128);
+    let opts = |threads: Option<usize>| ExploreOptions {
+        mapper: MapperOptions {
+            max_exhaustive: 200,
+            samples: 20,
+            ..MapperOptions::default()
+        },
+        parallelism: threads,
+        ..ExploreOptions::default()
+    };
+
+    let mut g = c.benchmark_group("dse_parallelism");
+    g.sample_size(10);
+    g.bench_function("threads_1", |b| {
+        b.iter(|| black_box(explore(&designs, &layer, &opts(None))))
+    });
+    let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    g.bench_function("threads_all", |b| {
+        b.iter(|| black_box(explore(&designs, &layer, &opts(Some(n)))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cached_vs_uncached, bench_dse_parallelism);
+criterion_main!(benches);

@@ -77,5 +77,10 @@ fn bench_mapping_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_model_vs_sim, bench_components, bench_mapping_search);
+criterion_group!(
+    benches,
+    bench_model_vs_sim,
+    bench_components,
+    bench_mapping_search
+);
 criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! to the level. Regenerates the table's three columns with measured
 //! values from the model.
 
+use ulm::model::DtlKind;
 use ulm::prelude::*;
 use ulm_bench::Table;
-use ulm::model::DtlKind;
 
 /// Two-level W-only design with a configurable register file.
 fn arch_with(db: bool) -> Architecture {
@@ -24,7 +24,11 @@ fn arch_with(db: bool) -> Architecture {
     b.set_chain(Operand::W, vec![w_reg, top]);
     b.set_chain(Operand::I, vec![top]);
     b.set_chain(Operand::O, vec![top]);
-    Architecture::new(if db { "db" } else { "non-db" }, MacArray::square(2), b.build().unwrap())
+    Architecture::new(
+        if db { "db" } else { "non-db" },
+        MacArray::square(2),
+        b.build().unwrap(),
+    )
 }
 
 /// Evaluates the W-Reg refill DTL under an explicit allocation.
@@ -60,7 +64,14 @@ fn main() {
 
     let mut t = Table::new(
         "Table I: ReqBW by memory type x top temporal loop type",
-        &["memory type", "top loop", "mapper-seen capacity", "BW0 [b/cy]", "ReqBW [b/cy]", "ReqBW/BW0"],
+        &[
+            "memory type",
+            "top loop",
+            "mapper-seen capacity",
+            "BW0 [b/cy]",
+            "ReqBW [b/cy]",
+            "ReqBW/BW0",
+        ],
     );
 
     // Double-buffered: ReqBW = BW0 for both r and ir tops.
@@ -107,7 +118,10 @@ fn main() {
     t.print();
     t.write_csv("table1_reqbw");
 
-    assert!(ss >= 0.0 || ss < 0.0, "touch ss to keep it observable: {ss}");
+    assert!(
+        ss >= 0.0 || ss < 0.0,
+        "touch ss to keep it observable: {ss}"
+    );
     println!(
         "\nPaper: ReqBW = BW0 for DB memories and non-DB with a relevant top\n\
          loop; ReqBW = BW0 x (top ir loop sizes) for non-DB with an\n\

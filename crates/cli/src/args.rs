@@ -75,7 +75,9 @@ impl Args {
                 } else if FLAGS.contains(&key) {
                     flags.push(key.to_string());
                 } else {
-                    let v = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(key.into()))?;
                     options.insert(key.to_string(), v);
                 }
             } else {
@@ -161,14 +163,7 @@ mod tests {
 
     #[test]
     fn full_command_line_round_trips() {
-        let a = parse(&[
-            "evaluate",
-            "--layer",
-            "64x96x640",
-            "--gb-bw=256",
-            "--json",
-        ])
-        .unwrap();
+        let a = parse(&["evaluate", "--layer", "64x96x640", "--gb-bw=256", "--json"]).unwrap();
         assert_eq!(a.command, "evaluate");
         assert_eq!(a.layer_dims((1, 1, 1)).unwrap(), (64, 96, 640));
         assert_eq!(a.u64_or("gb-bw", 128).unwrap(), 256);
@@ -192,7 +187,9 @@ mod tests {
             ArgError::MissingValue("gb-bw".into())
         );
         assert!(matches!(
-            parse(&["x", "--layer", "64x96"]).unwrap().layer_dims((1, 1, 1)),
+            parse(&["x", "--layer", "64x96"])
+                .unwrap()
+                .layer_dims((1, 1, 1)),
             Err(ArgError::BadValue { .. })
         ));
         assert!(matches!(

@@ -78,7 +78,11 @@ pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
         println!(
             "roofline bound: {:.0} cc ({}-bound at {})",
             rl.bound_cycles(),
-            if rl.memory_bound() { "memory" } else { "compute" },
+            if rl.memory_bound() {
+                "memory"
+            } else {
+                "compute"
+            },
             rl.bottleneck()
         );
         for fix in result.best.latency.bandwidth_fixes().iter().take(3) {
@@ -130,14 +134,15 @@ pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
             "evaluated {} of {} generated ({})",
             r.evaluated,
             r.generated,
-            if r.exhaustive { "exhaustive" } else { "sampled" }
+            if r.exhaustive {
+                "exhaustive"
+            } else {
+                "sampled"
+            }
         );
         println!("best mapping: {}", r.best.mapping);
         print!("{}", r.best.latency);
-        println!(
-            "energy: {:.1} nJ",
-            r.best.energy.total_pj() / 1000.0
-        );
+        println!("energy: {:.1} nJ", r.best.energy.total_pj() / 1000.0);
     }
     Ok(())
 }
@@ -162,7 +167,12 @@ pub fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
             - (best.latency.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
             * 100.0;
         acc_sum += acc;
-        rows.push((layer.name().to_string(), best.latency.cc_total, sim.total_cycles, acc));
+        rows.push((
+            layer.name().to_string(),
+            best.latency.cc_total,
+            sim.total_cycles,
+            acc,
+        ));
     }
     if args.flag("json") {
         let out = serde_json::json!({
@@ -199,7 +209,11 @@ pub fn dse(args: &Args) -> Result<(), Box<dyn Error>> {
         });
         println!("{}", serde_json::to_string_pretty(&out)?);
     } else {
-        println!("{} evaluated, {} on the Pareto front:", points.len(), front.len());
+        println!(
+            "{} evaluated, {} on the Pareto front:",
+            points.len(),
+            front.len()
+        );
         for &i in &front {
             let p = &points[i];
             println!(
@@ -270,6 +284,55 @@ pub fn network(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Service sizing shared by `ulm batch` and `ulm serve`.
+fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
+    Ok(ulm::serve::ServeOptions {
+        parallelism: match args.u64_or("parallelism", 0)? {
+            0 => None,
+            n => Some(n as usize),
+        },
+        cache_capacity: args.u64_or("cache-capacity", 4096)? as usize,
+        queue_capacity: None,
+    })
+}
+
+/// `ulm batch`: answer NDJSON evaluation requests from stdin on stdout,
+/// through the worker pool and the content-addressed result cache.
+pub fn batch(args: &Args) -> Result<(), Box<dyn Error>> {
+    let service = ulm::serve::EvalService::new(serve_options(args)?);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let summary = ulm::serve::run_batch(&service, stdin.lock(), &mut out)?;
+    let stats = service.cache_stats();
+    eprintln!(
+        "batch: {} requests ({} errors), cache {} hits / {} misses ({:.0}% hit rate)",
+        summary.requests,
+        summary.errors,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    Ok(())
+}
+
+/// `ulm serve`: the same NDJSON protocol over TCP, one line per request.
+pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    let port = args.u64_or("port", 7878)?;
+    let max_connections = match args.u64_or("max-connections", 0)? {
+        0 => None,
+        n => Some(n as usize),
+    };
+    let service = ulm::serve::EvalService::new(serve_options(args)?);
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port as u16))?;
+    eprintln!(
+        "serving NDJSON evaluation requests on {}",
+        listener.local_addr()?
+    );
+    ulm::serve::run_tcp(&service, listener, max_connections)?;
+    Ok(())
+}
+
 /// `ulm help`.
 pub fn help() {
     println!(
@@ -283,6 +346,8 @@ COMMANDS
   validate   model vs discrete-event simulator on the hand-tracking layers
   dse        architecture design-space exploration with a Pareto front
   network    schedule the hand-tracking network end to end (--overlap)
+  batch      answer NDJSON eval/search/stats requests from stdin on stdout
+  serve      the same NDJSON protocol over TCP (--port, default 7878)
   help       this text
 
 COMMON OPTIONS
@@ -298,6 +363,10 @@ COMMON OPTIONS
   --file <path.json>    (network: load a JSON network description)
   --json                machine-readable output
   --bw-unaware          use the stall-ignoring baseline model
-  --overlap             weight-prefetch overlap (network)"
+  --overlap             weight-prefetch overlap (network)
+  --parallelism <n>     worker threads (batch/serve; 0 = all cores)
+  --cache-capacity <n>  cached results (batch/serve; default 4096)
+  --port <n>            TCP port (serve; default 7878)
+  --max-connections <n> stop after n connections (serve; 0 = unlimited)"
     );
 }

@@ -6,6 +6,8 @@
 //! ulm validate --json
 //! ulm dse      --gb-bw 1024 --sides 16,64
 //! ulm network  --overlap
+//! ulm batch    < requests.ndjson
+//! ulm serve    --port 7878
 //! ```
 
 mod args;
@@ -34,6 +36,8 @@ fn main() -> ExitCode {
         "validate" => commands::validate(&args),
         "dse" => commands::dse(&args),
         "network" => commands::network(&args),
+        "batch" => commands::batch(&args),
+        "serve" => commands::serve(&args),
         other => {
             eprintln!("error: unknown command `{other}`");
             commands::help();

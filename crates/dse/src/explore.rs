@@ -28,6 +28,11 @@ pub struct ExploreOptions {
     pub mapper: MapperOptions,
     /// Area-model parameters.
     pub area: AreaModel,
+    /// Worker threads for [`explore`]: `None` or `Some(1)` evaluates
+    /// serially; `Some(n)` splits the design list across `n` threads.
+    /// Results are merged in design order, so the output is identical for
+    /// every thread count.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -41,6 +46,7 @@ impl Default for ExploreOptions {
                 ..MapperOptions::default()
             },
             area: AreaModel::default(),
+            parallelism: None,
         }
     }
 }
@@ -57,8 +63,7 @@ pub fn evaluate_design(
     layer: &Layer,
     opts: &ExploreOptions,
 ) -> Result<DsePoint, MapperError> {
-    let mapper = Mapper::new(&design.arch, layer, design.spatial.clone())
-        .with_options(opts.mapper);
+    let mapper = Mapper::new(&design.arch, layer, design.spatial.clone()).with_options(opts.mapper);
     let result = mapper.search(Objective::Latency)?;
     let h = design.arch.hierarchy();
     let exclude: Vec<_> = h.find("GB").into_iter().collect();
@@ -73,11 +78,31 @@ pub fn evaluate_design(
 }
 
 /// Evaluates every design, silently skipping ones with no legal mapping.
+///
+/// With `opts.parallelism = Some(n)` (n > 1) the designs are split across
+/// `n` threads; each design is still evaluated by the same deterministic
+/// seeded search and the results are merged back in design order, so the
+/// returned vector is byte-identical to the serial one.
 pub fn explore(designs: &[DesignPoint], layer: &Layer, opts: &ExploreOptions) -> Vec<DsePoint> {
-    designs
-        .iter()
-        .filter_map(|d| evaluate_design(d, layer, opts).ok())
-        .collect()
+    let threads = opts.parallelism.unwrap_or(1).clamp(1, designs.len().max(1));
+    if threads <= 1 {
+        return designs
+            .iter()
+            .filter_map(|d| evaluate_design(d, layer, opts).ok())
+            .collect();
+    }
+    let mut slots: Vec<Option<DsePoint>> = vec![None; designs.len()];
+    let chunk = designs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (d_chunk, s_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (d, slot) in d_chunk.iter().zip(s_chunk.iter_mut()) {
+                    *slot = evaluate_design(d, layer, opts).ok();
+                }
+            });
+        }
+    });
+    slots.into_iter().flatten().collect()
 }
 
 /// Indices of the latency-area Pareto front (minimizing both), sorted by
@@ -171,6 +196,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_explore_matches_serial_exactly() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1, 2],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4, 16],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let serial = explore(&designs, &small_layer(), &quick_opts());
+        for threads in [2usize, 3, 8] {
+            let par = explore(
+                &designs,
+                &small_layer(),
+                &ExploreOptions {
+                    parallelism: Some(threads),
+                    ..quick_opts()
+                },
+            );
+            assert_eq!(serial, par, "parallelism={threads} diverged from serial");
+        }
+    }
+
+    #[test]
     fn pareto_front_is_monotone() {
         let pool = MemoryPool {
             w_reg_words_per_mac: vec![1, 2],
@@ -195,8 +244,7 @@ mod tests {
                 continue;
             }
             assert!(front.iter().any(|&f| {
-                points[f].area_mm2 <= p.area_mm2 + 1e-12
-                    && points[f].latency <= p.latency + 1e-9
+                points[f].area_mm2 <= p.area_mm2 + 1e-12 && points[f].latency <= p.latency + 1e-9
             }));
         }
     }

@@ -86,7 +86,10 @@ pub struct DesignPoint {
 /// draining straight to a 1 MB GB backing store.
 pub fn build_design(p: DesignParams) -> DesignPoint {
     let side = p.array_side;
-    assert!(side >= 2 && side.is_multiple_of(2), "array side must be even");
+    assert!(
+        side >= 2 && side.is_multiple_of(2),
+        "array side must be even"
+    );
     let array = MacArray::new(side / 2, side, 2);
     let macs = array.num_macs();
     let pes = array.num_pes();
@@ -108,16 +111,12 @@ pub fn build_design(p: DesignParams) -> DesignPoint {
             .with_ports(vec![Port::read(pes * 24), Port::write(pes * 24)]),
     );
     let w_lb = b.add_memory(
-        Memory::new("W-LB", MemoryKind::Sram, p.w_lb_kb * KB).with_ports(vec![
-            Port::read(256 * scale),
-            Port::write(128 * scale),
-        ]),
+        Memory::new("W-LB", MemoryKind::Sram, p.w_lb_kb * KB)
+            .with_ports(vec![Port::read(256 * scale), Port::write(128 * scale)]),
     );
     let i_lb = b.add_memory(
-        Memory::new("I-LB", MemoryKind::Sram, p.i_lb_kb * KB).with_ports(vec![
-            Port::read(256 * scale),
-            Port::write(128 * scale),
-        ]),
+        Memory::new("I-LB", MemoryKind::Sram, p.i_lb_kb * KB)
+            .with_ports(vec![Port::read(256 * scale), Port::write(128 * scale)]),
     );
     let gb = b.add_memory(
         Memory::new("GB", MemoryKind::Sram, 1024 * KB)
@@ -197,10 +196,18 @@ mod tests {
         let d = build_design(p);
         assert_eq!(d.arch.mac_array().num_macs(), 1024);
         let h = d.arch.hierarchy();
-        assert_eq!(h.mem(h.find("W-Reg").unwrap()).capacity_bits(), 1024 * 2 * 8);
+        assert_eq!(
+            h.mem(h.find("W-Reg").unwrap()).capacity_bits(),
+            1024 * 2 * 8
+        );
         assert_eq!(h.mem(h.find("I-LB").unwrap()).capacity_bits(), 16 * KB);
         assert_eq!(
-            h.port(h.find("GB").unwrap(), Operand::O, ulm_arch::PortUse::WriteIn).1,
+            h.port(
+                h.find("GB").unwrap(),
+                Operand::O,
+                ulm_arch::PortUse::WriteIn
+            )
+            .1,
             1024
         );
         assert_eq!(d.spatial.product(), 1024);

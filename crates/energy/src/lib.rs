@@ -246,9 +246,7 @@ mod tests {
     use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
     use ulm_workload::{Dim, Layer, Precision};
 
-    fn toy_view(
-        stack: &[(Dim, u64)],
-    ) -> (ulm_arch::presets::PresetChip, Layer, Mapping) {
+    fn toy_view(stack: &[(Dim, u64)]) -> (ulm_arch::presets::PresetChip, Layer, Mapping) {
         let chip = presets::toy_chip();
         let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
         let mapping = Mapping::with_greedy_alloc(

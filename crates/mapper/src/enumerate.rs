@@ -48,7 +48,13 @@ pub fn for_each_ordering(factors: &[Factor], mut visit: impl FnMut(&[Factor]) ->
         }
         true
     }
-    rec(&mut items, &mut current, factors.len(), &mut visited, &mut visit);
+    rec(
+        &mut items,
+        &mut current,
+        factors.len(),
+        &mut visited,
+        &mut visit,
+    );
     visited
 }
 

@@ -93,9 +93,21 @@ mod tests {
         let dims = DimSizes::new(64, 96, 640, 1, 1, 1, 1);
         let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
         let f = temporal_factors(&dims, &spatial);
-        let prod_b: u64 = f.iter().filter(|(d, _)| *d == Dim::B).map(|(_, p)| p).product();
-        let prod_k: u64 = f.iter().filter(|(d, _)| *d == Dim::K).map(|(_, p)| p).product();
-        let prod_c: u64 = f.iter().filter(|(d, _)| *d == Dim::C).map(|(_, p)| p).product();
+        let prod_b: u64 = f
+            .iter()
+            .filter(|(d, _)| *d == Dim::B)
+            .map(|(_, p)| p)
+            .product();
+        let prod_k: u64 = f
+            .iter()
+            .filter(|(d, _)| *d == Dim::K)
+            .map(|(_, p)| p)
+            .product();
+        let prod_c: u64 = f
+            .iter()
+            .filter(|(d, _)| *d == Dim::C)
+            .map(|(_, p)| p)
+            .product();
         assert_eq!((prod_b, prod_k, prod_c), (8, 6, 320));
     }
 

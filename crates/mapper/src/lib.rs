@@ -44,7 +44,7 @@ use ulm_model::{LatencyModel, LatencyReport};
 use ulm_workload::Layer;
 
 /// What the search minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Objective {
     /// Total latency in cycles.
     Latency,
@@ -55,7 +55,7 @@ pub enum Objective {
 }
 
 /// Search configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MapperOptions {
     /// Enumerate exhaustively while the ordering count is at most this.
     pub max_exhaustive: u128,
@@ -80,7 +80,7 @@ impl Default for MapperOptions {
 }
 
 /// A mapping with its evaluations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct EvaluatedMapping {
     /// The mapping.
     pub mapping: Mapping,
@@ -102,7 +102,7 @@ impl EvaluatedMapping {
 }
 
 /// Outcome of a mapping search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SearchResult {
     /// The best legal mapping found.
     pub best: EvaluatedMapping,
@@ -354,15 +354,10 @@ mod tests {
 
     #[test]
     fn seeded_orderings_cover_stationary_dataflows() {
-        let f = vec![
-            (Dim::C, 2),
-            (Dim::C, 5),
-            (Dim::B, 2),
-            (Dim::K, 3),
-        ];
+        let f = vec![(Dim::C, 2), (Dim::C, 5), (Dim::B, 2), (Dim::K, 3)];
         let seeds = enumerate::seeded_orderings(&f);
         assert_eq!(seeds.len(), 6); // 3! dim permutations
-        // Output-stationary ordering (C group innermost) is present.
+                                    // Output-stationary ordering (C group innermost) is present.
         assert!(seeds.iter().any(|s| s[0].0 == Dim::C && s[1].0 == Dim::C));
         // Every seed is a permutation of the multiset.
         for s in &seeds {

@@ -71,7 +71,10 @@ impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MappingError::SpatialOverflow { product, macs } => {
-                write!(f, "spatial unrolling needs {product} MACs but the array has {macs}")
+                write!(
+                    f,
+                    "spatial unrolling needs {product} MACs but the array has {macs}"
+                )
             }
             MappingError::LevelsMismatch {
                 operand,
@@ -252,8 +255,7 @@ mod tests {
         let spatial = SpatialUnroll::new(chip.spatial.clone());
         // C8 innermost, then B2, K2.
         let stack = LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]);
-        let m =
-            Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("fits");
+        let m = Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("fits");
         // W at regs: spatial W words = K2 = 2 -> adding C8 would need 16
         // words > 2, so the reg level holds no temporal loop for W.
         assert_eq!(m.alloc(Operand::W).upper(0), 0);
@@ -273,8 +275,7 @@ mod tests {
         let spatial = SpatialUnroll::new(chip.spatial.clone());
         // B2 innermost: irrelevant to W, so W-Reg absorbs it for free.
         let stack = LoopStack::from_pairs(&[(Dim::B, 2), (Dim::C, 8), (Dim::K, 2)]);
-        let m =
-            Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("fits");
+        let m = Mapping::with_greedy_alloc(&chip.arch, &layer, spatial, stack).expect("fits");
         assert_eq!(m.alloc(Operand::W).upper(0), 1);
     }
 

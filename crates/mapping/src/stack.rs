@@ -65,7 +65,12 @@ impl LoopStack {
 
     /// Builds a stack from `(dim, size)` pairs, innermost first.
     pub fn from_pairs(pairs: &[(Dim, u64)]) -> Self {
-        Self::new(pairs.iter().map(|&(d, s)| TemporalLoop::new(d, s)).collect())
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(d, s)| TemporalLoop::new(d, s))
+                .collect(),
+        )
     }
 
     /// An empty stack (single-iteration nest).

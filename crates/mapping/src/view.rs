@@ -78,8 +78,7 @@ impl<'a> MappedLayer<'a> {
         }
         // Coverage: spatial x temporal extent >= layer bound per dim.
         for (dim, required) in self.layer.shape().dims().iter() {
-            let mapped =
-                self.mapping.spatial().extent(dim) * self.mapping.stack().extent(dim);
+            let mapped = self.mapping.spatial().extent(dim) * self.mapping.stack().extent(dim);
             if mapped < required {
                 return Err(MappingError::Coverage {
                     dim,

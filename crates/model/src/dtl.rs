@@ -121,20 +121,14 @@ enum WindowShape {
 fn make_window(shape: WindowShape, period: u64, z: u64) -> (f64, PeriodicWindow) {
     let p = period as f64;
     match shape {
-        WindowShape::Full => (
-            p,
-            PeriodicWindow::full(p, z).expect("positive period"),
-        ),
+        WindowShape::Full => (p, PeriodicWindow::full(p, z).expect("positive period")),
         WindowShape::Trailing(n) => {
             let x = p / n as f64;
             (x, PeriodicWindow::trailing(p, x, z).expect("x <= period"))
         }
         WindowShape::Leading(n) => {
             let x = p / n as f64;
-            (
-                x,
-                PeriodicWindow::new(p, 0.0, x, z).expect("x <= period"),
-            )
+            (x, PeriodicWindow::new(p, 0.0, x, z).expect("x <= period"))
         }
     }
 }
@@ -387,11 +381,7 @@ mod tests {
     use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
     use ulm_workload::{Dim, Layer, Precision};
 
-    fn toy_view() -> (
-        ulm_arch::presets::PresetChip,
-        Layer,
-        Mapping,
-    ) {
+    fn toy_view() -> (ulm_arch::presets::PresetChip, Layer, Mapping) {
         let chip = presets::toy_chip();
         let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
         let mapping = Mapping::with_greedy_alloc(
@@ -411,9 +401,15 @@ mod tests {
         let dtls = build_dtls(&view, DtlOptions::default());
         // W refill, I refill, O drain (+ no psum readback: outputs final
         // above O-Reg), 3 compute links.
-        let refills = dtls.iter().filter(|d| d.kind == DtlKind::RefillDown).count();
+        let refills = dtls
+            .iter()
+            .filter(|d| d.kind == DtlKind::RefillDown)
+            .count();
         let drains = dtls.iter().filter(|d| d.kind == DtlKind::DrainUp).count();
-        let readbacks = dtls.iter().filter(|d| d.kind == DtlKind::PsumReadback).count();
+        let readbacks = dtls
+            .iter()
+            .filter(|d| d.kind == DtlKind::PsumReadback)
+            .count();
         let compute = dtls
             .iter()
             .filter(|d| matches!(d.kind, DtlKind::ComputeFeed | DtlKind::ComputeWriteback))

@@ -63,7 +63,7 @@ use ulm_mapping::MappedLayer;
 use ulm_periodic::UnionOptions;
 
 /// Tuning options for a [`LatencyModel`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ModelOptions {
     /// When false, `SS_overall` is forced to zero — the memory-BW-unaware
     /// baseline of Case studies 2 and 3.
@@ -137,14 +137,15 @@ impl LatencyModel {
         );
 
         // Steps 2 & 3: combine and integrate.
-        let groups = stall::combine_ports_with(
-            &dtls,
-            self.opts.union,
-            self.opts.eq2_oversubscription_bound,
-        );
+        let groups =
+            stall::combine_ports_with(&dtls, self.opts.union, self.opts.eq2_oversubscription_bound);
         let mem_stalls = stall::combine_memories(&groups);
         let raw = stall::integrate(view.arch(), &mem_stalls);
-        let ss_overall = if self.opts.bw_aware { raw.max(0.0) } else { 0.0 };
+        let ss_overall = if self.opts.bw_aware {
+            raw.max(0.0)
+        } else {
+            0.0
+        };
 
         // Phases and scenario math.
         let preload = phases::preload_cycles(view);

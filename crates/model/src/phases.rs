@@ -82,8 +82,7 @@ mod tests {
         let layer = Layer::matmul("mm", 64, 64, 64, Precision::int8_acc24());
         let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
         let stack = LoopStack::from_pairs(&[(Dim::C, 32), (Dim::B, 8), (Dim::K, 4)]);
-        let mapping =
-            Mapping::with_greedy_alloc(&chip, &layer, spatial, stack).unwrap();
+        let mapping = Mapping::with_greedy_alloc(&chip, &layer, spatial, stack).unwrap();
         let view = MappedLayer::new(&layer, &chip, &mapping).unwrap();
         // Three levels for W/I: two links each, so preload covers both.
         assert!(preload_cycles(&view) > 0);

@@ -179,7 +179,12 @@ impl LatencyReport {
 
 impl fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "latency: {:.0} cycles (scenario {})", self.cc_total, self.scenario.number())?;
+        writeln!(
+            f,
+            "latency: {:.0} cycles (scenario {})",
+            self.cc_total,
+            self.scenario.number()
+        )?;
         writeln!(
             f,
             "  preload {} | ideal {:.0} | spatial stall {:.0} | temporal stall {:.0} | offload {}",

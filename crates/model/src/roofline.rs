@@ -97,11 +97,7 @@ pub fn roofline(view: &MappedLayer<'_>) -> Roofline {
                 }
             };
             roofs.push(Roof {
-                interface: format!(
-                    "{op}: {}<->{}",
-                    h.mem(upper).name(),
-                    h.mem(lower).name()
-                ),
+                interface: format!("{op}: {}<->{}", h.mem(upper).name(), h.mem(lower).name()),
                 traffic_bits,
                 bw_bits,
                 min_cycles: traffic_bits as f64 / bw_bits as f64,
@@ -126,11 +122,7 @@ mod tests {
         let arch = presets::case_study_chip(gb_bw);
         let layer = Layer::matmul("r", b, k, c, Precision::int8_out24());
         let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
-        let stack = LoopStack::from_pairs(&[
-            (Dim::C, c / 2),
-            (Dim::B, b / 8),
-            (Dim::K, k / 16),
-        ]);
+        let stack = LoopStack::from_pairs(&[(Dim::C, c / 2), (Dim::B, b / 8), (Dim::K, k / 16)]);
         let mapping = Mapping::with_greedy_alloc(&arch, &layer, spatial, stack).unwrap();
         let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
         let rl = roofline(&view);

@@ -48,7 +48,7 @@ use ulm_model::{LatencyModel, LatencyReport};
 use ulm_workload::Layer;
 
 /// How consecutive layers may overlap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum InterLayerOverlap {
     /// Strictly sequential: each layer starts after the previous finishes.
     #[default]
@@ -59,7 +59,7 @@ pub enum InterLayerOverlap {
 }
 
 /// Per-layer outcome inside a network schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct LayerResult {
     /// The layer's name.
     pub name: String,
@@ -74,7 +74,7 @@ pub struct LayerResult {
 }
 
 /// The whole-network result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NetworkReport {
     /// Per-layer results in execution order.
     pub layers: Vec<LayerResult>,
@@ -168,6 +168,7 @@ pub struct NetworkEvaluator<'a> {
     mapper_opts: MapperOptions,
     overlap: InterLayerOverlap,
     objective: Objective,
+    parallelism: Option<usize>,
 }
 
 impl<'a> NetworkEvaluator<'a> {
@@ -184,6 +185,7 @@ impl<'a> NetworkEvaluator<'a> {
             },
             overlap: InterLayerOverlap::None,
             objective: Objective::Latency,
+            parallelism: None,
         }
     }
 
@@ -205,31 +207,77 @@ impl<'a> NetworkEvaluator<'a> {
         self
     }
 
+    /// Sets how many threads the per-layer mapping searches may use.
+    /// `None`/`Some(1)` is serial; each layer's search is deterministic and
+    /// the overlap post-pass is always applied in layer order, so every
+    /// thread count produces the identical report.
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Searches one layer's mapping and evaluates it (no scheduling yet).
+    fn evaluate_layer(
+        &self,
+        layer: &Layer,
+    ) -> Result<(Mapping, LatencyReport, EnergyReport), NetworkError> {
+        let mapper =
+            Mapper::new(self.arch, layer, self.spatial.clone()).with_options(self.mapper_opts);
+        let best = mapper
+            .search(self.objective)
+            .map_err(|source| NetworkError::LayerUnmappable {
+                layer: layer.name().to_string(),
+                source,
+            })?
+            .best;
+        let view = MappedLayer::new(layer, self.arch, &best.mapping)
+            .expect("search returns validated mappings");
+        let latency = LatencyModel::new().evaluate(&view);
+        let energy = EnergyModel::new().evaluate(&view);
+        Ok((best.mapping, latency, energy))
+    }
+
     /// Optimizes and schedules every layer.
+    ///
+    /// The per-layer searches are independent, so with
+    /// [`with_parallelism`](Self::with_parallelism) they run on multiple
+    /// threads; the inter-layer overlap pass stays sequential (it needs the
+    /// previous layer's result) and errors are reported in layer order
+    /// either way.
     ///
     /// # Errors
     ///
     /// Returns [`NetworkError::LayerUnmappable`] naming the first layer
     /// with no legal mapping.
     pub fn evaluate(&self, layers: &[Layer]) -> Result<NetworkReport, NetworkError> {
-        let energy_model = EnergyModel::new();
+        type LayerEval = Result<(Mapping, LatencyReport, EnergyReport), NetworkError>;
+        let threads = self.parallelism.unwrap_or(1).clamp(1, layers.len().max(1));
+        let evals: Vec<LayerEval> = if threads <= 1 {
+            layers.iter().map(|l| self.evaluate_layer(l)).collect()
+        } else {
+            let mut slots: Vec<Option<LayerEval>> = vec![None; layers.len()];
+            let chunk = layers.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (l_chunk, s_chunk) in layers.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (layer, slot) in l_chunk.iter().zip(s_chunk.iter_mut()) {
+                            *slot = Some(self.evaluate_layer(layer));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every layer slot is filled"))
+                .collect()
+        };
+
+        // Sequential post-pass: weight prefetch hides this layer's preload
+        // under the previous layer's computation phase, and the first
+        // unmappable layer (in order) is the one reported.
         let mut results: Vec<LayerResult> = Vec::with_capacity(layers.len());
-        for layer in layers {
-            let mapper = Mapper::new(self.arch, layer, self.spatial.clone())
-                .with_options(self.mapper_opts);
-            let best = mapper
-                .search(self.objective)
-                .map_err(|source| NetworkError::LayerUnmappable {
-                    layer: layer.name().to_string(),
-                    source,
-                })?
-                .best;
-            let view = MappedLayer::new(layer, self.arch, &best.mapping)
-                .expect("search returns validated mappings");
-            let latency = LatencyModel::new().evaluate(&view);
-            let energy = energy_model.evaluate(&view);
-            // Weight prefetch: this layer's preload hides under the
-            // previous layer's computation phase.
+        for (layer, eval) in layers.iter().zip(evals) {
+            let (mapping, latency, energy) = eval?;
             let hidden_preload = match (self.overlap, results.last()) {
                 (InterLayerOverlap::WeightPrefetch, Some(prev)) => {
                     (latency.preload as f64).min(prev.latency.cc_compute()) as u64
@@ -238,7 +286,7 @@ impl<'a> NetworkEvaluator<'a> {
             };
             results.push(LayerResult {
                 name: layer.name().to_string(),
-                mapping: best.mapping,
+                mapping,
                 latency,
                 energy,
                 hidden_preload,
@@ -320,6 +368,48 @@ mod tests {
         let arch = presets::case_study_chip(128);
         let r = quick(&arch).evaluate(&small_net()).unwrap();
         assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial_exactly() {
+        let arch = presets::case_study_chip(128);
+        let serial = quick(&arch)
+            .with_overlap(InterLayerOverlap::WeightPrefetch)
+            .evaluate(&small_net())
+            .unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = quick(&arch)
+                .with_overlap(InterLayerOverlap::WeightPrefetch)
+                .with_parallelism(Some(threads))
+                .evaluate(&small_net())
+                .unwrap();
+            assert_eq!(serial.layers.len(), par.layers.len());
+            for (s, p) in serial.layers.iter().zip(&par.layers) {
+                assert_eq!(s.name, p.name);
+                assert_eq!(s.mapping, p.mapping, "parallelism={threads}");
+                assert_eq!(s.latency, p.latency);
+                assert_eq!(s.energy.total_fj, p.energy.total_fj);
+                assert_eq!(s.hidden_preload, p.hidden_preload);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_error_is_first_in_layer_order() {
+        let arch = presets::case_study_chip(128);
+        // Two unmappable layers: the *first* one must be the error named,
+        // even when a later chunk fails first in wall-clock time.
+        let layers = vec![
+            Layer::matmul("ok0", 64, 64, 128, Precision::int8_acc24()),
+            Layer::matmul("bad1", 64, 64, 64, Precision::uniform(512)),
+            Layer::matmul("ok2", 64, 32, 128, Precision::int8_acc24()),
+            Layer::matmul("bad3", 32, 64, 64, Precision::uniform(512)),
+        ];
+        let err = quick(&arch)
+            .with_parallelism(Some(4))
+            .evaluate(&layers)
+            .unwrap_err();
+        assert!(err.to_string().contains("bad1"), "{err}");
     }
 
     #[test]

@@ -356,14 +356,22 @@ mod tests {
     fn partition_cannot_exceed_dimension() {
         // K = 8: only 8 cores can have work even if 16 are configured.
         let small = Layer::matmul("s", 64, 8, 64, Precision::int8_acc24());
-        let mc = MultiCoreEvaluator::new(factory, 16, Partition::OutputChannels, BackingStore::Private);
+        let mc = MultiCoreEvaluator::new(
+            factory,
+            16,
+            Partition::OutputChannels,
+            BackingStore::Private,
+        );
         let r = mc.evaluate_layer(&small).unwrap();
         assert_eq!(r.active_cores, 8);
     }
 
     #[test]
     fn network_totals_sum_layer_maxima() {
-        let layers = vec![layer(), Layer::matmul("m2", 128, 64, 128, Precision::int8_acc24())];
+        let layers = vec![
+            layer(),
+            Layer::matmul("m2", 128, 64, 128, Precision::int8_acc24()),
+        ];
         let mc = MultiCoreEvaluator::new(
             factory,
             2,
@@ -381,8 +389,7 @@ mod tests {
     #[test]
     fn scaling_sweep_reports_efficiency() {
         let layers = vec![layer()];
-        let rows =
-            scaling_sweep(factory, &[1, 2, 4], Partition::Batch, 512, &layers).unwrap();
+        let rows = scaling_sweep(factory, &[1, 2, 4], Partition::Batch, 512, &layers).unwrap();
         assert_eq!(rows.len(), 3);
         // Efficiency at 1 core is 1.0 by construction.
         assert!((rows[0].2 - 1.0).abs() < 1e-9);

@@ -68,7 +68,7 @@ impl Measure {
 }
 
 /// Tuning knobs for the union computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct UnionOptions {
     /// Maximum number of individual intervals any exact strategy may
     /// materialize before falling back to the approximation.
@@ -125,7 +125,11 @@ pub fn union_measure_with(windows: &[PeriodicWindow], opts: UnionOptions) -> Mea
     let density_gap: f64 = live.iter().map(|w| 1.0 - w.len() / w.period()).product();
     let estimate = total_span * (1.0 - density_gap);
     let lower = live.iter().map(|w| w.measure()).fold(0.0, f64::max);
-    let upper = live.iter().map(|w| w.measure()).sum::<f64>().min(total_span);
+    let upper = live
+        .iter()
+        .map(|w| w.measure())
+        .sum::<f64>()
+        .min(total_span);
     Measure::approximate(estimate.clamp(lower, upper))
 }
 
@@ -166,7 +170,10 @@ fn try_hyperperiod_union(
             return None;
         }
     }
-    let reps: u64 = windows.iter().map(|w| (hyper / w.period()).round() as u64).sum();
+    let reps: u64 = windows
+        .iter()
+        .map(|w| (hyper / w.period()).round() as u64)
+        .sum();
     if reps > opts.max_intervals {
         return None;
     }
@@ -425,7 +432,10 @@ mod tests {
     fn intersection_of_disjoint_windows_is_zero() {
         let a = w(10.0, 0.0, 2.0, 4);
         let b = w(10.0, 5.0, 2.0, 4);
-        assert_eq!(intersection_measure(&a, &b, UnionOptions::default()).value(), 0.0);
+        assert_eq!(
+            intersection_measure(&a, &b, UnionOptions::default()).value(),
+            0.0
+        );
     }
 
     #[test]

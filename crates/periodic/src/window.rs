@@ -67,7 +67,9 @@ impl PeriodicWindow {
         // Tolerate tiny floating-point overshoot from X = P / n * n round
         // trips, then clamp.
         let eps = period * 1e-12;
-        if !(start.is_finite() && len.is_finite()) || start < 0.0 || len < 0.0
+        if !(start.is_finite() && len.is_finite())
+            || start < 0.0
+            || len < 0.0
             || start + len > period + eps
         {
             return Err(WindowError::BadInterval { start, len, period });

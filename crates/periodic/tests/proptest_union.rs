@@ -46,7 +46,11 @@ fn brute_union(windows: &[PeriodicWindow]) -> f64 {
     for w in windows {
         for k in 0..w.count() {
             let (lo, hi) = w.interval(k);
-            for cell in grid.iter_mut().take(hi.round() as usize).skip(lo.round() as usize) {
+            for cell in grid
+                .iter_mut()
+                .take(hi.round() as usize)
+                .skip(lo.round() as usize)
+            {
                 *cell = true;
             }
         }

@@ -1,0 +1,262 @@
+//! Sharded, bounded, content-addressed result cache.
+//!
+//! Maps a [`Fingerprint`](crate::fingerprint::Fingerprint) to a cached
+//! evaluation result. The key space is split across independent
+//! `RwLock`-guarded shards so concurrent workers rarely contend; reads take
+//! the shard's read lock (recency stamps are atomics, so hits never upgrade
+//! to a write lock). Each shard is bounded and evicts its least-recently-used
+//! entry on overflow. Hit/miss/insert/evict counters feed the `/stats`
+//! protocol endpoint.
+
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+const SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: V,
+    /// Last-touch tick from the cache-wide clock; highest = most recent.
+    stamp: AtomicU64,
+}
+
+/// Aggregate cache counters, as reported by `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0.0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU-ish memoization cache keyed by fingerprint.
+pub struct ResultCache<V> {
+    shards: Vec<RwLock<HashMap<u128, Entry<V>>>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// A cache holding at most `capacity` entries (rounded up to a multiple
+    /// of the shard count; a zero capacity disables storage but still
+    /// counts lookups).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_capacity = capacity.div_ceil(SHARDS);
+        ResultCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &RwLock<HashMap<u128, Entry<V>>> {
+        // Low bits of an FNV hash mix well; SHARDS is a power of two.
+        &self.shards[(fp.0 as usize) & (SHARDS - 1)]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&self, fp: Fingerprint) -> Option<V> {
+        let shard = self.shard(fp).read().expect("cache shard poisoned");
+        match shard.get(&fp.0) {
+            Some(entry) => {
+                entry.stamp.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a value, evicting the shard's least-recently-used entry when
+    /// the shard is full.
+    pub fn insert(&self, fp: Fingerprint, value: V) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(fp).write().expect("cache shard poisoned");
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&fp.0) {
+            if let Some(oldest) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                shard.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(
+            fp.0,
+            Entry {
+                value,
+                stamp: AtomicU64::new(self.tick()),
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache-through evaluation: returns `(value, was_hit)`, computing and
+    /// storing on a miss. Concurrent misses on the same key may compute
+    /// twice; both arrive at the same value, so the duplicate insert is
+    /// harmless.
+    pub fn get_or_compute<F: FnOnce() -> V>(&self, fp: Fingerprint, compute: F) -> (V, bool) {
+        if let Some(v) = self.get(fp) {
+            return (v, true);
+        }
+        let v = compute();
+        self.insert(fp, v.clone());
+        (v, false)
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.per_shard_capacity * SHARDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let cache: ResultCache<u64> = ResultCache::new(64);
+        assert_eq!(cache.get(fp(1)), None);
+        cache.insert(fp(1), 10);
+        assert_eq!(cache.get(fp(1)), Some(10));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_or_compute_memoizes() {
+        let cache: ResultCache<u64> = ResultCache::new(64);
+        let mut calls = 0;
+        let (v, hit) = cache.get_or_compute(fp(7), || {
+            calls += 1;
+            42
+        });
+        assert_eq!((v, hit, calls), (42, false, 1));
+        let (v, hit) = cache.get_or_compute(fp(7), || {
+            calls += 1;
+            42
+        });
+        assert_eq!((v, hit, calls), (42, true, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_within_shard() {
+        // Keys 0, 16, 32, … land in shard 0 (low 4 bits select the shard).
+        let cache: ResultCache<u64> = ResultCache::new(2 * 16);
+        cache.insert(fp(0), 0);
+        cache.insert(fp(16), 1);
+        // Touch key 0 so key 16 becomes the oldest.
+        assert_eq!(cache.get(fp(0)), Some(0));
+        cache.insert(fp(32), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(fp(0)), Some(0), "recently used entry survives");
+        assert_eq!(cache.get(fp(16)), None, "LRU entry was evicted");
+        assert_eq!(cache.get(fp(32)), Some(2));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache: ResultCache<u64> = ResultCache::new(32);
+        for i in 0..1000u128 {
+            cache.insert(fp(i), i as u64);
+        }
+        assert!(cache.len() <= 32);
+        assert!(cache.stats().evictions >= 1000 - 32);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache: ResultCache<u64> = ResultCache::new(0);
+        cache.insert(fp(1), 1);
+        assert_eq!(cache.get(fp(1)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use std::sync::Arc;
+        let cache: Arc<ResultCache<u64>> = Arc::new(ResultCache::new(256));
+        let mut handles = Vec::new();
+        for t in 0..8u128 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u128 {
+                    let key = fp(t * 1000 + i);
+                    c.insert(key, i as u64);
+                    assert!(matches!(c.get(key), Some(_) | None));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.insertions, 1600);
+        assert!(s.entries <= 256);
+    }
+}

@@ -1,0 +1,967 @@
+//! The NDJSON request/response protocol and the evaluation service.
+//!
+//! One JSON object per line in, one JSON object per line out. Three request
+//! kinds:
+//!
+//! * `eval` — evaluate one explicit temporal mapping:
+//!   `{"kind":"eval","id":1,"arch":"case16","layer":"64x96x640","mapping":{…}}`
+//! * `search` — run a mapping-space search and return the best mapping:
+//!   `{"kind":"search","id":2,"arch":"case16","layer":{"b":64,"k":96,"c":640},"objective":"latency"}`
+//! * `stats` — report cache hit rate, queue depth and request-latency
+//!   percentiles: `{"kind":"stats"}` (also accepted as `"/stats"`).
+//!
+//! Responses echo the request's `id` and carry `"ok":true` with a result, or
+//! `"ok":false` with an `"error"` string. A malformed line yields an error
+//! *response*, never a dropped connection.
+//!
+//! [`EvalService`] is the engine behind both transports: it routes every
+//! request through a bounded [`WorkerPool`] and memoizes eval/search results
+//! in a fingerprint-keyed [`ResultCache`]. [`run_batch`] drives it from any
+//! `BufRead`/`Write` pair (the `ulm batch` subcommand wires stdin/stdout);
+//! [`run_tcp`] serves `std::net::TcpListener` connections (`ulm serve`).
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::fingerprint::{fingerprint_value, Fingerprint};
+use crate::pool::{JobHandle, PoolStats, WorkerPool};
+use serde::{Serialize, Value};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use ulm_arch::{presets, ArchDesc, Architecture};
+use ulm_energy::{EnergyModel, EnergyReport};
+use ulm_mapper::{Mapper, MapperOptions, Objective};
+use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
+use ulm_model::{LatencyModel, LatencyReport, ModelOptions};
+use ulm_workload::{Dim, Layer, Precision};
+
+/// Configuration for an [`EvalService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Worker threads; `None` uses `std::thread::available_parallelism`.
+    pub parallelism: Option<usize>,
+    /// Maximum cached results.
+    pub cache_capacity: usize,
+    /// Job-queue slots; `None` uses twice the worker count.
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            parallelism: None,
+            cache_capacity: 4096,
+            queue_capacity: None,
+        }
+    }
+}
+
+/// A memoizable evaluation result (the cache's value type).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EvalOutcome {
+    /// The evaluated (for `eval`) or best-found (for `search`) mapping.
+    pub mapping: Mapping,
+    /// Intra-layer latency breakdown.
+    pub latency: LatencyReport,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Search metadata; `None` for direct `eval` requests.
+    pub search: Option<SearchMeta>,
+}
+
+/// How a `search` request covered the mapping space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchMeta {
+    /// Legal mappings evaluated.
+    pub evaluated: usize,
+    /// Orderings generated (legal or not).
+    pub generated: usize,
+    /// True when the space was enumerated exhaustively.
+    pub exhaustive: bool,
+}
+
+/// Request-latency summary for `/stats`, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Completed eval/search requests measured.
+    pub count: usize,
+    /// Fastest request.
+    pub min_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                min_ms: 0.0,
+                mean_ms: 0.0,
+                p95_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let count = sorted.len();
+        let rank = ((count as f64 * 0.95).ceil() as usize).clamp(1, count);
+        LatencySummary {
+            count,
+            min_ms: sorted[0],
+            mean_ms: sorted.iter().sum::<f64>() / count as f64,
+            p95_ms: sorted[rank - 1],
+            max_ms: sorted[count - 1],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// A fully resolved evaluation query (everything that enters the
+/// fingerprint).
+struct Query {
+    arch: Architecture,
+    spatial: SpatialUnroll,
+    layer: Layer,
+    model: ModelOptions,
+    mode: QueryMode,
+}
+
+enum QueryMode {
+    Eval(Box<Mapping>),
+    Search {
+        objective: Objective,
+        mapper: MapperOptions,
+    },
+}
+
+enum Request {
+    Query(Box<Query>),
+    Stats,
+}
+
+fn field<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
+    match obj.get(key) {
+        Some(Value::Null) | None => None,
+        Some(v) => Some(v),
+    }
+}
+
+fn parse_u64(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("`{what}` must be a non-negative integer"))
+}
+
+/// Resolves the `arch` field: a preset name (with optional top-level
+/// `gb_bw`) or an inline architecture-description object.
+fn parse_arch(req: &Value) -> Result<(Architecture, SpatialUnroll), String> {
+    let default = Value::String(String::new());
+    let spec = field(req, "arch").unwrap_or(&default);
+    match spec {
+        Value::String(name) => {
+            let gb_bw = match field(req, "gb_bw") {
+                Some(v) => parse_u64(v, "gb_bw")?,
+                None => 128,
+            };
+            let chip = match name.as_str() {
+                "" | "case16" => presets::scaled_case_study_chip(16, gb_bw),
+                "case32" => presets::scaled_case_study_chip(32, gb_bw),
+                "case64" => presets::scaled_case_study_chip(64, gb_bw),
+                "validation" => presets::validation_chip(),
+                "toy" => presets::toy_chip(),
+                other => {
+                    return Err(format!(
+                        "unknown arch preset `{other}` (case16|case32|case64|validation|toy)"
+                    ))
+                }
+            };
+            Ok((chip.arch, SpatialUnroll::new(chip.spatial)))
+        }
+        obj @ Value::Object(_) => {
+            let desc: ArchDesc = serde::Deserialize::from_value(obj)
+                .map_err(|e| format!("invalid arch description: {e}"))?;
+            let (arch, spatial) = desc
+                .build()
+                .map_err(|e| format!("invalid arch description: {e}"))?;
+            Ok((arch, SpatialUnroll::new(spatial)))
+        }
+        _ => Err("`arch` must be a preset name or an object".to_string()),
+    }
+}
+
+fn parse_precision(name: &str) -> Result<Precision, String> {
+    match name {
+        "int8_out24" => Ok(Precision::int8_out24()),
+        "int8_acc24" => Ok(Precision::int8_acc24()),
+        other => Err(format!(
+            "unknown precision `{other}` (int8_out24|int8_acc24)"
+        )),
+    }
+}
+
+/// Rejects zero sizes before they reach `Layer::matmul` (which asserts
+/// positivity and would panic the worker).
+fn check_dims(b: u64, k: u64, c: u64) -> Result<(), String> {
+    if b == 0 || k == 0 || c == 0 {
+        return Err(format!(
+            "layer dimensions must be positive, got {b}x{k}x{c}"
+        ));
+    }
+    Ok(())
+}
+
+/// Resolves the `layer` field: `"BxKxC"` shorthand or an object with
+/// `b`/`k`/`c` and optional `precision`/`name`.
+fn parse_layer(req: &Value) -> Result<Layer, String> {
+    let spec = field(req, "layer").ok_or("missing `layer`")?;
+    match spec {
+        Value::String(text) => {
+            let parts: Vec<&str> = text.split('x').collect();
+            let bad = || format!("`layer` string must be BxKxC, got `{text}`");
+            if parts.len() != 3 {
+                return Err(bad());
+            }
+            let b: u64 = parts[0].parse().map_err(|_| bad())?;
+            let k: u64 = parts[1].parse().map_err(|_| bad())?;
+            let c: u64 = parts[2].parse().map_err(|_| bad())?;
+            check_dims(b, k, c)?;
+            Ok(Layer::matmul(
+                format!("({b},{k},{c})"),
+                b,
+                k,
+                c,
+                Precision::int8_out24(),
+            ))
+        }
+        Value::Object(_) => {
+            let b = parse_u64(field(spec, "b").ok_or("`layer` needs `b`")?, "layer.b")?;
+            let k = parse_u64(field(spec, "k").ok_or("`layer` needs `k`")?, "layer.k")?;
+            let c = parse_u64(field(spec, "c").ok_or("`layer` needs `c`")?, "layer.c")?;
+            check_dims(b, k, c)?;
+            let precision = match field(spec, "precision") {
+                Some(Value::String(p)) => parse_precision(p)?,
+                Some(_) => return Err("`layer.precision` must be a string".into()),
+                None => Precision::int8_out24(),
+            };
+            let name = match field(spec, "name") {
+                Some(Value::String(n)) => n.clone(),
+                _ => format!("({b},{k},{c})"),
+            };
+            Ok(Layer::matmul(name, b, k, c, precision))
+        }
+        _ => Err("`layer` must be a BxKxC string or an object".to_string()),
+    }
+}
+
+/// Optional `spatial` override: `[["K",16],["B",8]]`.
+fn parse_spatial(req: &Value, default: SpatialUnroll) -> Result<SpatialUnroll, String> {
+    match field(req, "spatial") {
+        None => Ok(default),
+        Some(v) => {
+            let pairs: Vec<(Dim, u64)> =
+                serde::Deserialize::from_value(v).map_err(|e| format!("invalid `spatial`: {e}"))?;
+            if pairs.iter().any(|&(_, f)| f == 0) {
+                return Err("`spatial` factors must be positive".to_string());
+            }
+            Ok(SpatialUnroll::new(pairs))
+        }
+    }
+}
+
+/// Optional `model` overrides, applied on top of [`ModelOptions::default`].
+fn parse_model(req: &Value) -> Result<ModelOptions, String> {
+    let mut opts = ModelOptions::default();
+    let Some(spec) = field(req, "model") else {
+        return Ok(opts);
+    };
+    let Value::Object(entries) = spec else {
+        return Err("`model` must be an object".to_string());
+    };
+    for (key, v) in entries {
+        let flag = v
+            .as_bool()
+            .ok_or_else(|| format!("`model.{key}` must be a boolean"));
+        match key.as_str() {
+            "bw_aware" => opts.bw_aware = flag?,
+            "compute_links" => opts.compute_links = flag?,
+            "phase_aware_z" => opts.phase_aware_z = flag?,
+            "eq2_oversubscription_bound" => opts.eq2_oversubscription_bound = flag?,
+            "max_intervals" => {
+                opts.union.max_intervals = parse_u64(v, "model.max_intervals")?;
+            }
+            other => return Err(format!("unknown model option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Optional `mapper` overrides, applied on top of [`MapperOptions::default`]
+/// (with `bw_aware` following the model options unless set explicitly).
+fn parse_mapper(req: &Value, model: &ModelOptions) -> Result<MapperOptions, String> {
+    let mut opts = MapperOptions {
+        bw_aware: model.bw_aware,
+        ..MapperOptions::default()
+    };
+    let Some(spec) = field(req, "mapper") else {
+        return Ok(opts);
+    };
+    let Value::Object(entries) = spec else {
+        return Err("`mapper` must be an object".to_string());
+    };
+    for (key, v) in entries {
+        match key.as_str() {
+            "max_exhaustive" => {
+                opts.max_exhaustive = u128::from(parse_u64(v, "mapper.max_exhaustive")?);
+            }
+            "samples" => opts.samples = parse_u64(v, "mapper.samples")? as usize,
+            "seed" => opts.seed = parse_u64(v, "mapper.seed")?,
+            "bw_aware" => {
+                opts.bw_aware = v.as_bool().ok_or("`mapper.bw_aware` must be a boolean")?;
+            }
+            other => return Err(format!("unknown mapper option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_objective(req: &Value) -> Result<Objective, String> {
+    match field(req, "objective") {
+        None => Ok(Objective::Latency),
+        Some(Value::String(s)) => match s.to_ascii_lowercase().as_str() {
+            "latency" => Ok(Objective::Latency),
+            "energy" => Ok(Objective::Energy),
+            "edp" => Ok(Objective::Edp),
+            other => Err(format!("unknown objective `{other}` (latency|energy|edp)")),
+        },
+        Some(_) => Err("`objective` must be a string".to_string()),
+    }
+}
+
+fn parse_request(req: &Value) -> Result<Request, String> {
+    if !matches!(req, Value::Object(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let kind = match field(req, "kind") {
+        Some(Value::String(k)) => k.as_str(),
+        Some(_) => return Err("`kind` must be a string".to_string()),
+        // Requests with a `mapping` default to eval, everything else to
+        // search, so minimal lines stay minimal.
+        None => {
+            if field(req, "mapping").is_some() {
+                "eval"
+            } else {
+                "search"
+            }
+        }
+    };
+    match kind {
+        "stats" | "/stats" => Ok(Request::Stats),
+        "eval" | "search" => {
+            let (arch, default_spatial) = parse_arch(req)?;
+            let spatial = parse_spatial(req, default_spatial)?;
+            let layer = parse_layer(req)?;
+            let model = parse_model(req)?;
+            let mode = if kind == "eval" {
+                let spec = field(req, "mapping").ok_or("`eval` needs a `mapping`")?;
+                let mapping: Mapping = serde::Deserialize::from_value(spec)
+                    .map_err(|e| format!("invalid `mapping`: {e}"))?;
+                QueryMode::Eval(Box::new(mapping))
+            } else {
+                QueryMode::Search {
+                    objective: parse_objective(req)?,
+                    mapper: parse_mapper(req, &model)?,
+                }
+            };
+            Ok(Request::Query(Box::new(Query {
+                arch,
+                spatial,
+                layer,
+                model,
+                mode,
+            })))
+        }
+        other => Err(format!("unknown kind `{other}` (eval|search|stats)")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+impl Query {
+    /// The canonical value tree that identifies this query. Everything that
+    /// can change the result is included.
+    fn fingerprint(&self) -> Fingerprint {
+        let mut entries = vec![
+            ("arch".to_string(), self.arch.to_value()),
+            ("spatial".to_string(), self.spatial.to_value()),
+            ("layer".to_string(), self.layer.to_value()),
+            ("model".to_string(), self.model.to_value()),
+        ];
+        match &self.mode {
+            QueryMode::Eval(mapping) => {
+                entries.push(("op".to_string(), Value::String("eval".into())));
+                entries.push(("mapping".to_string(), mapping.to_value()));
+            }
+            QueryMode::Search { objective, mapper } => {
+                entries.push(("op".to_string(), Value::String("search".into())));
+                entries.push(("objective".to_string(), objective.to_value()));
+                entries.push(("mapper".to_string(), mapper.to_value()));
+            }
+        }
+        fingerprint_value(&Value::Object(entries))
+    }
+
+    fn execute(&self) -> Result<EvalOutcome, String> {
+        match &self.mode {
+            QueryMode::Eval(mapping) => {
+                let view = MappedLayer::new(&self.layer, &self.arch, mapping)
+                    .map_err(|e| format!("illegal mapping: {e}"))?;
+                let latency = LatencyModel::with_options(self.model).evaluate(&view);
+                let energy = EnergyModel::new().evaluate(&view);
+                Ok(EvalOutcome {
+                    mapping: (**mapping).clone(),
+                    latency,
+                    energy,
+                    search: None,
+                })
+            }
+            QueryMode::Search { objective, mapper } => {
+                let result = Mapper::new(&self.arch, &self.layer, self.spatial.clone())
+                    .with_options(*mapper)
+                    .search(*objective)
+                    .map_err(|e| e.to_string())?;
+                Ok(EvalOutcome {
+                    mapping: result.best.mapping,
+                    latency: result.best.latency,
+                    energy: result.best.energy,
+                    search: Some(SearchMeta {
+                        evaluated: result.evaluated,
+                        generated: result.generated,
+                        exhaustive: result.exhaustive,
+                    }),
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Coordination point for concurrent identical queries (single-flight):
+/// the first thread to miss computes; the rest wait and then read the
+/// cache instead of re-running the same search.
+struct Inflight {
+    done: Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+/// The concurrent, cache-backed evaluation engine.
+pub struct EvalService {
+    cache: ResultCache<EvalOutcome>,
+    pool: WorkerPool,
+    inflight: Mutex<std::collections::HashMap<u128, Arc<Inflight>>>,
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl EvalService {
+    /// A service with the given sizing.
+    pub fn new(opts: ServeOptions) -> Arc<Self> {
+        let workers = opts.parallelism.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        });
+        let queue = opts.queue_capacity.unwrap_or(2 * workers.max(1));
+        Arc::new(EvalService {
+            cache: ResultCache::new(opts.cache_capacity),
+            pool: WorkerPool::new(workers, queue),
+            inflight: Mutex::new(std::collections::HashMap::new()),
+            latencies_ms: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The result cache (exposed for benchmarks and tests).
+    pub fn cache(&self) -> &ResultCache<EvalOutcome> {
+        &self.cache
+    }
+
+    /// Snapshot of cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Snapshot of pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Handles one raw NDJSON line synchronously on the calling thread.
+    /// Returns `None` for blank lines.
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let (id, body) = match serde_json::from_str::<Value>(line) {
+            Ok(req) => {
+                let id = req.get("id").cloned().unwrap_or(Value::Null);
+                (id.clone(), self.respond(&req))
+            }
+            Err(e) => (Value::Null, Err(format!("invalid JSON: {e}"))),
+        };
+        let mut entries = vec![("id".to_string(), id)];
+        match body {
+            Ok(fields) => {
+                entries.push(("ok".to_string(), Value::Bool(true)));
+                entries.extend(fields);
+            }
+            Err(msg) => {
+                entries.push(("ok".to_string(), Value::Bool(false)));
+                entries.push(("error".to_string(), Value::String(msg)));
+            }
+        }
+        Some(serde_json::to_string(&Value::Object(entries)).expect("printing is infallible"))
+    }
+
+    /// Submits one line to the worker pool (blocking while the queue is
+    /// full) and returns a handle to the eventual response.
+    pub fn submit_line(self: &Arc<Self>, line: String) -> JobHandle<Option<String>> {
+        let service = Arc::clone(self);
+        self.pool.submit(move || service.handle_line(&line))
+    }
+
+    fn respond(&self, req: &Value) -> Result<Vec<(String, Value)>, String> {
+        match parse_request(req)? {
+            Request::Stats => Ok(self.stats_fields()),
+            Request::Query(query) => {
+                let start = Instant::now();
+                let fp = query.fingerprint();
+                let result = self.lookup_or_execute(&query, fp);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                self.latencies_ms
+                    .lock()
+                    .expect("latency recorder poisoned")
+                    .push(elapsed_ms);
+                let (outcome, cached) = result?;
+                Ok(vec![
+                    (
+                        "kind".to_string(),
+                        Value::String(
+                            if outcome.search.is_some() {
+                                "search"
+                            } else {
+                                "eval"
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("fingerprint".to_string(), Value::String(fp.to_string())),
+                    ("cached".to_string(), Value::Bool(cached)),
+                    (
+                        "mapping_text".to_string(),
+                        Value::String(outcome.mapping.to_string()),
+                    ),
+                    ("mapping".to_string(), outcome.mapping.to_value()),
+                    ("latency".to_string(), outcome.latency.to_value()),
+                    ("energy".to_string(), outcome.energy.to_value()),
+                    ("search".to_string(), outcome.search.to_value()),
+                    ("elapsed_ms".to_string(), Value::F64(elapsed_ms)),
+                ])
+            }
+        }
+    }
+
+    /// Cache lookup with single-flight coalescing: concurrent identical
+    /// queries are computed once — the first thread executes, the others
+    /// block on the in-flight marker and then read the cached result.
+    fn lookup_or_execute(
+        &self,
+        query: &Query,
+        fp: Fingerprint,
+    ) -> Result<(EvalOutcome, bool), String> {
+        loop {
+            if let Some(hit) = self.cache.get(fp) {
+                return Ok((hit, true));
+            }
+            enum Role {
+                Leader(Arc<Inflight>),
+                Follower(Arc<Inflight>),
+            }
+            let role = {
+                let mut map = self.inflight.lock().expect("inflight map poisoned");
+                match map.get(&fp.0) {
+                    Some(slot) => Role::Follower(Arc::clone(slot)),
+                    None => {
+                        let slot = Arc::new(Inflight {
+                            done: Mutex::new(false),
+                            cv: std::sync::Condvar::new(),
+                        });
+                        map.insert(fp.0, Arc::clone(&slot));
+                        Role::Leader(slot)
+                    }
+                }
+            };
+            match role {
+                Role::Leader(slot) => {
+                    let result = query.execute();
+                    if let Ok(out) = &result {
+                        self.cache.insert(fp, out.clone());
+                    }
+                    self.inflight
+                        .lock()
+                        .expect("inflight map poisoned")
+                        .remove(&fp.0);
+                    *slot.done.lock().expect("inflight slot poisoned") = true;
+                    slot.cv.notify_all();
+                    return result.map(|out| (out, false));
+                }
+                Role::Follower(slot) => {
+                    let mut done = slot.done.lock().expect("inflight slot poisoned");
+                    while !*done {
+                        done = slot.cv.wait(done).expect("inflight slot poisoned");
+                    }
+                    // Loop around: a successful leader filled the cache
+                    // (hit); a failed leader left it empty and this thread
+                    // becomes the next leader, reproducing the error.
+                }
+            }
+        }
+    }
+
+    fn stats_fields(&self) -> Vec<(String, Value)> {
+        let cache = self.cache.stats();
+        let pool = self.pool.stats();
+        let latency = {
+            let samples = self.latencies_ms.lock().expect("latency recorder poisoned");
+            LatencySummary::from_samples(&samples)
+        };
+        let mut cache_value = match cache.to_value() {
+            Value::Object(entries) => entries,
+            _ => Vec::new(),
+        };
+        cache_value.push(("hit_rate".to_string(), Value::F64(cache.hit_rate())));
+        vec![
+            ("kind".to_string(), Value::String("stats".into())),
+            ("cache".to_string(), Value::Object(cache_value)),
+            ("pool".to_string(), pool.to_value()),
+            ("latency_ms".to_string(), latency.to_value()),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// Totals from one [`run_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Non-blank lines processed.
+    pub requests: usize,
+    /// Responses with `"ok":false`.
+    pub errors: usize,
+}
+
+/// Streams NDJSON requests from `input` to `output` through the service's
+/// worker pool. Responses are written in input order; concurrency comes
+/// from pipelining, bounded by the pool's queue (backpressure) and a small
+/// in-flight window.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading `input` or writing `output`.
+pub fn run_batch<R: BufRead, W: Write>(
+    service: &Arc<EvalService>,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<BatchSummary> {
+    let mut summary = BatchSummary::default();
+    let window = 2 * service.pool.worker_count() + 4;
+    let mut pending: VecDeque<JobHandle<Option<String>>> = VecDeque::new();
+
+    let flush_one = |pending: &mut VecDeque<JobHandle<Option<String>>>,
+                     output: &mut W,
+                     summary: &mut BatchSummary|
+     -> std::io::Result<()> {
+        if let Some(handle) = pending.pop_front() {
+            if let Some(response) = handle.wait() {
+                summary.requests += 1;
+                if response.contains("\"ok\":false") {
+                    summary.errors += 1;
+                }
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+            }
+        }
+        Ok(())
+    };
+
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push_back(service.submit_line(line));
+        while pending.len() >= window {
+            flush_one(&mut pending, output, &mut summary)?;
+        }
+        // Opportunistically drain already-finished fronts to keep latency
+        // low without blocking the reader.
+        while pending.front().is_some_and(JobHandle::is_ready) {
+            flush_one(&mut pending, output, &mut summary)?;
+        }
+    }
+    while !pending.is_empty() {
+        flush_one(&mut pending, output, &mut summary)?;
+    }
+    output.flush()?;
+    Ok(summary)
+}
+
+/// Serves NDJSON over TCP: one connection per client thread, one response
+/// line per request line, until the client closes. `max_connections` bounds
+/// how many connections are accepted before returning (`None` = serve
+/// forever); malformed requests produce error responses, not disconnects.
+///
+/// # Errors
+///
+/// Propagates `accept` failures. Per-connection I/O errors terminate only
+/// that connection.
+pub fn run_tcp(
+    service: &Arc<EvalService>,
+    listener: TcpListener,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        let mut accepted = 0usize;
+        loop {
+            if let Some(limit) = max_connections {
+                if accepted >= limit {
+                    break;
+                }
+            }
+            let (stream, _peer) = listener.accept()?;
+            accepted += 1;
+            let service = Arc::clone(service);
+            scope.spawn(move || {
+                let reader = BufReader::new(&stream);
+                let mut writer = &stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let Some(response) = service.submit_line(line).wait() else {
+                        continue;
+                    };
+                    if writer.write_all(response.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Arc<EvalService> {
+        EvalService::new(ServeOptions {
+            parallelism: Some(2),
+            cache_capacity: 64,
+            queue_capacity: None,
+        })
+    }
+
+    fn parse(response: &str) -> Value {
+        serde_json::from_str(response).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn search_then_eval_round_trip() {
+        let svc = service();
+        let search = svc
+            .handle_line(
+                r#"{"kind":"search","id":1,"arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":200,"samples":20}}"#,
+            )
+            .unwrap();
+        let v = parse(&search);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{search}");
+        assert_eq!(v.get("id"), Some(&Value::U64(1)));
+        assert!(v.get("latency").and_then(|l| l.get("cc_total")).is_some());
+
+        // Feed the returned mapping back as an explicit eval.
+        let mapping = serde_json::to_string(v.get("mapping").unwrap()).unwrap();
+        let eval_line =
+            format!(r#"{{"kind":"eval","id":2,"arch":"toy","layer":"4x4x8","mapping":{mapping}}}"#);
+        let eval = svc.handle_line(&eval_line).unwrap();
+        let ev = parse(&eval);
+        assert_eq!(ev.get("ok"), Some(&Value::Bool(true)), "{eval}");
+        // Same mapping, same model: identical latency.
+        assert_eq!(
+            ev.get("latency").and_then(|l| l.get("cc_total")),
+            v.get("latency").and_then(|l| l.get("cc_total"))
+        );
+    }
+
+    #[test]
+    fn identical_searches_hit_the_cache() {
+        let svc = service();
+        let line = r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#;
+        let first = parse(&svc.handle_line(line).unwrap());
+        let second = parse(&svc.handle_line(line).unwrap());
+        assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+        assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(first.get("fingerprint"), second.get("fingerprint"));
+        // Bit-identical result payloads.
+        assert_eq!(first.get("latency"), second.get("latency"));
+        assert_eq!(first.get("energy"), second.get("energy"));
+        assert!(svc.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn malformed_lines_yield_error_objects() {
+        let svc = service();
+        for bad in [
+            "{not json",
+            r#"{"kind":"explode"}"#,
+            r#"{"kind":"eval","arch":"toy","layer":"4x4x8"}"#,
+            r#"{"kind":"search","arch":"nope","layer":"4x4x8"}"#,
+            r#"{"kind":"search","arch":"toy"}"#,
+            r#"[1,2,3]"#,
+            // Zero sizes must become error responses, not worker panics.
+            r#"{"kind":"search","arch":"toy","layer":"0x4x8"}"#,
+            r#"{"kind":"search","arch":"toy","layer":{"b":4,"k":0,"c":8}}"#,
+            r#"{"kind":"search","arch":"toy","layer":"4x4x8","spatial":[["K",0]]}"#,
+        ] {
+            let resp = svc.handle_line(bad).unwrap();
+            let v = parse(&resp);
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{bad} -> {resp}");
+            assert!(v.get("error").is_some());
+        }
+        // Blank lines are skipped outright.
+        assert_eq!(svc.handle_line("   "), None);
+    }
+
+    #[test]
+    fn stats_report_cache_and_pool() {
+        let svc = service();
+        let line = r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#;
+        svc.handle_line(line).unwrap();
+        svc.handle_line(line).unwrap();
+        let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        assert_eq!(stats.get("ok"), Some(&Value::Bool(true)));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(1));
+        assert!(cache.get("hit_rate").and_then(Value::as_f64).unwrap() > 0.0);
+        let latency = stats.get("latency_ms").unwrap();
+        assert_eq!(latency.get("count").and_then(Value::as_u64), Some(2));
+        assert!(
+            latency.get("max_ms").and_then(Value::as_f64).unwrap()
+                >= latency.get("min_ms").and_then(Value::as_f64).unwrap()
+        );
+        assert!(stats.get("pool").unwrap().get("workers").is_some());
+        // `/stats` alias.
+        let alias = parse(&svc.handle_line(r#"{"kind":"/stats"}"#).unwrap());
+        assert_eq!(alias.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn concurrent_identical_queries_compute_once() {
+        let svc = EvalService::new(ServeOptions {
+            parallelism: Some(4),
+            cache_capacity: 64,
+            queue_capacity: None,
+        });
+        let line = r#"{"kind":"search","arch":"toy","layer":"4x8x8","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let handles: Vec<_> = (0..8).map(|_| svc.submit_line(line.to_string())).collect();
+        let responses: Vec<Value> = handles
+            .into_iter()
+            .map(|h| parse(&h.wait().unwrap()))
+            .collect();
+        // Single-flight: exactly one thread computed, everyone else was
+        // served from the cache, with identical payloads.
+        let fresh = responses
+            .iter()
+            .filter(|r| r.get("cached") == Some(&Value::Bool(false)))
+            .count();
+        assert_eq!(fresh, 1, "exactly one leader may compute");
+        assert_eq!(svc.cache_stats().insertions, 1);
+        for r in &responses {
+            assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+            assert_eq!(r.get("latency"), responses[0].get("latency"));
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let svc = service();
+        let mut input = String::new();
+        for i in 0..12 {
+            let bkc = ["4x4x8", "4x8x8", "8x4x8"][i % 3];
+            input.push_str(&format!(
+                "{{\"id\":{i},\"kind\":\"search\",\"arch\":\"toy\",\"layer\":\"{bkc}\",\"mapper\":{{\"max_exhaustive\":100,\"samples\":10}}}}\n"
+            ));
+        }
+        input.push_str("{\"id\":99,\"kind\":\"stats\"}\n");
+        let mut out = Vec::new();
+        let summary = run_batch(&svc, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 13);
+        assert_eq!(summary.errors, 0);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 13);
+        for (i, line) in lines.iter().take(12).enumerate() {
+            let v = parse(line);
+            assert_eq!(
+                v.get("id").and_then(Value::as_u64),
+                Some(i as u64),
+                "{line}"
+            );
+        }
+        // Repeated layers must have hit the cache (9 distinct → 3 uniques).
+        assert!(svc.cache_stats().hits >= 9 - 3);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead as _, Write as _};
+        use std::net::TcpStream;
+
+        let svc = service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = Arc::clone(&svc);
+        let server = std::thread::spawn(move || run_tcp(&svc2, listener, Some(1)));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"{\"id\":7,\"kind\":\"search\",\"arch\":\"toy\",\"layer\":\"4x4x8\",\"mapper\":{\"max_exhaustive\":100,\"samples\":10}}\nnot json\n",
+            )
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(&stream);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse(&lines[0]);
+        assert_eq!(first.get("id").and_then(Value::as_u64), Some(7));
+        assert_eq!(first.get("ok"), Some(&Value::Bool(true)));
+        let second = parse(&lines[1]);
+        assert_eq!(second.get("ok"), Some(&Value::Bool(false)));
+        server.join().unwrap().unwrap();
+    }
+}

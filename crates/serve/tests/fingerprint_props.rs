@@ -1,0 +1,131 @@
+//! Property tests for the content-addressed fingerprint and the cached
+//! evaluation path.
+
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+use std::sync::Arc;
+use ulm_arch::presets;
+use ulm_mapping::SpatialUnroll;
+use ulm_serve::{fingerprint_of, fingerprint_value, EvalService, ServeOptions};
+use ulm_workload::{Layer, Precision};
+
+fn layer(b: u64, k: u64, c: u64) -> Layer {
+    Layer::matmul(format!("({b},{k},{c})"), b, k, c, Precision::int8_out24())
+}
+
+proptest! {
+    /// Building the same logical query twice yields the same fingerprint:
+    /// the hash depends only on content, never on construction order or
+    /// allocation identity.
+    #[test]
+    fn equal_inputs_have_equal_fingerprints(
+        b in 1u64..64,
+        k in 1u64..64,
+        c in 1u64..64,
+    ) {
+        let chip = presets::toy_chip();
+        let first = (
+            chip.arch.clone(),
+            SpatialUnroll::new(chip.spatial.clone()),
+            layer(b, k, c),
+        );
+        let chip2 = presets::toy_chip();
+        let second = (
+            chip2.arch.clone(),
+            SpatialUnroll::new(chip2.spatial.clone()),
+            layer(b, k, c),
+        );
+        prop_assert_eq!(fingerprint_of(&first), fingerprint_of(&second));
+    }
+
+    /// Object key order never matters: a permuted field order hashes the
+    /// same, which is what makes JSON round trips fingerprint-stable.
+    #[test]
+    fn key_order_is_irrelevant(
+        a in 0u64..1000,
+        b in 0u64..1000,
+        c in 0u64..1000,
+    ) {
+        let forward = Value::Object(vec![
+            ("alpha".to_string(), Value::U64(a)),
+            ("beta".to_string(), Value::U64(b)),
+            ("gamma".to_string(), Value::U64(c)),
+        ]);
+        let reversed = Value::Object(vec![
+            ("gamma".to_string(), Value::U64(c)),
+            ("beta".to_string(), Value::U64(b)),
+            ("alpha".to_string(), Value::U64(a)),
+        ]);
+        prop_assert_eq!(fingerprint_value(&forward), fingerprint_value(&reversed));
+    }
+
+    /// Distinct layer shapes must not collide: a collision here would make
+    /// the cache silently answer one layer's query with another's result.
+    #[test]
+    fn distinct_layers_do_not_collide(
+        b1 in 1u64..64, k1 in 1u64..64, c1 in 1u64..64,
+        b2 in 1u64..64, k2 in 1u64..64, c2 in 1u64..64,
+    ) {
+        if (b1, k1, c1) != (b2, k2, c2) {
+            prop_assert_ne!(
+                fingerprint_of(&layer(b1, k1, c1)),
+                fingerprint_of(&layer(b2, k2, c2))
+            );
+        }
+    }
+
+    /// A JSON round trip of the serialized query preserves the
+    /// fingerprint: printing and re-parsing may change U64/I64/F64 forms
+    /// but never the hash.
+    #[test]
+    fn json_round_trip_preserves_fingerprint(
+        b in 1u64..64,
+        k in 1u64..64,
+        c in 1u64..64,
+    ) {
+        let l = layer(b, k, c);
+        let direct = l.to_value();
+        let text = serde_json::to_string(&direct).unwrap();
+        let reparsed: Value = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(fingerprint_value(&direct), fingerprint_value(&reparsed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The cached answer is bit-identical to the freshly computed one: the
+    /// second identical request must return the exact same result payload
+    /// with `cached: true`.
+    #[test]
+    fn cached_evaluate_is_bit_identical(
+        b in 1u64..16,
+        k in 1u64..16,
+        c in 1u64..16,
+    ) {
+        let svc = EvalService::new(ServeOptions {
+            parallelism: Some(1),
+            cache_capacity: 64,
+            queue_capacity: None,
+        });
+        let line = format!(
+            "{{\"kind\":\"search\",\"arch\":\"toy\",\"layer\":\"{b}x{k}x{c}\",\
+             \"mapper\":{{\"max_exhaustive\":60,\"samples\":8}}}}"
+        );
+        let strip = |resp: String| -> Value {
+            let mut v: Value = serde_json::from_str(&resp).unwrap();
+            // Timing varies between runs; everything else must not.
+            if let Value::Object(entries) = &mut v {
+                entries.retain(|(key, _)| key != "elapsed_ms" && key != "cached");
+            }
+            v
+        };
+        let uncached = svc.handle_line(&line).unwrap();
+        prop_assert!(uncached.contains("\"cached\":false"), "{}", uncached);
+        let cached = svc.handle_line(&line).unwrap();
+        prop_assert!(cached.contains("\"cached\":true") || cached.contains("\"ok\":false"),
+            "{}", cached);
+        prop_assert_eq!(strip(uncached), strip(cached));
+        let _ = Arc::strong_count(&svc);
+    }
+}

@@ -1,0 +1,97 @@
+//! JSON round trips of every type that enters a fingerprint.
+//!
+//! The content-addressed cache is only sound if serialization is
+//! deterministic (hash-stable field ordering) and lossless: serializing,
+//! printing, parsing and deserializing a query's building blocks must give
+//! back an equal value with an identical fingerprint.
+
+use serde::{Deserialize, Serialize, Value};
+use ulm_arch::presets;
+use ulm_mapper::{MapperOptions, Objective};
+use ulm_mapping::{Mapping, SpatialUnroll};
+use ulm_model::ModelOptions;
+use ulm_serve::fingerprint_value;
+use ulm_workload::{Layer, Precision};
+
+/// value -> JSON text -> value -> T, checking equality and fingerprint
+/// stability at every hop.
+fn round_trip<T>(original: &T)
+where
+    T: Serialize + Deserialize + PartialEq + std::fmt::Debug,
+{
+    let value = original.to_value();
+    let text = serde_json::to_string(&value).expect("serializes");
+    let reparsed: Value = serde_json::from_str(&text).expect("parses back");
+    assert_eq!(
+        fingerprint_value(&value),
+        fingerprint_value(&reparsed),
+        "fingerprint drifted across a JSON print/parse cycle"
+    );
+    let back = T::from_value(&reparsed).expect("deserializes");
+    assert_eq!(original, &back, "value changed across the round trip");
+    // Serialization is deterministic: same input, same bytes.
+    assert_eq!(text, serde_json::to_string(&original.to_value()).unwrap());
+}
+
+#[test]
+fn architecture_round_trips() {
+    for chip in [
+        presets::toy_chip(),
+        presets::validation_chip(),
+        presets::scaled_case_study_chip(16, 128),
+        presets::scaled_case_study_chip(32, 1024),
+    ] {
+        round_trip(&chip.arch);
+    }
+}
+
+#[test]
+fn spatial_unroll_round_trips() {
+    let chip = presets::scaled_case_study_chip(16, 128);
+    round_trip(&SpatialUnroll::new(chip.spatial));
+}
+
+#[test]
+fn layer_round_trips() {
+    round_trip(&Layer::matmul("l", 64, 96, 640, Precision::int8_out24()));
+    round_trip(&Layer::matmul("m", 8, 1, 3, Precision::int8_acc24()));
+}
+
+#[test]
+fn mapping_round_trips() {
+    // A real mapping, produced by a search rather than hand-assembled.
+    let chip = presets::toy_chip();
+    let layer = Layer::matmul("t", 4, 4, 8, Precision::int8_acc24());
+    let result =
+        ulm_mapper::Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()))
+            .search(Objective::Latency)
+            .expect("toy space has legal mappings");
+    round_trip::<Mapping>(&result.best.mapping);
+}
+
+#[test]
+fn options_round_trip() {
+    round_trip(&ModelOptions::default());
+    round_trip(&ModelOptions {
+        bw_aware: false,
+        ..ModelOptions::default()
+    });
+    round_trip(&MapperOptions::default());
+    round_trip(&MapperOptions {
+        max_exhaustive: 123_456,
+        samples: 7,
+        seed: 42,
+        bw_aware: false,
+    });
+}
+
+#[test]
+fn u128_fields_survive_round_trips() {
+    // MapperOptions::max_exhaustive is u128; values beyond u64 must come
+    // back intact (they serialize as decimal strings).
+    let big = MapperOptions {
+        max_exhaustive: u128::from(u64::MAX) + 17,
+        ..MapperOptions::default()
+    };
+    round_trip(&big);
+}

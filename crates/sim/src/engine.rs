@@ -174,11 +174,7 @@ fn run_inner(schedule: &Schedule, trace: Option<Trace>) -> (SimReport, Option<Tr
 
     // Drain tail: the layer finishes when the last transfer lands.
     let compute_end = wall;
-    let last_done = done
-        .iter()
-        .flatten()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let last_done = done.iter().flatten().copied().fold(0.0f64, f64::max);
     let total = compute_end.max(last_done);
     let total_cycles = total.ceil() as u64;
     let tail_cycles = (total - compute_end).round() as u64;
@@ -215,7 +211,7 @@ mod tests {
     use super::*;
     use crate::schedule::build_schedule;
     use ulm_arch::presets;
-    use ulm_mapping::{LoopStack, Mapping, MappedLayer, SpatialUnroll};
+    use ulm_mapping::{LoopStack, MappedLayer, Mapping, SpatialUnroll};
     use ulm_workload::{Dim, Layer, Precision};
 
     fn toy_sim(stack: &[(Dim, u64)]) -> SimReport {

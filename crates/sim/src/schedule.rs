@@ -252,7 +252,11 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
                             None
                         };
                         // Read-back first: re-entering a region seen before.
-                        let prev_region = if j > 0 { Some(above.region(j - 1)) } else { None };
+                        let prev_region = if j > 0 {
+                            Some(above.region(j - 1))
+                        } else {
+                            None
+                        };
                         if prev_region != Some(region) {
                             if let Some(&src) = last_drain_of_region.get(&region) {
                                 // Strictly single-buffered registers must
@@ -376,10 +380,7 @@ mod tests {
             .count() as u64;
         assert_eq!(drains, view.refill_count(Operand::O, 0));
         // Fully output stationary: no read-backs.
-        assert!(s
-            .transfers
-            .iter()
-            .all(|t| t.kind != TransferKind::Readback));
+        assert!(s.transfers.iter().all(|t| t.kind != TransferKind::Readback));
     }
 
     #[test]

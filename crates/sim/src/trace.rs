@@ -43,18 +43,23 @@ impl Trace {
     ///
     /// Lane glyphs: `#` transfer in flight, `.` idle; the compute lane
     /// shows `=` for active computation and `!` for stall.
-    pub fn render_ascii(&self, width: usize, port_name: impl Fn(MemoryId, PortId) -> String) -> String {
+    pub fn render_ascii(
+        &self,
+        width: usize,
+        port_name: impl Fn(MemoryId, PortId) -> String,
+    ) -> String {
         let width = width.max(10);
         let scale = self.total / width as f64;
         let mut lanes: Vec<((MemoryId, PortId), Vec<char>)> = Vec::new();
-        let lane_of = |p: (MemoryId, PortId), lanes: &mut Vec<((MemoryId, PortId), Vec<char>)>| -> usize {
-            if let Some(i) = lanes.iter().position(|(q, _)| *q == p) {
-                i
-            } else {
-                lanes.push((p, vec!['.'; width]));
-                lanes.len() - 1
-            }
-        };
+        let lane_of =
+            |p: (MemoryId, PortId), lanes: &mut Vec<((MemoryId, PortId), Vec<char>)>| -> usize {
+                if let Some(i) = lanes.iter().position(|(q, _)| *q == p) {
+                    i
+                } else {
+                    lanes.push((p, vec!['.'; width]));
+                    lanes.len() - 1
+                }
+            };
         for e in &self.events {
             for &p in &e.ports {
                 let li = lane_of(p, &mut lanes);

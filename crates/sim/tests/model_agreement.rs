@@ -6,7 +6,7 @@
 
 use ulm_arch::presets;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
-use ulm_mapping::{LoopStack, Mapping, MappedLayer, SpatialUnroll};
+use ulm_mapping::{LoopStack, MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::LatencyModel;
 use ulm_sim::Simulator;
 use ulm_workload::{Dim, Layer, Precision};

@@ -36,17 +36,18 @@ pub use ulm_dse as dse;
 pub use ulm_energy as energy;
 pub use ulm_mapper as mapper;
 pub use ulm_mapping as mapping;
-pub use ulm_network as network;
 pub use ulm_model as model;
+pub use ulm_network as network;
 pub use ulm_periodic as periodic;
+pub use ulm_serve as serve;
 pub use ulm_sim as sim;
 pub use ulm_workload as workload;
 
 /// One-line imports for the common workflow.
 pub mod prelude {
     pub use ulm_arch::{
-        presets, Architecture, AreaModel, MacArray, Memory, MemoryHierarchy, MemoryId,
-        MemoryKind, Port, PortUse, StallIntegration,
+        presets, Architecture, AreaModel, MacArray, Memory, MemoryHierarchy, MemoryId, MemoryKind,
+        Port, PortUse, StallIntegration,
     };
     pub use ulm_dse::{
         enumerate_designs, explore, pareto_front, DesignParams, DsePoint, ExploreOptions,
@@ -59,6 +60,7 @@ pub mod prelude {
     };
     pub use ulm_model::{LatencyModel, LatencyReport, ModelOptions, Scenario};
     pub use ulm_network::{InterLayerOverlap, NetworkEvaluator, NetworkReport};
+    pub use ulm_serve::{EvalService, Fingerprint, ResultCache, ServeOptions, WorkerPool};
     pub use ulm_sim::{SimReport, Simulator};
     pub use ulm_workload::{
         im2col, networks, Dim, DimSizes, Layer, LayerShape, LayerType, Operand, PerOperand,

@@ -22,7 +22,9 @@ use std::fmt;
 /// assert_eq!(Dim::OX.to_string(), "OX");
 /// assert_eq!(Dim::parse("fy"), Some(Dim::FY));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Dim {
     /// Batch.
     B,
@@ -41,15 +43,7 @@ pub enum Dim {
 }
 
 /// All dimensions in canonical `B, K, C, OY, OX, FY, FX` order.
-pub const ALL_DIMS: [Dim; 7] = [
-    Dim::B,
-    Dim::K,
-    Dim::C,
-    Dim::OY,
-    Dim::OX,
-    Dim::FY,
-    Dim::FX,
-];
+pub const ALL_DIMS: [Dim; 7] = [Dim::B, Dim::K, Dim::C, Dim::OY, Dim::OX, Dim::FY, Dim::FX];
 
 impl Dim {
     /// Canonical index of this dimension within [`ALL_DIMS`].

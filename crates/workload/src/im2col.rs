@@ -34,7 +34,10 @@ impl fmt::Display for Im2ColError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Im2ColError::DepthwiseUnsupported { layer } => {
-                write!(f, "cannot lower depthwise layer `{layer}` to a single matmul")
+                write!(
+                    f,
+                    "cannot lower depthwise layer `{layer}` to a single matmul"
+                )
             }
         }
     }

@@ -189,13 +189,23 @@ impl Layer {
 
     /// Convenience constructor for a [`LayerType::Matmul`] layer.
     pub fn matmul(name: impl Into<String>, b: u64, k: u64, c: u64, precision: Precision) -> Self {
-        Self::new(name, LayerType::Matmul, LayerShape::matmul(b, k, c), precision)
+        Self::new(
+            name,
+            LayerType::Matmul,
+            LayerShape::matmul(b, k, c),
+            precision,
+        )
     }
 
     /// Convenience constructor for a [`LayerType::Dense`] layer
     /// (`b` batch, `k` outputs, `c` inputs).
     pub fn dense(name: impl Into<String>, b: u64, k: u64, c: u64, precision: Precision) -> Self {
-        Self::new(name, LayerType::Dense, LayerShape::matmul(b, k, c), precision)
+        Self::new(
+            name,
+            LayerType::Dense,
+            LayerShape::matmul(b, k, c),
+            precision,
+        )
     }
 
     /// Layer name (for reports).

@@ -45,7 +45,9 @@ use std::fmt;
 /// The latency model analyses each operand's traffic through the memory
 /// hierarchy separately (the paper's "Divide" step), so the operand is a
 /// pervasive index type across all `ulm` crates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Operand {
     /// Weight (filter) operand.
     W,
@@ -86,7 +88,9 @@ impl fmt::Display for Operand {
 
 /// A small fixed map from [`Operand`] to `T`, used across the workspace for
 /// per-operand attributes (memory chains, loop allocations, data sizes, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct PerOperand<T> {
     values: [T; 3],
 }

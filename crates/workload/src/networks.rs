@@ -121,8 +121,20 @@ pub fn handtracking() -> Vec<Layer> {
 /// simulation on "NN layers of different sizes".
 pub fn handtracking_validation_layers() -> Vec<Layer> {
     let picks = [
-        "conv1", "pw1", "pw2", "pw4", "pw6", "pw8", "pw11", "pw12", "pw13", "ssd_e1a", "ssd_e1b",
-        "ssd_e3b", "head_cls19", "head_cls10",
+        "conv1",
+        "pw1",
+        "pw2",
+        "pw4",
+        "pw6",
+        "pw8",
+        "pw11",
+        "pw12",
+        "pw13",
+        "ssd_e1a",
+        "ssd_e1b",
+        "ssd_e3b",
+        "head_cls19",
+        "head_cls10",
     ];
     handtracking()
         .iter()

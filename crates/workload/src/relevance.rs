@@ -83,13 +83,13 @@ impl OperandRelevance {
                 Irrelevant, // FX
             ],
             Operand::I => [
-                Relevant, // B
+                Relevant,                                      // B
                 if depthwise { Relevant } else { Irrelevant }, // K
-                Relevant, // C
-                PartialIy, // OY
-                PartialIx, // OX
-                PartialIy, // FY
-                PartialIx, // FX
+                Relevant,                                      // C
+                PartialIy,                                     // OY
+                PartialIx,                                     // OX
+                PartialIy,                                     // FY
+                PartialIx,                                     // FX
             ],
         };
         Self { per_dim }

@@ -41,9 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = &result.best.latency;
         let view = MappedLayer::new(layer, &chip.arch, &result.best.mapping)?;
         let sim = Simulator::new().simulate(&view)?;
-        let acc =
-            (1.0 - (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
-                * 100.0;
+        let acc = (1.0
+            - (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64)
+            * 100.0;
         println!(
             "{:<22} {:>12} {:>12.0} {:>12} {:>7.1} {:>8.1}",
             layer.name(),

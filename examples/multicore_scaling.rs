@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, total_bw) in [("shared 256 b/cy", 256u64), ("shared 2048 b/cy", 2048)] {
         println!("\n=== backing store: {label} ===");
-        println!("{:>6} {:>14} {:>10} {:>12}", "cores", "cycles", "speedup", "efficiency");
+        println!(
+            "{:>6} {:>14} {:>10} {:>12}",
+            "cores", "cycles", "speedup", "efficiency"
+        );
         let rows = scaling_sweep(factory, &[1, 2, 4, 8], Partition::Batch, total_bw, &layers)?;
         let base = rows[0].1;
         for (n, cycles, eff) in &rows {
@@ -43,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             factory,
             4,
             partition,
-            BackingStore::Shared { total_bw_bits: 1024 },
+            BackingStore::Shared {
+                total_bw_bits: 1024,
+            },
         );
         let r = mc.evaluate_layer(&kheavy)?;
         println!(

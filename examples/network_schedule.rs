@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chip.arch
     );
 
-    let sequential = NetworkEvaluator::new(&chip.arch, spatial.clone())
-        .evaluate(&layers)?;
+    let sequential = NetworkEvaluator::new(&chip.arch, spatial.clone()).evaluate(&layers)?;
     let overlapped = NetworkEvaluator::new(&chip.arch, spatial)
         .with_overlap(InterLayerOverlap::WeightPrefetch)
         .evaluate(&layers)?;

@@ -56,7 +56,5 @@ fn main() {
         SpatialUnroll::new(chip.spatial.clone()),
         LoopStack::from_pairs(&[(Dim::B, 2), (Dim::C, 8), (Dim::K, 2)]),
     );
-    println!(
-        "\nLegend: '#' transfer in flight, '.' port idle, '=' computing, '!' stalled."
-    );
+    println!("\nLegend: '#' transfer in flight, '.' port idle, '=' computing, '!' stalled.");
 }

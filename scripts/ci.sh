@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, build and the full test suite.
+#
+# Everything runs offline — all dependencies are path crates vendored
+# under vendor/, so no registry access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI OK"

@@ -38,7 +38,12 @@ fn conv_layer_full_pipeline() {
     // The simulator roughly confirms the model.
     let sim = Simulator::new().simulate(&view).expect("within cap");
     let err = (report.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64;
-    assert!(err < 0.25, "model {} vs sim {}", report.cc_total, sim.total_cycles);
+    assert!(
+        err < 0.25,
+        "model {} vs sim {}",
+        report.cc_total,
+        sim.total_cycles
+    );
 }
 
 #[test]
@@ -56,8 +61,8 @@ fn dense_layer_on_case_study_chip() {
         .search(Objective::Latency)
         .expect("mappable");
     // Padding: K=1000 needs ceil coverage over K16 -> 63 temporal K.
-    let mapped_k = result.best.mapping.spatial().extent(Dim::K)
-        * result.best.mapping.stack().extent(Dim::K);
+    let mapped_k =
+        result.best.mapping.spatial().extent(Dim::K) * result.best.mapping.stack().extent(Dim::K);
     assert!(mapped_k >= 1000);
     assert!(result.best.latency.cc_total > 0.0);
 }
@@ -137,7 +142,10 @@ fn whole_network_sweep_is_stable() {
             mapped += 1;
         }
     }
-    assert!(mapped >= 10, "most conv/pointwise layers should map, got {mapped}");
+    assert!(
+        mapped >= 10,
+        "most conv/pointwise layers should map, got {mapped}"
+    );
 }
 
 #[test]
@@ -202,12 +210,12 @@ fn stall_integration_policies_order_correctly() {
     // Sequential integration can never stall less than concurrent.
     let layer = Layer::matmul("l", 64, 96, 640, Precision::int8_out24());
     let concurrent = presets::case_study_chip(128);
-    let sequential = presets::case_study_chip(128)
-        .with_stall_integration(StallIntegration::Sequential);
+    let sequential =
+        presets::case_study_chip(128).with_stall_integration(StallIntegration::Sequential);
     let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
     let stack = LoopStack::from_pairs(&[(Dim::C, 320), (Dim::B, 8), (Dim::K, 6)]);
-    let m1 = Mapping::with_greedy_alloc(&concurrent, &layer, spatial.clone(), stack.clone())
-        .unwrap();
+    let m1 =
+        Mapping::with_greedy_alloc(&concurrent, &layer, spatial.clone(), stack.clone()).unwrap();
     let m2 = Mapping::with_greedy_alloc(&sequential, &layer, spatial, stack).unwrap();
     let v1 = MappedLayer::new(&layer, &concurrent, &m1).unwrap();
     let v2 = MappedLayer::new(&layer, &sequential, &m2).unwrap();

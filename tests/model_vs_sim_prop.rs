@@ -10,13 +10,7 @@ use ulm::prelude::*;
 fn arb_point() -> impl Strategy<Value = (Layer, Vec<(Dim, u64)>)> {
     // Dims as exponents of 2 to keep factorization mild.
     (1u32..4, 1u32..4, 1u32..5, any::<u64>()).prop_map(|(b, k, c, seed)| {
-        let layer = Layer::matmul(
-            "p",
-            1 << b,
-            1 << k,
-            1 << c,
-            Precision::int8_acc24(),
-        );
+        let layer = Layer::matmul("p", 1 << b, 1 << k, 1 << c, Precision::int8_acc24());
         // Random ordering of the temporal factors (after K2|B2 spatial).
         let mut factors = Vec::new();
         for _ in 0..b.saturating_sub(1) {
@@ -31,7 +25,9 @@ fn arb_point() -> impl Strategy<Value = (Layer, Vec<(Dim, u64)>)> {
         // Deterministic shuffle from the seed.
         let mut s = seed;
         for i in (1..factors.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             factors.swap(i, j);
         }

@@ -69,7 +69,11 @@ fn table1_reqbw_rules() {
         b.set_chain(Operand::W, vec![w_reg, top]);
         b.set_chain(Operand::I, vec![top]);
         b.set_chain(Operand::O, vec![top]);
-        Architecture::new(if db { "db" } else { "sb" }, MacArray::square(2), b.build().unwrap())
+        Architecture::new(
+            if db { "db" } else { "sb" },
+            MacArray::square(2),
+            b.build().unwrap(),
+        )
     };
     let layer = Layer::matmul("mm", 8, 8, 16, Precision::uniform(8));
     let spatial = SpatialUnroll::new(vec![(Dim::K, 2), (Dim::B, 2)]);
@@ -163,16 +167,27 @@ fn double_buffered_weights_swap_without_keep_out() {
     let w = r
         .dtls
         .iter()
-        .find(|d| d.operand == Operand::W && d.kind == DtlKind::RefillDown && d.label.contains("W-Reg"))
+        .find(|d| {
+            d.operand == Operand::W && d.kind == DtlKind::RefillDown && d.label.contains("W-Reg")
+        })
         .expect("weight refill exists");
     // DB: ReqBW = BW0 (no top-ir multiplier), so X_REQ = Mem_CC: with a
     // 1024-cycle period the 4096-word tile streams at 32 b/cy << 512.
-    assert!((w.req_bw - (4096.0 * 8.0 / 1024.0)).abs() < 1e-6, "{}", w.req_bw);
+    assert!(
+        (w.req_bw - (4096.0 * 8.0 / 1024.0)).abs() < 1e-6,
+        "{}",
+        w.req_bw
+    );
     assert!(w.ss_u <= 0.0, "DB tile swap must not stall: {}", w.ss_u);
     // And the simulator agrees end to end.
     let sim = Simulator::new().simulate(&view).unwrap();
     let err = (r.cc_total - sim.total_cycles as f64).abs() / sim.total_cycles as f64;
-    assert!(err < 0.1, "model {} vs sim {}", r.cc_total, sim.total_cycles);
+    assert!(
+        err < 0.1,
+        "model {} vs sim {}",
+        r.cc_total,
+        sim.total_cycles
+    );
 }
 
 #[test]

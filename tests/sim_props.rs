@@ -14,7 +14,7 @@ fn arb_case() -> impl Strategy<Value = (u64, u64, u64, Vec<(Dim, u64)>)> {
         // Temporal factors after spatial K16|B8|C2.
         let mut factors = Vec::new();
         let mut push = |dim: Dim, mut n: u64| {
-            while n % 2 == 0 && n > 1 {
+            while n.is_multiple_of(2) && n > 1 {
                 factors.push((dim, 2u64));
                 n /= 2;
             }
@@ -37,13 +37,7 @@ fn arb_case() -> impl Strategy<Value = (u64, u64, u64, Vec<(Dim, u64)>)> {
     })
 }
 
-fn simulate(
-    gb_bw: u64,
-    b: u64,
-    k: u64,
-    c: u64,
-    stack: &[(Dim, u64)],
-) -> Option<SimReport> {
+fn simulate(gb_bw: u64, b: u64, k: u64, c: u64, stack: &[(Dim, u64)]) -> Option<SimReport> {
     let arch = presets::case_study_chip(gb_bw);
     let layer = Layer::matmul("p", b, k, c, Precision::int8_acc24());
     let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);

@@ -1,0 +1,163 @@
+//! Offline std-only stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`sample_size`](BenchmarkGroup::sample_size),
+//! [`Bencher::iter`], and [`black_box`] — backed by a simple adaptive
+//! wall-clock timer instead of criterion's statistical machinery. Results are
+//! printed as mean ns/iter per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mutable timing context handed to the closure of
+/// [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver; collects per-benchmark reports.
+pub struct Criterion {
+    /// Soft time budget per benchmark (measurement phase).
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Ungrouped convenience entry point.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let budget = self.measurement_time;
+        let samples = self.sample_size;
+        run_bench(name, budget, samples, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower the per-benchmark sample count (for slow benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, self.criterion.measurement_time, samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, budget: Duration, samples: usize, mut f: F) {
+    // Calibrate: time a single iteration to pick a batch size that keeps the
+    // whole measurement phase near the budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = budget.as_nanos() / samples.max(1) as u128;
+    let iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+        let per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+        if per_iter < best {
+            best = per_iter;
+        }
+    }
+    let mean = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!(
+        "bench {name}: mean {:.1} ns/iter, best {:.1} ns/iter ({total_iters} iters)",
+        mean, best
+    );
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running one or more [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+        };
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+}

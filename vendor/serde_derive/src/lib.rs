@@ -1,0 +1,693 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Hand-rolled on bare `proc_macro` (the build environment has no
+//! registry access, so `syn`/`quote` are unavailable). Supports the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields (including generics such as
+//!   `PerOperand<T>`), tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, like serde's default);
+//! * field attributes `#[serde(rename = "…")]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]` and `#[serde(with = "module")]`.
+//!
+//! Codegen is string-based: the derive builds Rust source and parses it
+//! back into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    /// `None` = no default; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Clone)]
+enum Param {
+    Lifetime(String),
+    Const { decl: String, name: String },
+    Type { name: String, bounds: String },
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    data: Data,
+}
+
+struct Cursor {
+    trees: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            trees: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.trees.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.trees.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.peek_ident(word) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the merged serde attrs.
+    fn eat_attrs(&mut self) -> FieldAttrs {
+        let mut out = FieldAttrs::default();
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_serde_attr(g.stream(), &mut out);
+                }
+                other => panic!("serde_derive: malformed attribute, got {other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in …)`.
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level `,`, counting
+    /// `<`/`>` depth so generic arguments don't terminate early.
+    fn skip_until_toplevel_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth <= 0 {
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Extracts `rename`/`default`/`with` from one `#[serde(…)]` attribute
+/// body; non-serde attributes (docs, `#[default]`, …) are ignored.
+fn parse_serde_attr(body: TokenStream, out: &mut FieldAttrs) {
+    let mut c = Cursor::new(body);
+    if !c.eat_ident("serde") {
+        return;
+    }
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return,
+    };
+    let mut c = Cursor::new(group.stream());
+    loop {
+        let key = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(_) => continue,
+            None => break,
+        };
+        let value = if c.eat_punct('=') {
+            match c.next() {
+                Some(TokenTree::Literal(l)) => {
+                    let s = l.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde_derive: expected literal after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match key.as_str() {
+            "rename" => out.rename = value,
+            "default" => out.default = Some(value),
+            "with" => out.with = value,
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        c.eat_punct(',');
+    }
+}
+
+fn parse_generics(c: &mut Cursor) -> Vec<Param> {
+    let mut params = Vec::new();
+    if !c.eat_punct('<') {
+        return params;
+    }
+    let mut depth = 1i32;
+    let mut current: Vec<TokenTree> = Vec::new();
+    loop {
+        let t = c.next().expect("serde_derive: unterminated generics");
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    params.push(parse_param(&current));
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+    params
+}
+
+fn tokens_to_string(trees: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in trees {
+        let piece = t.to_string();
+        if !s.is_empty() && !piece.starts_with(',') {
+            s.push(' ');
+        }
+        s.push_str(&piece);
+    }
+    s
+}
+
+fn parse_param(trees: &[TokenTree]) -> Param {
+    match trees.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            Param::Lifetime(tokens_to_string(trees).replace("' ", "'"))
+        }
+        Some(TokenTree::Ident(i)) if i.to_string() == "const" => {
+            let name = match trees.get(1) {
+                Some(TokenTree::Ident(n)) => n.to_string(),
+                other => panic!("serde_derive: malformed const param {other:?}"),
+            };
+            Param::Const {
+                decl: tokens_to_string(trees),
+                name,
+            }
+        }
+        Some(TokenTree::Ident(i)) => {
+            let name = i.to_string();
+            let bounds = if matches!(trees.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+            {
+                tokens_to_string(&trees[2..])
+            } else {
+                String::new()
+            };
+            Param::Type { name, bounds }
+        }
+        other => panic!("serde_derive: malformed generic parameter {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        c.skip_until_toplevel_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_unnamed_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    while c.peek().is_some() {
+        let _attrs = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        c.skip_until_toplevel_comma();
+        c.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_unnamed_fields(g.stream());
+                c.pos += 1;
+                Fields::Unnamed(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.pos += 1;
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        if c.eat_punct('=') {
+            // Skip an explicit discriminant expression.
+            c.skip_until_toplevel_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let _container_attrs = c.eat_attrs();
+    c.eat_visibility();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    let params = parse_generics(&mut c);
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(parse_unnamed_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: malformed struct body {other:?}"),
+            };
+            Input {
+                name,
+                params,
+                data: Data::Struct(fields),
+            }
+        }
+        "enum" => {
+            let variants = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: malformed enum body {other:?}"),
+            };
+            Input {
+                name,
+                params,
+                data: Data::Enum(variants),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `impl<…>` parameter list with `extra_bound` added to each type param,
+/// and the `Name<…>` usage list.
+fn generics_split(params: &[Param], extra_bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut decl = Vec::new();
+    let mut usage = Vec::new();
+    for p in params {
+        match p {
+            Param::Lifetime(l) => {
+                decl.push(l.clone());
+                usage.push(l.split(':').next().unwrap().trim().to_string());
+            }
+            Param::Const { decl: d, name } => {
+                decl.push(d.clone());
+                usage.push(name.clone());
+            }
+            Param::Type { name, bounds } => {
+                if bounds.is_empty() {
+                    decl.push(format!("{name}: {extra_bound}"));
+                } else {
+                    decl.push(format!("{name}: {bounds} + {extra_bound}"));
+                }
+                usage.push(name.clone());
+            }
+        }
+    }
+    (
+        format!("<{}>", decl.join(", ")),
+        format!("<{}>", usage.join(", ")),
+    )
+}
+
+fn json_key(f: &Field) -> &str {
+    f.attrs.rename.as_deref().unwrap_or(&f.name)
+}
+
+/// `(key, to_value-expression)` pair for one named field.
+fn ser_named_field(f: &Field, access: &str) -> String {
+    let key = json_key(f);
+    let expr = match &f.attrs.with {
+        Some(path) => format!(
+            "match {path}::serialize(&{access}, ::serde::ValueSerializer) {{ \
+               ::std::result::Result::Ok(v) => v, \
+               ::std::result::Result::Err(_) => ::serde::Value::Null }}"
+        ),
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    };
+    format!("(::std::string::String::from(\"{key}\"), {expr})")
+}
+
+/// Expression reconstructing one named field out of `fields` (an object's
+/// entry list), honouring `default`/`with` attributes.
+fn de_named_field(f: &Field, ty_name: &str) -> String {
+    let key = json_key(f);
+    let found = match &f.attrs.with {
+        Some(path) => format!("{path}::deserialize(::serde::ValueDeserializer::new(__x))?"),
+        None => "::serde::Deserialize::from_value(__x)?".to_string(),
+    };
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::std::convert::From::from(\
+             ::serde::Error::missing_field(\"{key}\", \"{ty_name}\")))"
+        ),
+    };
+    format!(
+        "{name}: match ::serde::__get(__fields, \"{key}\") {{ \
+           ::std::option::Option::Some(__x) => {found}, \
+           ::std::option::Option::None => {missing} }}",
+        name = f.name
+    )
+}
+
+fn derive_serialize_impl(input: &Input) -> String {
+    let (decl, usage) = generics_split(&input.params, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| ser_named_field(f, &format!("self.{}", f.name)))
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unnamed(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__b0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                              ::serde::Serialize::to_value(__b0))]),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__b{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                              ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| format!("{}: __b{i}", f.name))
+                            .collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                let key = json_key(f);
+                                format!(
+                                    "(::std::string::String::from(\"{key}\"), \
+                                     ::serde::Serialize::to_value(__b{i}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                              ::serde::Value::Object(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl{decl} ::serde::Serialize for {name}{usage} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn derive_deserialize_impl(input: &Input) -> String {
+    let (decl, usage) = generics_split(&input.params, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields.iter().map(|f| de_named_field(f, name)).collect();
+            format!(
+                "let __fields = __v.as_object().ok_or_else(|| \
+                   ::serde::Error::invalid_type(\"object\", __v))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unnamed(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                   ::serde::Error::invalid_type(\"array\", __v))?; \
+                 if __arr.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected array of length {n}, got {{}}\", __arr.len()))); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => {{ \
+                               let __arr = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::invalid_type(\"array\", __payload))?; \
+                               if __arr.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                   ::std::format!(\"variant {vname}: expected {n} elements, \
+                                    got {{}}\", __arr.len()))); }} \
+                               ::std::result::Result::Ok({name}::{vname}({})) }},",
+                            items.join(", ")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| de_named_field(f, &format!("{name}::{vname}")))
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => {{ \
+                               let __fields = __payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::invalid_type(\"object\", __payload))?; \
+                               ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   ::serde::Value::String(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __payload) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                       {payload_arms} \
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(\
+                     ::serde::Error::invalid_type(\"enum representation\", __other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{decl} ::serde::Deserialize for {name}{usage} {{ \
+           fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derives `serde::Serialize` (shim flavour: `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    derive_serialize_impl(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim flavour: `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    derive_deserialize_impl(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}

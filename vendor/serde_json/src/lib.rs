@@ -1,0 +1,587 @@
+//! Offline std-only stand-in for `serde_json`.
+//!
+//! Provides the subset of the real crate's API that this workspace uses:
+//! [`from_str`], [`to_string`], [`to_string_pretty`], [`to_value`],
+//! [`from_value`], the [`json!`] macro, and the [`Value`]/[`Error`] types.
+//! The data model is the [`serde::Value`] tree from the sibling serde shim;
+//! this crate adds the JSON text syntax on top of it.
+
+pub use serde::Value;
+
+#[doc(hidden)]
+pub use serde as __serde;
+
+use std::fmt;
+
+/// Error produced while parsing or printing JSON.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{} at byte {}", msg, self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 128 {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let val = self.parse_value(depth + 1)?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+                Ok(Value::Object(entries))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        if self.bump() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect_keyword("\\u")?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy raw bytes of the code point.
+                    let len = if b >= 0xF0 {
+                        4
+                    } else if b >= 0xE0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| self.err("invalid number"))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integer.
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|m| {
+                    if m <= i64::MAX as u64 + 1 {
+                        Some(Value::I64((m as i128).wrapping_neg() as i64))
+                    } else {
+                        None
+                    }
+                })
+                .map(Ok)
+                .unwrap_or_else(|| {
+                    text.parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|_| self.err("invalid number"))
+                })
+        } else {
+            match text.parse::<u64>() {
+                Ok(u) => Ok(Value::U64(u)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| self.err("invalid number")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Convert any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree into any [`serde::Deserialize`] type.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(f: f64) -> String {
+    if f.is_nan() || f.is_infinite() {
+        // Real serde_json errors on non-finite floats; we print null like
+        // JavaScript's JSON.stringify to keep printing infallible.
+        "null".to_string()
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        format!("{:.1}", f)
+    } else {
+        let s = format!("{}", f);
+        s
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => out.push_str(&fmt_f64(*f)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serialize a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Construct a [`Value`] from a JSON-like literal.
+///
+/// Supports objects with literal string keys, arrays, `null`, nested
+/// object/array literals, and arbitrary expressions as values (converted
+/// through [`serde::Serialize`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        // A closure so one lint scope covers the whole push sequence.
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let __build = || {
+            let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::__json_arr!(__items, $($tt)*);
+            __items
+        };
+        $crate::Value::Array(__build())
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let __build = || {
+            let mut __entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+                ::std::vec::Vec::new();
+            $crate::__json_obj!(__entries, $($tt)*);
+            __entries
+        };
+        $crate::Value::Object(__build())
+    }};
+    ($other:expr) => {
+        $crate::__serde::Serialize::to_value(&$other)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_obj {
+    ($entries:ident,) => {};
+    ($entries:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $entries.push((($key).to_string(), $crate::Value::Null));
+        $crate::__json_obj!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push((($key).to_string(), $crate::json!({ $($inner)* })));
+        $crate::__json_obj!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push((($key).to_string(), $crate::json!([ $($inner)* ])));
+        $crate::__json_obj!($entries, $($($rest)*)?);
+    };
+    ($entries:ident, $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $entries.push((($key).to_string(), $crate::__serde::Serialize::to_value(&$val)));
+        $crate::__json_obj!($entries, $($($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_arr {
+    ($items:ident,) => {};
+    ($items:ident, null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $crate::__json_arr!($items, $($($rest)*)?);
+    };
+    ($items:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::__json_arr!($items, $($($rest)*)?);
+    };
+    ($items:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::__json_arr!($items, $($($rest)*)?);
+    };
+    ($items:ident, $val:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::__serde::Serialize::to_value(&$val));
+        $crate::__json_arr!($items, $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny"}}"#;
+        let v: Value = from_str(src).unwrap();
+        let compact = to_string(&v).unwrap();
+        let v2: Value = from_str(&compact).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(compact, r#"{"a":[1,-2,3.5,true,null],"b":{"c":"x\ny"}}"#);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let v = json!({"k": [1, 2], "empty": {}, "s": "hi"});
+        let pretty = to_string_pretty(&v).unwrap();
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v2);
+        assert!(pretty.contains("\n"));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(v, Value::String("Aé😀".to_string()));
+    }
+
+    #[test]
+    fn number_edges() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v, Value::U64(u64::MAX));
+        let v: Value = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v, Value::I64(i64::MIN));
+        let v: Value = from_str("1e3").unwrap();
+        assert_eq!(v, Value::F64(1000.0));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "x",
+            "n": 3u64,
+            "list": [1u64, 2u64],
+            "nested": {"inner": null},
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            r#"{"name":"x","n":3,"list":[1,2],"nested":{"inner":null}}"#
+        );
+    }
+}
