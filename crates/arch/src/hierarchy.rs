@@ -108,6 +108,13 @@ impl MemoryHierarchy {
             .collect()
     }
 
+    /// Number of operands served by memory `id`, without allocating.
+    pub fn served_operand_count(&self, id: MemoryId) -> usize {
+        Operand::all()
+            .filter(|&op| self.chain(op).contains(&id))
+            .count()
+    }
+
     /// The port on memory `id` used when `op`'s data moves in the given
     /// direction, together with its bandwidth in bits/cycle.
     ///

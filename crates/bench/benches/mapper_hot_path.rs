@@ -1,0 +1,256 @@
+//! **DSE hot path** — the per-ordering cost that dominates Fig. 8's
+//! architecture sweep. Compares the pre-optimization baseline (fresh
+//! allocations + full evaluation for every ordering) against the
+//! optimized search (reusable scratch, branch-and-bound pruning, prefix
+//! memoization, optional intra-design parallelism) on the Fig. 8
+//! case-study workload, and writes the numbers to `BENCH_mapper.json`
+//! (path overridable via the `BENCH_MAPPER_JSON` env var).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Instant;
+use ulm::mapper::enumerate;
+use ulm::prelude::*;
+
+/// System allocator wrapper counting every allocation, so the JSON
+/// snapshot can report allocations-per-ordering for both paths.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCATIONS.load(AtomicOrdering::SeqCst)
+}
+
+/// The Fig. 8 DSE workload: the scaled-down case-study chip evaluating
+/// an Im2Col-lowered layer under the canonical 16x8x2 spatial unrolling.
+fn setup() -> (Architecture, Layer, SpatialUnroll) {
+    let arch = presets::case_study_chip(128);
+    let layer = Layer::matmul("fig8-dse", 64, 96, 640, Precision::int8_out24());
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    (arch, layer, spatial)
+}
+
+struct Snapshot {
+    space: u128,
+    baseline_secs: f64,
+    baseline_allocs_per_ordering: f64,
+    baseline_score_bits: u64,
+    fast_secs: f64,
+    fast_allocs_per_ordering: f64,
+    fast_pruned: usize,
+    fast_cache_hits: u64,
+    fast_score_bits: u64,
+    par_secs: f64,
+    par_threads: usize,
+    par_score_bits: u64,
+}
+
+/// One-shot wall-clock measurement of the three search flavors over the
+/// identical exhaustive ordering space.
+fn measure() -> Snapshot {
+    let (arch, layer, spatial) = setup();
+    let opts = MapperOptions {
+        max_exhaustive: 1_000_000, // force exhaustive enumeration
+        ..MapperOptions::default()
+    };
+
+    // Baseline: the pre-optimization search loop — every ordering goes
+    // through the allocating `evaluate_ordering` path, first-strictly-
+    // better argmin.
+    let mapper = Mapper::new(&arch, &layer, spatial.clone()).with_options(opts);
+    let factors = mapper.factors();
+    let space = mapper.space_size();
+    let a0 = allocs();
+    let t0 = Instant::now();
+    let mut best: Option<EvaluatedMapping> = None;
+    let mut generated = 0u64;
+    enumerate::for_each_ordering(&factors, |ordering| {
+        generated += 1;
+        if let Some(em) = mapper.evaluate_ordering(ordering) {
+            let better = best
+                .as_ref()
+                .map(|b| em.score(Objective::Latency) < b.score(Objective::Latency))
+                .unwrap_or(true);
+            if better {
+                best = Some(em);
+            }
+        }
+        true
+    });
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    let baseline_allocs = allocs() - a0;
+    let best = best.expect("baseline finds a legal mapping");
+    assert_eq!(generated as u128, space);
+
+    // Optimized serial search over the same space.
+    let a1 = allocs();
+    let t1 = Instant::now();
+    let fast = Mapper::new(&arch, &layer, spatial.clone())
+        .with_options(opts)
+        .search(Objective::Latency)
+        .expect("fast search finds a legal mapping");
+    let fast_secs = t1.elapsed().as_secs_f64();
+    let fast_allocs = allocs() - a1;
+
+    // Optimized search with intra-design work-stealing parallelism.
+    let par_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t2 = Instant::now();
+    let par = Mapper::new(&arch, &layer, spatial)
+        .with_options(opts)
+        .with_parallelism(Some(par_threads))
+        .search(Objective::Latency)
+        .expect("parallel search finds a legal mapping");
+    let par_secs = t2.elapsed().as_secs_f64();
+
+    // All three must agree bit-for-bit (the equivalence property tests
+    // check this exhaustively; the bench double-checks its own run).
+    let baseline_bits = best.latency.cc_total.to_bits();
+    assert_eq!(baseline_bits, fast.best.latency.cc_total.to_bits());
+    assert_eq!(baseline_bits, par.best.latency.cc_total.to_bits());
+    assert_eq!(best.mapping, fast.best.mapping);
+    assert_eq!(best.mapping, par.best.mapping);
+
+    Snapshot {
+        space,
+        baseline_secs,
+        baseline_allocs_per_ordering: baseline_allocs as f64 / generated as f64,
+        baseline_score_bits: baseline_bits,
+        fast_secs,
+        fast_allocs_per_ordering: fast_allocs as f64 / generated as f64,
+        fast_pruned: fast.pruned,
+        fast_cache_hits: fast.cache_hits,
+        fast_score_bits: fast.best.latency.cc_total.to_bits(),
+        par_secs,
+        par_threads,
+        par_score_bits: par.best.latency.cc_total.to_bits(),
+    }
+}
+
+fn json_path() -> PathBuf {
+    std::env::var_os("BENCH_MAPPER_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_mapper.json")
+        })
+}
+
+fn write_snapshot(s: &Snapshot) {
+    let n = s.space as f64;
+    let baseline_ops = n / s.baseline_secs;
+    let fast_ops = n / s.fast_secs;
+    let par_ops = n / s.par_secs;
+    let json = format!(
+        "{{\n  \"workload\": \"fig8-dse case_study_chip(128) matmul 64x96x640, spatial K16 B8 C2\",\n  \
+         \"orderings\": {},\n  \
+         \"baseline_secs\": {:.6},\n  \
+         \"baseline_orderings_per_sec\": {:.1},\n  \
+         \"baseline_allocs_per_ordering\": {:.2},\n  \
+         \"fast_serial_secs\": {:.6},\n  \
+         \"fast_serial_orderings_per_sec\": {:.1},\n  \
+         \"fast_serial_allocs_per_ordering\": {:.4},\n  \
+         \"fast_serial_speedup\": {:.2},\n  \
+         \"fast_parallel_threads\": {},\n  \
+         \"fast_parallel_secs\": {:.6},\n  \
+         \"fast_parallel_orderings_per_sec\": {:.1},\n  \
+         \"fast_parallel_speedup\": {:.2},\n  \
+         \"pruned\": {},\n  \
+         \"prefix_reuses\": {},\n  \
+         \"results_bit_identical\": {}\n}}\n",
+        s.space,
+        s.baseline_secs,
+        baseline_ops,
+        s.baseline_allocs_per_ordering,
+        s.fast_secs,
+        fast_ops,
+        s.fast_allocs_per_ordering,
+        s.baseline_secs / s.fast_secs,
+        s.par_threads,
+        s.par_secs,
+        par_ops,
+        s.baseline_secs / s.par_secs,
+        s.fast_pruned,
+        s.fast_cache_hits,
+        s.baseline_score_bits == s.fast_score_bits && s.baseline_score_bits == s.par_score_bits,
+    );
+    let path = json_path();
+    fs::write(&path, json).expect("write BENCH_mapper.json");
+    println!(
+        "[bench] {} orderings: baseline {:.0}/s, fast {:.0}/s ({:.1}x), parallel({}) {:.0}/s ({:.1}x)",
+        s.space,
+        baseline_ops,
+        fast_ops,
+        s.baseline_secs / s.fast_secs,
+        s.par_threads,
+        par_ops,
+        s.baseline_secs / s.par_secs,
+    );
+    println!("[json] {}", path.display());
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let snapshot = measure();
+    write_snapshot(&snapshot);
+
+    // Per-ordering microbenches: the allocating slow path vs the
+    // scratch-reusing fast path on a representative ordering.
+    let (arch, layer, spatial) = setup();
+    let mapper = Mapper::new(&arch, &layer, spatial);
+    let factors = mapper.factors();
+    let mut ordering = Vec::new();
+    enumerate::for_each_ordering(&factors, |o| {
+        ordering = o.to_vec();
+        false // keep only the first ordering
+    });
+    let mut scratch = mapper.scratch();
+    mapper.evaluate_ordering_fast(&ordering, Objective::Latency, &mut scratch);
+
+    let mut g = c.benchmark_group("mapper_hot_path");
+    g.bench_function("evaluate_ordering_slow", |b| {
+        b.iter(|| black_box(mapper.evaluate_ordering(black_box(&ordering))))
+    });
+    g.bench_function("evaluate_ordering_fast", |b| {
+        b.iter(|| {
+            black_box(mapper.evaluate_ordering_fast(
+                black_box(&ordering),
+                Objective::Latency,
+                &mut scratch,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

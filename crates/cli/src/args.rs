@@ -53,7 +53,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Known boolean flags (everything else with `--` expects a value).
-const FLAGS: &[&str] = &["json", "all", "bw-unaware", "overlap", "help"];
+const FLAGS: &[&str] = &["json", "all", "bw-unaware", "overlap", "help", "stats"];
 
 impl Args {
     /// Parses `argv[1..]`.

@@ -50,6 +50,14 @@ fn mapper_options(args: &Args) -> Result<MapperOptions, ArgError> {
     })
 }
 
+/// `--key <n>` as a thread count: 0 or absent means "serial" (`None`).
+fn thread_option(args: &Args, key: &str) -> Result<Option<usize>, ArgError> {
+    Ok(match args.u64_or(key, 0)? {
+        0 => None,
+        n => Some(n as usize),
+    })
+}
+
 /// `ulm evaluate`: map one layer (best-latency search) and print the full
 /// latency/energy report.
 pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
@@ -106,7 +114,9 @@ pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
         "edp" => Objective::Edp,
         _ => Objective::Latency,
     };
-    let mapper = Mapper::new(&arch, &layer, spatial).with_options(mapper_options(args)?);
+    let mapper = Mapper::new(&arch, &layer, spatial)
+        .with_options(mapper_options(args)?)
+        .with_parallelism(thread_option(args, "threads")?);
     println!(
         "space: {} orderings ({} factors)",
         mapper.space_size(),
@@ -140,6 +150,12 @@ pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
                 "sampled"
             }
         );
+        if args.flag("stats") {
+            println!(
+                "stats: {} pruned, {} prefix reuses, {:.2} ms",
+                r.pruned, r.cache_hits, r.wall_ms
+            );
+        }
         println!("best mapping: {}", r.best.mapping);
         print!("{}", r.best.latency);
         println!("energy: {:.1} nJ", r.best.energy.total_pj() / 1000.0);
@@ -200,15 +216,31 @@ pub fn dse(args: &Args) -> Result<(), Box<dyn Error>> {
     let pool = MemoryPool::default();
     let designs = enumerate_designs(&pool, &sides, gb_bw);
     println!("exploring {} designs at GB {gb_bw} b/cy …", designs.len());
-    let points = explore(&designs, &layer, &ExploreOptions::default());
+    let opts = ExploreOptions {
+        parallelism: thread_option(args, "threads")?,
+        mapping_parallelism: thread_option(args, "map-threads")?,
+        ..ExploreOptions::default()
+    };
+    let (points, stats) = explore_with_stats(&designs, &layer, &opts);
     let front = pareto_front(&points);
     if args.flag("json") {
-        let out = serde_json::json!({
+        let mut out = serde_json::json!({
             "evaluated": points.len(),
             "pareto": front.iter().map(|&i| &points[i]).collect::<Vec<_>>(),
         });
+        if args.flag("stats") {
+            if let serde_json::Value::Object(fields) = &mut out {
+                fields.push(("stats".to_string(), serde_json::to_value(&stats)?));
+            }
+        }
         println!("{}", serde_json::to_string_pretty(&out)?);
     } else {
+        if args.flag("stats") {
+            println!(
+                "stats: {} orderings generated, {} evaluated, {} pruned, {} prefix reuses, {:.1} ms",
+                stats.generated, stats.evaluated, stats.pruned, stats.cache_hits, stats.wall_ms
+            );
+        }
         println!(
             "{} evaluated, {} on the Pareto front:",
             points.len(),
@@ -357,6 +389,9 @@ COMMON OPTIONS
   --layer BxKxC                                (e.g. 64x96x640)
   --precision int8_out24|int8_acc24
   --samples <n>  --max-exhaustive <n>
+  --threads <n>         search/dse worker threads (0 = serial)
+  --map-threads <n>     dse: threads within each design's mapping search
+  --stats               search/dse: print pruning/search statistics
   --sides 16,32,64      (dse)
   --layers <n>          (validate: limit layer count)
   --net handtracking|mobilenet|resnet18|alexnet   (network)

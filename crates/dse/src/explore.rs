@@ -33,6 +33,11 @@ pub struct ExploreOptions {
     /// Results are merged in design order, so the output is identical for
     /// every thread count.
     pub parallelism: Option<usize>,
+    /// Worker threads *within* each design's ordering search (routed to
+    /// [`Mapper::with_parallelism`]). Useful when the design list is
+    /// short but each mapping space is large; the per-design result is
+    /// identical at every setting.
+    pub mapping_parallelism: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -47,8 +52,28 @@ impl Default for ExploreOptions {
             },
             area: AreaModel::default(),
             parallelism: None,
+            mapping_parallelism: None,
         }
     }
+}
+
+/// Aggregate search-effort counters for one [`explore_with_stats`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DseStats {
+    /// Designs evaluated (including infeasible ones).
+    pub designs: usize,
+    /// Designs with at least one legal mapping.
+    pub feasible: usize,
+    /// Orderings generated across all designs.
+    pub generated: usize,
+    /// Orderings fully evaluated.
+    pub evaluated: usize,
+    /// Legal orderings skipped by branch-and-bound lower bounds.
+    pub pruned: usize,
+    /// Prefix quantities reused between consecutive orderings.
+    pub cache_hits: u64,
+    /// Wall-clock exploration time in milliseconds.
+    pub wall_ms: f64,
 }
 
 /// Evaluates one design: optimizes the mapping for lowest latency and
@@ -63,18 +88,46 @@ pub fn evaluate_design(
     layer: &Layer,
     opts: &ExploreOptions,
 ) -> Result<DsePoint, MapperError> {
-    let mapper = Mapper::new(&design.arch, layer, design.spatial.clone()).with_options(opts.mapper);
+    evaluate_design_counted(design, layer, opts).map(|(p, _)| p)
+}
+
+/// Per-design search-effort counters (a [`DseStats`] slice without the
+/// design counts or wall time).
+#[derive(Debug, Clone, Copy, Default)]
+struct SearchCounters {
+    generated: usize,
+    evaluated: usize,
+    pruned: usize,
+    cache_hits: u64,
+}
+
+fn evaluate_design_counted(
+    design: &DesignPoint,
+    layer: &Layer,
+    opts: &ExploreOptions,
+) -> Result<(DsePoint, SearchCounters), MapperError> {
+    let mapper = Mapper::new(&design.arch, layer, design.spatial.clone())
+        .with_options(opts.mapper)
+        .with_parallelism(opts.mapping_parallelism);
     let result = mapper.search(Objective::Latency)?;
     let h = design.arch.hierarchy();
     let exclude: Vec<_> = h.find("GB").into_iter().collect();
     let area_mm2 = opts.area.total_mm2(&design.arch, &exclude);
-    Ok(DsePoint {
-        params: design.params,
-        latency: result.best.latency.cc_total,
-        area_mm2,
-        utilization: result.best.latency.utilization,
-        ss_overall: result.best.latency.ss_overall,
-    })
+    Ok((
+        DsePoint {
+            params: design.params,
+            latency: result.best.latency.cc_total,
+            area_mm2,
+            utilization: result.best.latency.utilization,
+            ss_overall: result.best.latency.ss_overall,
+        },
+        SearchCounters {
+            generated: result.generated,
+            evaluated: result.evaluated,
+            pruned: result.pruned,
+            cache_hits: result.cache_hits,
+        },
+    ))
 }
 
 /// Evaluates every design, silently skipping ones with no legal mapping.
@@ -84,25 +137,52 @@ pub fn evaluate_design(
 /// seeded search and the results are merged back in design order, so the
 /// returned vector is byte-identical to the serial one.
 pub fn explore(designs: &[DesignPoint], layer: &Layer, opts: &ExploreOptions) -> Vec<DsePoint> {
+    explore_with_stats(designs, layer, opts).0
+}
+
+/// [`explore`], additionally returning aggregate search-effort counters.
+/// The point list is identical to [`explore`]'s; the counters are summed
+/// in design order and deterministic for a fixed
+/// `(parallelism, mapping_parallelism)` setting.
+pub fn explore_with_stats(
+    designs: &[DesignPoint],
+    layer: &Layer,
+    opts: &ExploreOptions,
+) -> (Vec<DsePoint>, DseStats) {
+    let t0 = std::time::Instant::now();
     let threads = opts.parallelism.unwrap_or(1).clamp(1, designs.len().max(1));
+    let mut slots: Vec<Option<(DsePoint, SearchCounters)>> = vec![None; designs.len()];
     if threads <= 1 {
-        return designs
-            .iter()
-            .filter_map(|d| evaluate_design(d, layer, opts).ok())
-            .collect();
-    }
-    let mut slots: Vec<Option<DsePoint>> = vec![None; designs.len()];
-    let chunk = designs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (d_chunk, s_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (d, slot) in d_chunk.iter().zip(s_chunk.iter_mut()) {
-                    *slot = evaluate_design(d, layer, opts).ok();
-                }
-            });
+        for (d, slot) in designs.iter().zip(slots.iter_mut()) {
+            *slot = evaluate_design_counted(d, layer, opts).ok();
         }
-    });
-    slots.into_iter().flatten().collect()
+    } else {
+        let chunk = designs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (d_chunk, s_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (d, slot) in d_chunk.iter().zip(s_chunk.iter_mut()) {
+                        *slot = evaluate_design_counted(d, layer, opts).ok();
+                    }
+                });
+            }
+        });
+    }
+    let mut stats = DseStats {
+        designs: designs.len(),
+        ..DseStats::default()
+    };
+    let mut points = Vec::with_capacity(designs.len());
+    for (point, counters) in slots.into_iter().flatten() {
+        stats.feasible += 1;
+        stats.generated += counters.generated;
+        stats.evaluated += counters.evaluated;
+        stats.pruned += counters.pruned;
+        stats.cache_hits += counters.cache_hits;
+        points.push(point);
+    }
+    stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (points, stats)
 }
 
 /// Indices of the latency-area Pareto front (minimizing both), sorted by
@@ -216,6 +296,50 @@ mod tests {
                 },
             );
             assert_eq!(serial, par, "parallelism={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_design() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let (points, stats) = explore_with_stats(&designs, &small_layer(), &quick_opts());
+        assert_eq!(stats.designs, designs.len());
+        assert_eq!(stats.feasible, points.len());
+        assert!(stats.generated >= stats.evaluated + stats.pruned);
+        assert!(stats.evaluated > 0);
+        assert!(stats.wall_ms > 0.0);
+        // The point list is exactly what `explore` returns.
+        assert_eq!(points, explore(&designs, &small_layer(), &quick_opts()));
+    }
+
+    #[test]
+    fn intra_design_parallelism_matches_serial_exactly() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let serial = explore(&designs, &small_layer(), &quick_opts());
+        for threads in [2usize, 4] {
+            let par = explore(
+                &designs,
+                &small_layer(),
+                &ExploreOptions {
+                    mapping_parallelism: Some(threads),
+                    ..quick_opts()
+                },
+            );
+            assert_eq!(serial, par, "mapping_parallelism={threads} diverged");
         }
     }
 

@@ -29,5 +29,7 @@
 pub mod explore;
 pub mod pool;
 
-pub use explore::{evaluate_design, explore, pareto_front, DsePoint, ExploreOptions};
+pub use explore::{
+    evaluate_design, explore, explore_with_stats, pareto_front, DsePoint, DseStats, ExploreOptions,
+};
 pub use pool::{build_design, enumerate_designs, DesignParams, DesignPoint, MemoryPool};

@@ -135,6 +135,16 @@ impl fmt::Display for EnergyReport {
     }
 }
 
+/// Reusable buffers for [`EnergyModel::evaluate_total_fast`].
+#[derive(Debug, Default)]
+pub struct EnergyScratch {
+    /// `(touched, read_bits, write_bits)` per memory id. The `touched`
+    /// flag mirrors BTreeMap entry creation in [`EnergyModel::evaluate`]
+    /// so the final float sum visits exactly the same memories in the
+    /// same (ascending id) order.
+    traffic: Vec<(bool, u64, u64)>,
+}
+
 impl EnergyModel {
     /// The default 7 nm-class parameters.
     pub fn new() -> Self {
@@ -237,6 +247,80 @@ impl EnergyModel {
             total_fj,
         }
     }
+
+    /// [`evaluate`](Self::evaluate)`.total_fj` without allocating: the
+    /// identical per-interface traffic accumulation into a reusable
+    /// id-indexed array, summed over the same memories in the same order
+    /// so the result is bit-identical. Used by the mapper's fast path.
+    pub fn evaluate_total_fast(&self, view: &MappedLayer<'_>, scratch: &mut EnergyScratch) -> f64 {
+        let h = view.arch().hierarchy();
+        let layer = view.layer();
+        let traffic = &mut scratch.traffic;
+        traffic.clear();
+        traffic.resize(h.memories().len(), (false, 0, 0));
+        let mut add = |mid: MemoryId, rd: u64, wr: u64| {
+            let e = &mut traffic[mid.0];
+            e.0 = true;
+            e.1 += rd;
+            e.2 += wr;
+        };
+
+        for op in Operand::all() {
+            let chain = h.chain(op);
+            for level in 0..chain.len().saturating_sub(1) {
+                let lower = chain[level];
+                let upper = chain[level + 1];
+                let words = view.mem_data_words(op, level);
+                match op {
+                    Operand::W | Operand::I => {
+                        let bits =
+                            words * layer.precision().bits(op) * view.refill_count(op, level);
+                        add(upper, bits, 0);
+                        add(lower, 0, bits);
+                    }
+                    Operand::O => {
+                        let is_final = view.outputs_final_above(level);
+                        let out_bits = layer.precision().output_bits(is_final);
+                        let drains = view.refill_count(op, level);
+                        let distinct = view.distinct_blocks_above(op, level);
+                        let revisits = drains - distinct;
+                        let drain_bits = words * out_bits * drains;
+                        add(lower, drain_bits, 0);
+                        add(upper, 0, drain_bits);
+                        let rb_bits = words * layer.precision().partial_sum_bits() * revisits;
+                        add(upper, rb_bits, 0);
+                        add(lower, 0, rb_bits);
+                    }
+                }
+            }
+            if self.include_compute_accesses {
+                let innermost = chain[0];
+                let rel = layer.operand_relevance(op);
+                let words_per_cycle: u64 = view
+                    .mapping()
+                    .spatial()
+                    .factors()
+                    .iter()
+                    .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
+                    .map(|&(_, f)| f)
+                    .product();
+                let total_bits = words_per_cycle * layer.precision().bits(op) * view.cc_spatial();
+                match op {
+                    Operand::W | Operand::I => add(innermost, total_bits, 0),
+                    Operand::O => add(innermost, total_bits, total_bits),
+                }
+            }
+        }
+
+        let mac_fj = self.mac_fj * layer.total_macs() as f64;
+        let mut mem_fj = 0.0;
+        for (i, &(touched, rd, wr)) in traffic.iter().enumerate() {
+            if touched {
+                mem_fj += self.fj_per_bit(h.mem(MemoryId(i))) * (rd + wr) as f64;
+            }
+        }
+        mac_fj + mem_fj
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +393,27 @@ mod tests {
         let small = ulm_arch::Memory::new("s", MemoryKind::Sram, 8 * 1024);
         let big = ulm_arch::Memory::new("b", MemoryKind::Sram, 8 * 1024 * 1024);
         assert!(e.fj_per_bit(&big) > e.fj_per_bit(&small));
+    }
+
+    #[test]
+    fn fast_total_matches_report_bitwise() {
+        let stacks: [&[(Dim, u64)]; 3] = [
+            &[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)],
+            &[(Dim::B, 2), (Dim::K, 2), (Dim::C, 8)],
+            &[(Dim::C, 4), (Dim::B, 2), (Dim::K, 2), (Dim::C, 2)],
+        ];
+        let mut scratch = EnergyScratch::default();
+        for include in [true, false] {
+            let mut m = EnergyModel::new();
+            m.include_compute_accesses = include;
+            for stack in stacks {
+                let (chip, layer, mapping) = toy_view(stack);
+                let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+                let report = m.evaluate(&view);
+                let fast = m.evaluate_total_fast(&view, &mut scratch);
+                assert_eq!(report.total_fj.to_bits(), fast.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -37,11 +37,12 @@ pub use spatial_search::{search_spatial, spatial_candidates, SpatialOptions};
 use factorize::{ordering_count, temporal_factors, Factor};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 use ulm_arch::Architecture;
-use ulm_energy::{EnergyModel, EnergyReport};
-use ulm_mapping::{LoopStack, MappedLayer, Mapping, SpatialUnroll};
-use ulm_model::{LatencyModel, LatencyReport};
-use ulm_workload::Layer;
+use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
+use ulm_mapping::{LoopStack, MappedLayer, Mapping, OperandAlloc, SpatialUnroll};
+use ulm_model::{roofline_bound, LatencyModel, LatencyReport, ModelScratch};
+use ulm_workload::{DimSizes, Layer, PerOperand};
 
 /// What the search minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -106,7 +107,7 @@ impl EvaluatedMapping {
 pub struct SearchResult {
     /// The best legal mapping found.
     pub best: EvaluatedMapping,
-    /// Orderings whose mapping was legal and evaluated.
+    /// Orderings whose mapping was legal and fully evaluated.
     pub evaluated: usize,
     /// Orderings generated (legal or not).
     pub generated: usize,
@@ -114,6 +115,15 @@ pub struct SearchResult {
     pub space_size: u128,
     /// True when the space was enumerated exhaustively.
     pub exhaustive: bool,
+    /// Legal orderings skipped because a cheap lower bound already
+    /// matched or exceeded the incumbent (never the eventual best —
+    /// pruning preserves the argmin and its tie-break exactly).
+    pub pruned: usize,
+    /// Per-ordering prefix quantities reused from the previous ordering
+    /// instead of recomputed (one per shared inner-prefix factor).
+    pub cache_hits: u64,
+    /// Wall-clock search time in milliseconds.
+    pub wall_ms: f64,
 }
 
 /// Errors from mapping search.
@@ -138,12 +148,105 @@ impl fmt::Display for MapperError {
 
 impl Error for MapperError {}
 
+/// Reusable per-thread state for the allocation-free evaluation path:
+/// a mapping shell rebuilt in place per ordering, the memoized prefix
+/// extents shared between orderings with a common inner prefix, and the
+/// model/energy scratch buffers. Build one with [`Mapper::scratch`].
+#[derive(Debug)]
+pub struct EvalScratch {
+    mapping: Mapping,
+    /// The previous ordering, for prefix-sharing detection.
+    prev: Vec<Factor>,
+    /// `prefix_ext[p]` = spatial extents x the innermost `p` factors of
+    /// the current ordering. Entry `0` (spatial alone) never changes.
+    prefix_ext: Vec<DimSizes>,
+    residency: Vec<u64>,
+    model: ModelScratch,
+    energy: EnergyScratch,
+    cache_hits: u64,
+}
+
+impl EvalScratch {
+    fn new(spatial: &SpatialUnroll) -> Self {
+        Self {
+            mapping: Mapping::new(
+                spatial.clone(),
+                LoopStack::empty(),
+                PerOperand::from_fn(|_| OperandAlloc::flat(0)),
+            ),
+            prev: Vec::new(),
+            prefix_ext: vec![spatial.extents()],
+            residency: Vec::new(),
+            model: ModelScratch::default(),
+            energy: EnergyScratch::default(),
+            cache_hits: 0,
+        }
+    }
+
+    /// Updates the memoized prefix extents for `ordering`, reusing every
+    /// entry shared with the previous ordering's inner prefix. The
+    /// incremental product multiplies the same `u64` factors in the same
+    /// innermost-first order as the from-scratch computation, so the
+    /// extents are identical (integer arithmetic is exact).
+    fn update_prefixes(&mut self, ordering: &[Factor]) {
+        let shared = self
+            .prev
+            .iter()
+            .zip(ordering)
+            .take_while(|(a, b)| *a == *b)
+            .count();
+        self.cache_hits += shared as u64;
+        self.prefix_ext.truncate(shared + 1);
+        for &(d, s) in &ordering[shared..] {
+            let mut ext = *self.prefix_ext.last().expect("entry 0 always present");
+            ext.multiply(d, s);
+            self.prefix_ext.push(ext);
+        }
+        self.prev.clear();
+        self.prev.extend_from_slice(ordering);
+    }
+}
+
+/// Outcome of one bounded fast evaluation.
+enum FastEval {
+    /// No legal greedy allocation for this ordering.
+    Illegal,
+    /// Legal, but a lower bound proved it cannot beat the incumbent.
+    Pruned,
+    /// Fully evaluated: the objective score (bit-identical to
+    /// [`EvaluatedMapping::score`] on the slow path).
+    Scored(f64),
+}
+
+/// One search chunk's outcome (a contiguous slice of the ordering space
+/// or of the sampled candidate list).
+#[derive(Default)]
+struct ChunkOutcome {
+    /// Best `(score, ordering)` in visit order, first-strictly-better.
+    best: Option<(f64, Vec<Factor>)>,
+    evaluated: usize,
+    generated: usize,
+    pruned: usize,
+    cache_hits: u64,
+}
+
+impl ChunkOutcome {
+    fn consider(&mut self, score: f64, ordering: &[Factor]) {
+        self.evaluated += 1;
+        let better = self.best.as_ref().map(|b| score < b.0).unwrap_or(true);
+        if better {
+            self.best = Some((score, ordering.to_vec()));
+        }
+    }
+}
+
 /// The mapping-space search driver.
 pub struct Mapper<'a> {
     arch: &'a Architecture,
     layer: &'a Layer,
     spatial: SpatialUnroll,
     opts: MapperOptions,
+    parallelism: Option<usize>,
     latency_model: LatencyModel,
     energy_model: EnergyModel,
 }
@@ -156,6 +259,7 @@ impl<'a> Mapper<'a> {
             layer,
             spatial,
             opts: MapperOptions::default(),
+            parallelism: None,
             latency_model: LatencyModel::new(),
             energy_model: EnergyModel::new(),
         }
@@ -169,6 +273,15 @@ impl<'a> Mapper<'a> {
         } else {
             LatencyModel::bw_unaware()
         };
+        self
+    }
+
+    /// Splits one design's ordering search across `threads` worker
+    /// threads (`None` or `Some(1)` = serial). The result — best mapping,
+    /// score, and tie-break — is identical at every thread count; only
+    /// wall time and the `pruned`/`cache_hits` statistics may differ.
+    pub fn with_parallelism(mut self, threads: Option<usize>) -> Self {
+        self.parallelism = threads;
         self
     }
 
@@ -199,38 +312,183 @@ impl<'a> Mapper<'a> {
         })
     }
 
+    /// A fresh scratch arena for [`evaluate_ordering_fast`]
+    /// (`Self::evaluate_ordering_fast`), sized to this mapper's spatial
+    /// unrolling.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch::new(&self.spatial)
+    }
+
+    /// The fast counterpart of [`evaluate_ordering`]
+    /// (`Self::evaluate_ordering`): builds the greedy allocation in place
+    /// inside `scratch` and evaluates only the `obj` score, performing
+    /// zero heap allocations in the steady state. The returned score is
+    /// bit-identical to `evaluate_ordering(...).score(obj)`; `None`
+    /// means no legal greedy allocation (exactly when the slow path
+    /// returns `None`).
+    pub fn evaluate_ordering_fast(
+        &self,
+        ordering: &[Factor],
+        obj: Objective,
+        scratch: &mut EvalScratch,
+    ) -> Option<f64> {
+        match self.evaluate_ordering_bounded(ordering, obj, None, scratch) {
+            FastEval::Illegal => None,
+            FastEval::Pruned => unreachable!("no incumbent, nothing to prune against"),
+            FastEval::Scored(score) => Some(score),
+        }
+    }
+
+    /// Fast evaluation with branch-and-bound: when `incumbent` is set and
+    /// `obj` is latency, cheap monotone lower bounds (the stall-free
+    /// phase floor, and the roofline when the model is bw-aware) skip the
+    /// expensive stall evaluation for orderings that provably cannot be
+    /// *strictly* better than the incumbent — so pruning can never change
+    /// the argmin or the first-strictly-better tie-break.
+    fn evaluate_ordering_bounded(
+        &self,
+        ordering: &[Factor],
+        obj: Objective,
+        incumbent: Option<f64>,
+        scratch: &mut EvalScratch,
+    ) -> FastEval {
+        scratch.update_prefixes(ordering);
+        if !scratch
+            .mapping
+            .reassign_greedy(self.arch, self.layer, ordering, &scratch.prefix_ext)
+        {
+            return FastEval::Illegal;
+        }
+        let Some(view) = MappedLayer::new_fast(
+            self.layer,
+            self.arch,
+            &scratch.mapping,
+            &mut scratch.residency,
+        ) else {
+            return FastEval::Illegal;
+        };
+        match obj {
+            Objective::Latency => {
+                if let Some(inc) = incumbent {
+                    // Exact bound: cc_total with the stall assumed zero.
+                    // SS >= 0 and float addition of non-negatives is
+                    // monotone, so floor >= inc implies score >= inc.
+                    if self.latency_model.phase_floor(&view) >= inc {
+                        return FastEval::Pruned;
+                    }
+                    // Roofline bound, with a tolerance margin matching
+                    // the model's documented roofline slack.
+                    if self.opts.bw_aware && roofline_bound(&view) - inc > 1e-6 + 1e-9 * inc.abs() {
+                        return FastEval::Pruned;
+                    }
+                }
+                let lat = self.latency_model.evaluate_fast(&view, &mut scratch.model);
+                FastEval::Scored(lat.cc_total)
+            }
+            Objective::Energy => FastEval::Scored(
+                self.energy_model
+                    .evaluate_total_fast(&view, &mut scratch.energy),
+            ),
+            Objective::Edp => {
+                let lat = self.latency_model.evaluate_fast(&view, &mut scratch.model);
+                let fj = self
+                    .energy_model
+                    .evaluate_total_fast(&view, &mut scratch.energy);
+                FastEval::Scored(lat.cc_total * fj)
+            }
+        }
+    }
+
+    /// Runs the fast evaluator over orderings `[start, end)` of the full
+    /// enumeration, keeping the chunk-local first-strictly-better best.
+    fn run_enumerated_chunk(
+        &self,
+        factors: &[Factor],
+        obj: Objective,
+        start: u128,
+        end: u128,
+    ) -> ChunkOutcome {
+        let mut scratch = EvalScratch::new(&self.spatial);
+        let mut out = ChunkOutcome::default();
+        enumerate::for_each_ordering_in_range(factors, start, end, |ordering| {
+            out.generated += 1;
+            let incumbent = out.best.as_ref().map(|b| b.0);
+            match self.evaluate_ordering_bounded(ordering, obj, incumbent, &mut scratch) {
+                FastEval::Illegal => {}
+                FastEval::Pruned => out.pruned += 1,
+                FastEval::Scored(score) => out.consider(score, ordering),
+            }
+            true
+        });
+        out.cache_hits = scratch.cache_hits;
+        out
+    }
+
+    /// Same as [`run_enumerated_chunk`](Self::run_enumerated_chunk) over
+    /// a slice of an explicit candidate list.
+    fn run_candidate_chunk(&self, candidates: &[Vec<Factor>], obj: Objective) -> ChunkOutcome {
+        let mut scratch = EvalScratch::new(&self.spatial);
+        let mut out = ChunkOutcome::default();
+        for ordering in candidates {
+            out.generated += 1;
+            let incumbent = out.best.as_ref().map(|b| b.0);
+            match self.evaluate_ordering_bounded(ordering, obj, incumbent, &mut scratch) {
+                FastEval::Illegal => {}
+                FastEval::Pruned => out.pruned += 1,
+                FastEval::Scored(score) => out.consider(score, ordering),
+            }
+        }
+        out.cache_hits = scratch.cache_hits;
+        out
+    }
+
     /// Searches the mapping space for the minimum-`obj` mapping:
     /// exhaustively when the ordering count is within
     /// [`MapperOptions::max_exhaustive`], by uniform sampling otherwise.
+    ///
+    /// The hot path is allocation-free (a per-thread [`EvalScratch`] is
+    /// reused across orderings), prunes provably-worse orderings with
+    /// monotone lower bounds, and — under
+    /// [`with_parallelism`](Self::with_parallelism) — splits the ordering
+    /// space across threads. All of these preserve the exact result of
+    /// the naive serial enumeration: the same best mapping, the same
+    /// score bits, the same first-strictly-better tie-break.
     ///
     /// # Errors
     ///
     /// Returns [`MapperError::NoLegalMapping`] if nothing legal was found.
     pub fn search(&self, obj: Objective) -> Result<SearchResult, MapperError> {
+        let t0 = Instant::now();
         let factors = self.factors();
         let space_size = ordering_count(&factors);
         let exhaustive = space_size <= self.opts.max_exhaustive;
-        let mut best: Option<EvaluatedMapping> = None;
-        let mut evaluated = 0usize;
-        let mut generated = 0usize;
-        fn consider(em: EvaluatedMapping, obj: Objective, best: &mut Option<EvaluatedMapping>) {
-            let better = best
-                .as_ref()
-                .map(|b| em.score(obj) < b.score(obj))
-                .unwrap_or(true);
-            if better {
-                *best = Some(em);
+        let threads = self.parallelism.unwrap_or(1).max(1);
+
+        let outcomes: Vec<ChunkOutcome> = if exhaustive {
+            // Don't bother spawning for trivially small spaces.
+            let threads = if space_size < 256 { 1 } else { threads as u128 };
+            if threads <= 1 {
+                vec![self.run_enumerated_chunk(&factors, obj, 0, space_size)]
+            } else {
+                let per = space_size.div_ceil(threads);
+                let ranges: Vec<(u128, u128)> = (0..threads)
+                    .map(|t| (per * t, (per * (t + 1)).min(space_size)))
+                    .filter(|(a, b)| a < b)
+                    .collect();
+                let factors = &factors;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = ranges
+                        .iter()
+                        .map(|&(a, b)| {
+                            s.spawn(move || self.run_enumerated_chunk(factors, obj, a, b))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("search worker panicked"))
+                        .collect()
+                })
             }
-        }
-        if exhaustive {
-            enumerate::for_each_ordering(&factors, |ordering| {
-                generated += 1;
-                if let Some(em) = self.evaluate_ordering(ordering) {
-                    evaluated += 1;
-                    consider(em, obj, &mut best);
-                }
-                true
-            });
         } else {
             // Seed with the canonical stationary dataflows, then sample.
             let mut candidates = enumerate::seeded_orderings(&factors);
@@ -239,22 +497,60 @@ impl<'a> Mapper<'a> {
                 self.opts.samples,
                 self.opts.seed,
             ));
-            for ordering in candidates {
-                generated += 1;
-                if let Some(em) = self.evaluate_ordering(&ordering) {
-                    evaluated += 1;
-                    consider(em, obj, &mut best);
+            if threads <= 1 || candidates.len() < 32 {
+                vec![self.run_candidate_chunk(&candidates, obj)]
+            } else {
+                let per = candidates.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = candidates
+                        .chunks(per)
+                        .map(|chunk| s.spawn(move || self.run_candidate_chunk(chunk, obj)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("search worker panicked"))
+                        .collect()
+                })
+            }
+        };
+
+        // Deterministic merge: chunks cover contiguous, increasing index
+        // ranges, so folding them in order with a strict `<` reproduces
+        // the serial first-strictly-better argmin exactly.
+        let mut evaluated = 0usize;
+        let mut generated = 0usize;
+        let mut pruned = 0usize;
+        let mut cache_hits = 0u64;
+        let mut winner: Option<(f64, Vec<Factor>)> = None;
+        for out in outcomes {
+            evaluated += out.evaluated;
+            generated += out.generated;
+            pruned += out.pruned;
+            cache_hits += out.cache_hits;
+            if let Some(b) = out.best {
+                let better = winner.as_ref().map(|w| b.0 < w.0).unwrap_or(true);
+                if better {
+                    winner = Some(b);
                 }
             }
         }
-        match best {
-            Some(best) => Ok(SearchResult {
-                best,
-                evaluated,
-                generated,
-                space_size,
-                exhaustive,
-            }),
+
+        match winner {
+            Some((_, ordering)) => {
+                let best = self
+                    .evaluate_ordering(&ordering)
+                    .expect("winning ordering was legal on the fast path");
+                Ok(SearchResult {
+                    best,
+                    evaluated,
+                    generated,
+                    space_size,
+                    exhaustive,
+                    pruned,
+                    cache_hits,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                })
+            }
             None => Err(MapperError::NoLegalMapping { tried: generated }),
         }
     }

@@ -1,0 +1,103 @@
+//! Counting-allocator proof that the steady-state fast evaluation path
+//! is allocation-free: after one warm-up sweep sizes every scratch
+//! buffer, re-evaluating the whole ordering space performs zero heap
+//! allocations.
+//!
+//! This file is its own test binary (integration test) so the global
+//! allocator swap cannot interfere with other tests, and it contains a
+//! single `#[test]` so no concurrent test thread can allocate while the
+//! steady-state window is being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ulm_arch::presets;
+use ulm_mapper::{enumerate, Mapper, Objective};
+use ulm_mapping::SpatialUnroll;
+use ulm_workload::{Layer, Precision};
+
+/// Wraps the system allocator and counts every allocation.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_fast_evaluation_allocates_nothing() {
+    let chip = presets::toy_chip();
+    let layer = Layer::matmul("alloc-probe", 8, 8, 16, Precision::int8_acc24());
+    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let mapper = Mapper::new(&chip.arch, &layer, spatial);
+
+    // Materialize the ordering space up front (this allocates, and
+    // that's fine — it happens before the measured window).
+    let factors = mapper.factors();
+    let mut orderings: Vec<Vec<(ulm_workload::Dim, u64)>> = Vec::new();
+    enumerate::for_each_ordering(&factors, |o| {
+        orderings.push(o.to_vec());
+        true
+    });
+    assert!(
+        orderings.len() > 100,
+        "need a non-trivial space, got {}",
+        orderings.len()
+    );
+
+    for obj in [Objective::Latency, Objective::Energy, Objective::Edp] {
+        let mut scratch = mapper.scratch();
+
+        // Warm-up sweep: grows every scratch buffer to its high-water
+        // mark for this ordering sequence.
+        let mut legal = 0usize;
+        for ordering in &orderings {
+            if mapper
+                .evaluate_ordering_fast(ordering, obj, &mut scratch)
+                .is_some()
+            {
+                legal += 1;
+            }
+        }
+        assert!(legal > 0, "{obj:?}: warm-up found no legal ordering");
+
+        // Steady state: the identical sweep must not touch the heap.
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut check = 0.0f64;
+        for ordering in &orderings {
+            if let Some(score) = mapper.evaluate_ordering_fast(ordering, obj, &mut scratch) {
+                check += score;
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(check.is_finite());
+        assert_eq!(
+            after - before,
+            0,
+            "{obj:?}: steady-state sweep over {} orderings performed {} heap allocations",
+            orderings.len(),
+            after - before
+        );
+    }
+}

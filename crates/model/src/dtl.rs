@@ -48,8 +48,85 @@ pub struct Endpoint {
     pub usage: PortUse,
 }
 
+/// The one or two ports a DTL occupies, stored inline so a [`Dtl`] is
+/// `Copy` and DTL lists can be rebuilt without heap traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct Endpoints {
+    items: [Endpoint; 2],
+    len: u8,
+}
+
+impl Endpoints {
+    /// A single-port link (compute-facing).
+    pub fn one(e: Endpoint) -> Self {
+        Self {
+            items: [e, e],
+            len: 1,
+        }
+    }
+
+    /// A two-port link (inter-memory).
+    pub fn two(a: Endpoint, b: Endpoint) -> Self {
+        Self {
+            items: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The endpoints as a slice.
+    pub fn as_slice(&self) -> &[Endpoint] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Endpoints {
+    type Target = [Endpoint];
+    fn deref(&self) -> &[Endpoint] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Endpoints {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'b> IntoIterator for &'b Endpoints {
+    type Item = &'b Endpoint;
+    type IntoIter = std::slice::Iter<'b, Endpoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl serde::Serialize for Endpoints {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.as_slice()
+                .iter()
+                .map(serde::Serialize::to_value)
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Endpoints {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let items = <Vec<Endpoint> as serde::Deserialize>::from_value(v)?;
+        match *items.as_slice() {
+            [e] => Ok(Self::one(e)),
+            [a, b] => Ok(Self::two(a, b)),
+            _ => Err(serde::Error::custom(format!(
+                "expected 1 or 2 endpoints, got {}",
+                items.len()
+            ))),
+        }
+    }
+}
+
 /// A single-operand data transfer link with all Step-1 attributes.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Dtl {
     /// The operand whose data this link moves.
     pub operand: Operand,
@@ -82,7 +159,7 @@ pub struct Dtl {
     /// `MUW_u`: the allowed updating window as a periodic function.
     pub window: PeriodicWindow,
     /// The one or two ports the link occupies.
-    pub endpoints: Vec<Endpoint>,
+    pub endpoints: Endpoints,
 }
 
 impl Dtl {
@@ -143,7 +220,7 @@ fn finish(
     z: u64,
     shape: WindowShape,
     real_bw: f64,
-    endpoints: Vec<Endpoint>,
+    endpoints: Endpoints,
     phase_aware_z: bool,
 ) -> Dtl {
     // The first refill of a level happens in the pre-load phase and the
@@ -200,9 +277,17 @@ impl Default for DtlOptions {
 
 /// Builds every DTL of the mapped layer (Step 1).
 pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
+    let mut dtls = Vec::new();
+    build_dtls_into(view, opts, &mut dtls);
+    dtls
+}
+
+/// [`build_dtls`] writing into a caller-provided buffer (cleared first),
+/// so repeated evaluations reuse its capacity instead of allocating.
+pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<Dtl>) {
     let h = view.arch().hierarchy();
     let layer = view.layer();
-    let mut dtls = Vec::new();
+    dtls.clear();
 
     for op in Operand::all() {
         let chain = h.chain(op);
@@ -239,7 +324,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                         z,
                         shape,
                         real_bw,
-                        vec![
+                        Endpoints::two(
                             Endpoint {
                                 mem: upper,
                                 port: rp,
@@ -250,7 +335,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                                 port: wp,
                                 usage: PortUse::WriteIn,
                             },
-                        ],
+                        ),
                         opts.phase_aware_z,
                     ));
                 }
@@ -279,7 +364,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                         z,
                         shape,
                         real_bw,
-                        vec![
+                        Endpoints::two(
                             Endpoint {
                                 mem: lower,
                                 port: rp,
@@ -290,7 +375,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                                 port: wp,
                                 usage: PortUse::WriteIn,
                             },
-                        ],
+                        ),
                         opts.phase_aware_z,
                     ));
                     // Partial sums return when accumulation continues above.
@@ -312,7 +397,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                             z,
                             shape,
                             real_bw2,
-                            vec![
+                            Endpoints::two(
                                 Endpoint {
                                     mem: upper,
                                     port: rp2,
@@ -323,7 +408,7 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                                     port: wp2,
                                     usage: PortUse::WriteIn,
                                 },
-                            ],
+                            ),
                             opts.phase_aware_z,
                         ));
                     }
@@ -362,16 +447,15 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
                 z,
                 WindowShape::Full,
                 bw as f64,
-                vec![Endpoint {
+                Endpoints::one(Endpoint {
                     mem: innermost,
                     port: p,
                     usage,
-                }],
+                }),
                 opts.phase_aware_z,
             ));
         }
     }
-    dtls
 }
 
 #[cfg(test)]

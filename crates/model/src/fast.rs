@@ -1,0 +1,182 @@
+//! Allocation-free scalar evaluation for mapping search.
+//!
+//! [`LatencyModel::evaluate`] builds a full [`LatencyReport`] with
+//! human-readable diagnostics — per-DTL labels, port tables, bottleneck
+//! names — all of which allocate and none of which a mapping search
+//! reads. [`LatencyModel::evaluate_fast`] runs the identical Step-1/2/3
+//! pipeline (the same functions, in the same order, on the same floats)
+//! but stops at the scalar totals, reusing a [`ModelScratch`] so the
+//! steady-state path performs zero heap allocations.
+//!
+//! [`LatencyReport`]: crate::LatencyReport
+
+use crate::dtl::{self, Dtl, DtlOptions};
+use crate::stall::StallScratch;
+use crate::{phases, LatencyModel};
+use ulm_mapping::MappedLayer;
+
+/// Reusable buffers for [`LatencyModel::evaluate_fast`].
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    dtls: Vec<Dtl>,
+    stall: StallScratch,
+}
+
+/// The scalar subset of a latency report, produced without allocating.
+///
+/// Every field is bit-identical to the corresponding
+/// [`LatencyReport`](crate::LatencyReport) field from
+/// [`LatencyModel::evaluate`] on the same view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastLatency {
+    /// `CC_ideal` (may be fractional).
+    pub cc_ideal: f64,
+    /// `CC_spatial`: the temporal iteration count.
+    pub cc_spatial: u64,
+    /// `SS_overall` after the zero clamp (0 for bw-unaware models).
+    pub ss_overall: f64,
+    /// Pre-load phase cycles.
+    pub preload: u64,
+    /// Off-load phase cycles.
+    pub offload: u64,
+    /// End-to-end latency in cycles.
+    pub cc_total: f64,
+    /// `CC_ideal / CC_total`.
+    pub utilization: f64,
+}
+
+impl LatencyModel {
+    /// Evaluates the mapped layer to scalar totals only, reusing
+    /// `scratch` buffers so the steady-state path allocates nothing.
+    ///
+    /// Returns the same numbers (bit for bit) as
+    /// [`evaluate`](Self::evaluate); only the diagnostic report layer is
+    /// skipped.
+    pub fn evaluate_fast(&self, view: &MappedLayer<'_>, scratch: &mut ModelScratch) -> FastLatency {
+        let opts = self.options();
+
+        // Step 1: divide.
+        dtl::build_dtls_into(
+            view,
+            DtlOptions {
+                compute_links: opts.compute_links,
+                phase_aware_z: opts.phase_aware_z,
+            },
+            &mut scratch.dtls,
+        );
+
+        // Steps 2 & 3: combine and integrate.
+        let ss_overall = if opts.bw_aware {
+            let raw = scratch.stall.combine_and_integrate(
+                view.arch(),
+                &scratch.dtls,
+                opts.union,
+                opts.eq2_oversubscription_bound,
+            );
+            raw.max(0.0)
+        } else {
+            0.0
+        };
+
+        scalar_totals(view, ss_overall)
+    }
+
+    /// An exact, allocation-free lower bound on
+    /// [`evaluate`](Self::evaluate)`.cc_total`: the latency with the
+    /// temporal stall assumed zero. Since `SS_overall >= 0` and the total
+    /// is the float sum `((preload + cc_spatial) + ss) + offload`, this
+    /// bound can never exceed the true total — the branch-and-bound
+    /// search prunes on it without risking the argmin.
+    pub fn phase_floor(&self, view: &MappedLayer<'_>) -> f64 {
+        scalar_totals(view, 0.0).cc_total
+    }
+}
+
+/// Phase/scenario arithmetic shared by `evaluate_fast` and `phase_floor`,
+/// mirroring `evaluate`'s expressions exactly.
+fn scalar_totals(view: &MappedLayer<'_>, ss_overall: f64) -> FastLatency {
+    let preload = phases::preload_cycles(view);
+    let offload = phases::offload_cycles(view);
+    let cc_ideal = view.cc_ideal();
+    let cc_spatial = view.cc_spatial();
+    let cc_total = preload as f64 + cc_spatial as f64 + ss_overall + offload as f64;
+    let utilization = cc_ideal / cc_total;
+    FastLatency {
+        cc_ideal,
+        cc_spatial,
+        ss_overall,
+        preload,
+        offload,
+        cc_total,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
+    use ulm_workload::{Dim, Layer, Precision};
+
+    fn views() -> Vec<(ulm_arch::Architecture, Layer, Mapping)> {
+        let mut out = Vec::new();
+        let toy = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        for stack in [
+            vec![(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)],
+            vec![(Dim::B, 2), (Dim::K, 2), (Dim::C, 8)],
+            vec![(Dim::C, 4), (Dim::B, 2), (Dim::K, 2), (Dim::C, 2)],
+        ] {
+            let mapping = Mapping::with_greedy_alloc(
+                &toy.arch,
+                &layer,
+                SpatialUnroll::new(toy.spatial.clone()),
+                LoopStack::from_pairs(&stack),
+            )
+            .unwrap();
+            out.push((toy.arch.clone(), layer.clone(), mapping));
+        }
+        let cs = presets::case_study_chip(128);
+        let big = Layer::matmul("big", 64, 96, 640, Precision::int8_out24());
+        let mapping = Mapping::with_greedy_alloc(
+            &cs,
+            &big,
+            SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]),
+            LoopStack::from_pairs(&[(Dim::C, 320), (Dim::B, 8), (Dim::K, 6)]),
+        )
+        .unwrap();
+        out.push((cs, big, mapping));
+        out
+    }
+
+    #[test]
+    fn fast_matches_full_bitwise() {
+        let mut scratch = ModelScratch::default();
+        for model in [LatencyModel::new(), LatencyModel::bw_unaware()] {
+            for (arch, layer, mapping) in views() {
+                let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
+                let full = model.evaluate(&view);
+                let fast = model.evaluate_fast(&view, &mut scratch);
+                assert_eq!(full.cc_total.to_bits(), fast.cc_total.to_bits());
+                assert_eq!(full.ss_overall.to_bits(), fast.ss_overall.to_bits());
+                assert_eq!(full.utilization.to_bits(), fast.utilization.to_bits());
+                assert_eq!(full.preload, fast.preload);
+                assert_eq!(full.offload, fast.offload);
+                assert_eq!(full.cc_spatial, fast.cc_spatial);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_floor_lower_bounds_total() {
+        let model = LatencyModel::new();
+        let mut scratch = ModelScratch::default();
+        for (arch, layer, mapping) in views() {
+            let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
+            let floor = model.phase_floor(&view);
+            let fast = model.evaluate_fast(&view, &mut scratch);
+            assert!(floor <= fast.cc_total, "{floor} > {}", fast.cc_total);
+        }
+    }
+}

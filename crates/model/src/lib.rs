@@ -49,15 +49,17 @@
 //! ```
 
 pub mod dtl;
+pub mod fast;
 pub mod phases;
 pub mod report;
 pub mod roofline;
 pub mod stall;
 
-pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint};
+pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
+pub use fast::{FastLatency, ModelScratch};
 pub use report::{BandwidthFix, DtlReport, LatencyReport, MemReport, PortReport, Scenario};
-pub use roofline::{roofline, Roof, Roofline};
-pub use stall::{MemStall, PortGroup};
+pub use roofline::{roofline, roofline_bound, Roof, Roofline};
+pub use stall::{MemStall, PortGroup, PortGroupCore, StallScratch};
 
 use ulm_mapping::MappedLayer;
 use ulm_periodic::UnionOptions;

@@ -62,40 +62,49 @@ impl Roofline {
     }
 }
 
+/// The traffic and bandwidth of one interface roof (no label `String`).
+fn roof_numbers(view: &MappedLayer<'_>, op: Operand, level: usize) -> (u64, u64) {
+    let h = view.arch().hierarchy();
+    let layer = view.layer();
+    let chain = h.chain(op);
+    let lower = chain[level];
+    let upper = chain[level + 1];
+    let words = view.mem_data_words(op, level);
+    match op {
+        Operand::W | Operand::I => {
+            let bits = words * layer.precision().bits(op) * view.refill_count(op, level);
+            let bw = h
+                .port(upper, op, PortUse::ReadOut)
+                .1
+                .min(h.port(lower, op, PortUse::WriteIn).1);
+            (bits, bw)
+        }
+        Operand::O => {
+            let is_final = view.outputs_final_above(level);
+            let drains = view.refill_count(op, level);
+            let revisits = drains - view.distinct_blocks_above(op, level);
+            let bits = words * layer.precision().output_bits(is_final) * drains
+                + words * layer.precision().partial_sum_bits() * revisits;
+            let up = h
+                .port(lower, op, PortUse::ReadOut)
+                .1
+                .min(h.port(upper, op, PortUse::WriteIn).1);
+            (bits, up)
+        }
+    }
+}
+
 /// Computes the roofline of a mapped layer from its exact interface
 /// traffic (distinct-block refill counts; psum round trips included).
 pub fn roofline(view: &MappedLayer<'_>) -> Roofline {
     let h = view.arch().hierarchy();
-    let layer = view.layer();
     let mut roofs = Vec::new();
     for op in Operand::all() {
         let chain = h.chain(op);
         for level in 0..chain.len().saturating_sub(1) {
             let lower = chain[level];
             let upper = chain[level + 1];
-            let words = view.mem_data_words(op, level);
-            let (traffic_bits, bw_bits) = match op {
-                Operand::W | Operand::I => {
-                    let bits = words * layer.precision().bits(op) * view.refill_count(op, level);
-                    let bw = h
-                        .port(upper, op, PortUse::ReadOut)
-                        .1
-                        .min(h.port(lower, op, PortUse::WriteIn).1);
-                    (bits, bw)
-                }
-                Operand::O => {
-                    let is_final = view.outputs_final_above(level);
-                    let drains = view.refill_count(op, level);
-                    let revisits = drains - view.distinct_blocks_above(op, level);
-                    let bits = words * layer.precision().output_bits(is_final) * drains
-                        + words * layer.precision().partial_sum_bits() * revisits;
-                    let up = h
-                        .port(lower, op, PortUse::ReadOut)
-                        .1
-                        .min(h.port(upper, op, PortUse::WriteIn).1);
-                    (bits, up)
-                }
-            };
+            let (traffic_bits, bw_bits) = roof_numbers(view, op, level);
             roofs.push(Roof {
                 interface: format!("{op}: {}<->{}", h.mem(upper).name(), h.mem(lower).name()),
                 traffic_bits,
@@ -108,6 +117,23 @@ pub fn roofline(view: &MappedLayer<'_>) -> Roofline {
         compute_cycles: view.cc_ideal(),
         roofs,
     }
+}
+
+/// [`Roofline::bound_cycles`] without building the [`Roofline`]: the max
+/// over the compute roof and every interface roof, computed with zero
+/// heap allocations. Used as a cheap lower bound by the mapper's
+/// branch-and-bound search.
+pub fn roofline_bound(view: &MappedLayer<'_>) -> f64 {
+    let h = view.arch().hierarchy();
+    let mut bound = view.cc_ideal();
+    for op in Operand::all() {
+        let chain = h.chain(op);
+        for level in 0..chain.len().saturating_sub(1) {
+            let (traffic_bits, bw_bits) = roof_numbers(view, op, level);
+            bound = bound.max(traffic_bits as f64 / bw_bits as f64);
+        }
+    }
+    bound
 }
 
 #[cfg(test)]
@@ -141,6 +167,21 @@ mod tests {
                 "({b},{k},{c}): full {full} < roofline {}",
                 rl.bound_cycles()
             );
+        }
+    }
+
+    #[test]
+    fn fast_bound_matches_roofline_struct() {
+        for (b, k, c) in [(64, 96, 640), (128, 128, 8), (64, 64, 512)] {
+            let arch = presets::case_study_chip(128);
+            let layer = Layer::matmul("r", b, k, c, Precision::int8_out24());
+            let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+            let stack =
+                LoopStack::from_pairs(&[(Dim::C, c / 2), (Dim::B, b / 8), (Dim::K, k / 16)]);
+            let mapping = Mapping::with_greedy_alloc(&arch, &layer, spatial, stack).unwrap();
+            let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
+            let rl = roofline(&view);
+            assert_eq!(rl.bound_cycles().to_bits(), roofline_bound(&view).to_bits());
         }
     }
 

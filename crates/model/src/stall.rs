@@ -5,7 +5,8 @@
 use crate::dtl::Dtl;
 use std::collections::BTreeMap;
 use ulm_arch::{Architecture, MemoryId, PortId, StallIntegration};
-use ulm_periodic::{union_measure_with, UnionOptions};
+use ulm_periodic::PeriodicWindow;
+use ulm_periodic::{union_measure_scratch, UnionOptions, UnionScratch};
 
 /// Step-2 result for one physical memory port.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,169 @@ pub struct MemStall {
     pub ss: f64,
 }
 
+/// The Step-2 numbers of one port group, without the member index list —
+/// the `Copy` core shared by [`combine_ports_with`] and the mapper's
+/// allocation-free fast path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortGroupCore {
+    /// The memory owning the port.
+    pub mem: MemoryId,
+    /// The port index within the memory.
+    pub port: PortId,
+    /// `ReqBW_comb`: summed required bandwidth on the port, bits/cycle.
+    pub req_bw_comb: f64,
+    /// `MUW_comb`: measure of the union of the links' updating windows.
+    pub muw_comb: f64,
+    /// Whether `MUW_comb` was computed exactly.
+    pub muw_exact: bool,
+    /// `SS_comb`: combined stall (+) or slack (−) of the port, cycles.
+    pub ss_comb: f64,
+    /// Minimum stall-free physical bandwidth (see [`PortGroup`]).
+    pub min_stall_free_bw: f64,
+}
+
+/// Reusable buffers for the allocation-free Step-2/3 pipeline.
+#[derive(Debug, Default)]
+pub struct StallScratch {
+    keys: Vec<(MemoryId, PortId, usize)>,
+    windows: Vec<PeriodicWindow>,
+    union: UnionScratch,
+    mem_stalls: Vec<MemStall>,
+    grouped: Vec<MemoryId>,
+}
+
+/// Groups DTLs by `(memory, port)` and applies Eq. (1)/(2), calling `f`
+/// once per group in ascending `(memory, port)` order with the combined
+/// numbers and the member entries (`(mem, port, dtl index)`, ascending by
+/// index). Both `combine_ports_with` and the fast path run through here,
+/// so they produce bit-identical floating-point results by construction.
+fn for_each_port_group(
+    dtls: &[Dtl],
+    union_opts: UnionOptions,
+    oversubscription_bound: bool,
+    keys: &mut Vec<(MemoryId, PortId, usize)>,
+    windows: &mut Vec<PeriodicWindow>,
+    union: &mut UnionScratch,
+    mut f: impl FnMut(PortGroupCore, &[(MemoryId, PortId, usize)]),
+) {
+    keys.clear();
+    for (i, d) in dtls.iter().enumerate() {
+        for ep in &d.endpoints {
+            keys.push((ep.mem, ep.port, i));
+        }
+    }
+    // Sorting on (mem, port, index) reproduces both the BTreeMap group
+    // order and the per-group insertion order of the original grouping.
+    keys.sort_unstable();
+    let mut start = 0;
+    while start < keys.len() {
+        let (mem, port, _) = keys[start];
+        let mut end = start + 1;
+        while end < keys.len() && keys[end].0 == mem && keys[end].1 == port {
+            end += 1;
+        }
+        let group = &keys[start..end];
+        let member = |&(_, _, i): &(MemoryId, PortId, usize)| &dtls[i];
+        windows.clear();
+        windows.extend(group.iter().map(|k| member(k).window));
+        let muw = union_measure_scratch(windows, union_opts, union);
+        let muw_comb = muw.value();
+        let sum_pos: f64 = group.iter().map(|k| member(k).ss_u.max(0.0)).sum();
+        let all_busy: f64 = group.iter().map(|k| member(k).busy()).sum();
+        let ss_comb = if sum_pos == 0.0 {
+            // Eq. (1): Σ (MUW_u + SS_u) − MUW_comb = Σ busy − MUW_comb.
+            all_busy - muw_comb
+        } else {
+            // Eq. (2): positive stalls survive; the rest combine as (1).
+            let neg_busy: f64 = group
+                .iter()
+                .map(member)
+                .filter(|d| d.ss_u <= 0.0)
+                .map(|d| d.busy())
+                .sum();
+            let eq2 = sum_pos + (neg_busy - muw_comb).max(0.0);
+            if oversubscription_bound {
+                // Refinement over the paper's literal Eq. (2): a link
+                // that stalls by itself still *occupies* the shared
+                // window, so the port can never beat the Eq. (1)
+                // oversubscription bound. Take the tighter (larger).
+                eq2.max(all_busy - muw_comb)
+            } else {
+                eq2
+            }
+        };
+        let req_bw_comb = group.iter().map(|k| member(k).req_bw).sum();
+        // Stall-free condition: every link individually non-positive
+        // (bw >= its ReqBW_u) and the port not oversubscribed
+        // (total bits through the window).
+        let per_link: f64 = group.iter().map(|k| member(k).req_bw).fold(0.0, f64::max);
+        let total_bits: f64 = group
+            .iter()
+            .map(|k| {
+                let d = member(k);
+                d.data_bits as f64 * d.z_stall as f64
+            })
+            .sum();
+        let min_stall_free_bw = if muw_comb > 0.0 {
+            per_link.max(total_bits / muw_comb)
+        } else {
+            per_link
+        };
+        f(
+            PortGroupCore {
+                mem,
+                port,
+                req_bw_comb,
+                muw_comb,
+                muw_exact: muw.is_exact(),
+                ss_comb,
+                min_stall_free_bw,
+            },
+            group,
+        );
+        start = end;
+    }
+}
+
+impl StallScratch {
+    /// Steps 2 and 3 without allocating: per-port Eq. (1)/(2), the
+    /// per-memory max, and the cross-memory integration policy, all on
+    /// internal buffers. Equivalent (bit for bit) to
+    /// `integrate(arch, &combine_memories(&combine_ports_with(..)))`.
+    pub fn combine_and_integrate(
+        &mut self,
+        arch: &Architecture,
+        dtls: &[Dtl],
+        union_opts: UnionOptions,
+        oversubscription_bound: bool,
+    ) -> f64 {
+        let Self {
+            keys,
+            windows,
+            union,
+            mem_stalls,
+            grouped,
+        } = self;
+        mem_stalls.clear();
+        for_each_port_group(
+            dtls,
+            union_opts,
+            oversubscription_bound,
+            keys,
+            windows,
+            union,
+            |core, _| match mem_stalls.last_mut() {
+                Some(last) if last.mem == core.mem => last.ss = last.ss.max(core.ss_comb),
+                _ => mem_stalls.push(MemStall {
+                    mem: core.mem,
+                    ss: core.ss_comb,
+                }),
+            },
+        );
+        integrate_with(arch, mem_stalls, grouped)
+    }
+}
+
 /// Groups DTLs by the physical ports they occupy and applies Eq. (1)/(2).
 ///
 /// Equation (1) — no link stalls by itself (`SS_u ≤ 0` for all): the port
@@ -59,68 +223,31 @@ pub fn combine_ports_with(
     union_opts: UnionOptions,
     oversubscription_bound: bool,
 ) -> Vec<PortGroup> {
-    let mut by_port: BTreeMap<(MemoryId, PortId), Vec<usize>> = BTreeMap::new();
-    for (i, d) in dtls.iter().enumerate() {
-        for ep in &d.endpoints {
-            by_port.entry((ep.mem, ep.port)).or_default().push(i);
-        }
-    }
-    by_port
-        .into_iter()
-        .map(|((mem, port), dtl_indices)| {
-            let group: Vec<&Dtl> = dtl_indices.iter().map(|&i| &dtls[i]).collect();
-            let windows: Vec<_> = group.iter().map(|d| d.window).collect();
-            let muw = union_measure_with(&windows, union_opts);
-            let muw_comb = muw.value();
-            let sum_pos: f64 = group.iter().map(|d| d.ss_u.max(0.0)).sum();
-            let all_busy: f64 = group.iter().map(|d| d.busy()).sum();
-            let ss_comb = if sum_pos == 0.0 {
-                // Eq. (1): Σ (MUW_u + SS_u) − MUW_comb = Σ busy − MUW_comb.
-                all_busy - muw_comb
-            } else {
-                // Eq. (2): positive stalls survive; the rest combine as (1).
-                let neg_busy: f64 = group
-                    .iter()
-                    .filter(|d| d.ss_u <= 0.0)
-                    .map(|d| d.busy())
-                    .sum();
-                let eq2 = sum_pos + (neg_busy - muw_comb).max(0.0);
-                if oversubscription_bound {
-                    // Refinement over the paper's literal Eq. (2): a link
-                    // that stalls by itself still *occupies* the shared
-                    // window, so the port can never beat the Eq. (1)
-                    // oversubscription bound. Take the tighter (larger).
-                    eq2.max(all_busy - muw_comb)
-                } else {
-                    eq2
-                }
-            };
-            let req_bw_comb = group.iter().map(|d| d.req_bw).sum();
-            // Stall-free condition: every link individually non-positive
-            // (bw >= its ReqBW_u) and the port not oversubscribed
-            // (total bits through the window).
-            let per_link: f64 = group.iter().map(|d| d.req_bw).fold(0.0, f64::max);
-            let total_bits: f64 = group
-                .iter()
-                .map(|d| d.data_bits as f64 * d.z_stall as f64)
-                .sum();
-            let min_stall_free_bw = if muw_comb > 0.0 {
-                per_link.max(total_bits / muw_comb)
-            } else {
-                per_link
-            };
-            PortGroup {
-                mem,
-                port,
-                dtl_indices,
-                req_bw_comb,
-                muw_comb,
-                muw_exact: muw.is_exact(),
-                ss_comb,
-                min_stall_free_bw,
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    let mut keys = Vec::new();
+    let mut windows = Vec::new();
+    let mut union = UnionScratch::default();
+    for_each_port_group(
+        dtls,
+        union_opts,
+        oversubscription_bound,
+        &mut keys,
+        &mut windows,
+        &mut union,
+        |core, group| {
+            out.push(PortGroup {
+                mem: core.mem,
+                port: core.port,
+                dtl_indices: group.iter().map(|&(_, _, i)| i).collect(),
+                req_bw_comb: core.req_bw_comb,
+                muw_comb: core.muw_comb,
+                muw_exact: core.muw_exact,
+                ss_comb: core.ss_comb,
+                min_stall_free_bw: core.min_stall_free_bw,
+            });
+        },
+    );
+    out
 }
 
 /// Per memory module, takes the maximum `SS_comb` over its ports
@@ -146,6 +273,16 @@ pub fn combine_memories(groups: &[PortGroup]) -> Vec<MemStall> {
 /// accumulate (`sum` of the positive parts — one memory's slack cannot
 /// run another memory's transfers).
 pub fn integrate(arch: &Architecture, mem_stalls: &[MemStall]) -> f64 {
+    integrate_with(arch, mem_stalls, &mut Vec::new())
+}
+
+/// [`integrate`] reusing a caller-provided buffer for the Groups policy's
+/// grouped-memory bookkeeping (the policy's only allocation).
+pub fn integrate_with(
+    arch: &Architecture,
+    mem_stalls: &[MemStall],
+    grouped: &mut Vec<MemoryId>,
+) -> f64 {
     match arch.stall_integration() {
         StallIntegration::Concurrent => {
             if mem_stalls.is_empty() {
@@ -160,7 +297,7 @@ pub fn integrate(arch: &Architecture, mem_stalls: &[MemStall]) -> f64 {
         StallIntegration::Sequential => mem_stalls.iter().map(|m| m.ss.max(0.0)).sum(),
         StallIntegration::Groups(groups) => {
             let mut best: f64 = 0.0;
-            let mut grouped: Vec<MemoryId> = Vec::new();
+            grouped.clear();
             for g in groups {
                 let sum: f64 = mem_stalls
                     .iter()
@@ -209,11 +346,11 @@ mod tests {
             } else {
                 PeriodicWindow::trailing(period as f64, x_req, z).unwrap()
             },
-            endpoints: vec![Endpoint {
+            endpoints: crate::dtl::Endpoints::one(Endpoint {
                 mem: MemoryId(0),
                 port,
                 usage: PortUse::WriteIn,
-            }],
+            }),
         }
     }
 

@@ -33,6 +33,7 @@ mod sweep;
 mod window;
 
 pub use sweep::{
-    intersection_measure, union_measure, union_measure_with, Exactness, Measure, UnionOptions,
+    intersection_measure, union_measure, union_measure_scratch, union_measure_with, Exactness,
+    Measure, UnionOptions, UnionScratch,
 };
 pub use window::{PeriodicWindow, WindowError};

@@ -83,6 +83,17 @@ impl Default for UnionOptions {
     }
 }
 
+/// Reusable buffers for [`union_measure_scratch`], so repeated union
+/// computations (one per DTL port group per candidate mapping) perform no
+/// steady-state heap allocations.
+#[derive(Debug, Default)]
+pub struct UnionScratch {
+    live: Vec<PeriodicWindow>,
+    periods: Vec<f64>,
+    intervals: Vec<(f64, f64)>,
+    heap: BinaryHeap<HeapItem>,
+}
+
 /// Exact-when-feasible measure of `|∪ windows|` with default options.
 ///
 /// Empty input yields an exact zero. See the module docs for the strategy
@@ -93,7 +104,23 @@ pub fn union_measure(windows: &[PeriodicWindow]) -> Measure {
 
 /// [`union_measure`] with explicit [`UnionOptions`].
 pub fn union_measure_with(windows: &[PeriodicWindow], opts: UnionOptions) -> Measure {
-    let live: Vec<PeriodicWindow> = windows.iter().copied().filter(|w| !w.is_empty()).collect();
+    union_measure_scratch(windows, opts, &mut UnionScratch::default())
+}
+
+/// [`union_measure_with`] reusing caller-provided [`UnionScratch`] buffers.
+///
+/// Returns the same value (bit for bit) as [`union_measure_with`]; the only
+/// difference is where the temporary buffers live.
+pub fn union_measure_scratch(
+    windows: &[PeriodicWindow],
+    opts: UnionOptions,
+    scratch: &mut UnionScratch,
+) -> Measure {
+    scratch.live.clear();
+    scratch
+        .live
+        .extend(windows.iter().copied().filter(|w| !w.is_empty()));
+    let live = &scratch.live;
     if live.is_empty() {
         return Measure::exact(0.0);
     }
@@ -111,14 +138,20 @@ pub fn union_measure_with(windows: &[PeriodicWindow], opts: UnionOptions) -> Mea
     }
 
     // Strategy 2: divisibility-chain hyperperiod sweep.
-    if let Some(m) = try_hyperperiod_union(&live, total_span, opts) {
+    if let Some(m) = try_hyperperiod_union(
+        live,
+        total_span,
+        opts,
+        &mut scratch.periods,
+        &mut scratch.intervals,
+    ) {
         return m;
     }
 
     // Strategy 3: direct sweep over all intervals.
     let total_intervals: u64 = live.iter().map(|w| w.count()).sum();
     if total_intervals <= opts.max_intervals {
-        return Measure::exact(sweep_union(&live));
+        return Measure::exact(sweep_union(live, &mut scratch.heap));
     }
 
     // Fallback: independence estimate with provable clamps.
@@ -156,15 +189,18 @@ fn try_hyperperiod_union(
     windows: &[PeriodicWindow],
     total_span: f64,
     opts: UnionOptions,
+    periods: &mut Vec<f64>,
+    intervals: &mut Vec<(f64, f64)>,
 ) -> Option<Measure> {
     let eps = total_span * 1e-9;
     if windows.iter().any(|w| (w.span() - total_span).abs() > eps) {
         return None;
     }
-    let mut periods: Vec<f64> = windows.iter().map(|w| w.period()).collect();
+    periods.clear();
+    periods.extend(windows.iter().map(|w| w.period()));
     periods.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
     let hyper = *periods.last().expect("non-empty");
-    for p in &periods {
+    for p in periods.iter() {
         let ratio = hyper / p;
         if (ratio - ratio.round()).abs() > 1e-9 {
             return None;
@@ -178,7 +214,8 @@ fn try_hyperperiod_union(
         return None;
     }
     // Collect every interval within [0, hyper) and sweep once.
-    let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(reps as usize);
+    intervals.clear();
+    intervals.reserve(reps as usize);
     for w in windows {
         let n = (hyper / w.period()).round() as u64;
         for k in 0..n {
@@ -186,7 +223,7 @@ fn try_hyperperiod_union(
             intervals.push((base + w.start(), base + w.start() + w.len()));
         }
     }
-    let per_hyper = merged_length(&mut intervals);
+    let per_hyper = merged_length(intervals);
     let repeats = total_span / hyper;
     Some(Measure::exact(per_hyper * repeats))
 }
@@ -216,6 +253,7 @@ fn merged_length(intervals: &mut [(f64, f64)]) -> f64 {
 }
 
 /// Heap entry for the k-way interval merge: next interval of window `idx`.
+#[derive(Debug)]
 struct HeapItem {
     lo: f64,
     hi: f64,
@@ -245,8 +283,8 @@ impl Ord for HeapItem {
 }
 
 /// Exact union measure by k-way merge over all windows' intervals.
-fn sweep_union(windows: &[PeriodicWindow]) -> f64 {
-    let mut heap = BinaryHeap::with_capacity(windows.len());
+fn sweep_union(windows: &[PeriodicWindow], heap: &mut BinaryHeap<HeapItem>) -> f64 {
+    heap.clear();
     for (idx, w) in windows.iter().enumerate() {
         let (lo, hi) = w.interval(0);
         heap.push(HeapItem { lo, hi, idx, k: 0 });

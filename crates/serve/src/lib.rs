@@ -54,5 +54,5 @@ pub use fingerprint::{fingerprint_of, fingerprint_value, Fingerprint};
 pub use pool::{JobHandle, PoolStats, WorkerPool};
 pub use server::{
     run_batch, run_tcp, BatchSummary, EvalOutcome, EvalService, LatencySummary, SearchMeta,
-    ServeOptions,
+    SearchTotals, ServeOptions,
 };

@@ -79,6 +79,26 @@ pub struct SearchMeta {
     pub generated: usize,
     /// True when the space was enumerated exhaustively.
     pub exhaustive: bool,
+    /// Legal orderings skipped by branch-and-bound lower bounds.
+    pub pruned: usize,
+    /// Prefix quantities reused between consecutive orderings.
+    pub cache_hits: u64,
+}
+
+/// Cumulative search effort across every *executed* (non-cached) search
+/// request, reported by `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchTotals {
+    /// Search requests actually executed (cache misses).
+    pub searches: usize,
+    /// Orderings generated across them.
+    pub generated: usize,
+    /// Orderings fully evaluated.
+    pub evaluated: usize,
+    /// Legal orderings pruned by lower bounds.
+    pub pruned: usize,
+    /// Prefix quantities reused between consecutive orderings.
+    pub cache_hits: u64,
 }
 
 /// Request-latency summary for `/stats`, in milliseconds.
@@ -140,6 +160,11 @@ enum QueryMode {
     Search {
         objective: Objective,
         mapper: MapperOptions,
+        /// Worker threads inside the ordering search. Deliberately NOT
+        /// part of the fingerprint: the result is identical at every
+        /// thread count, so requests differing only here must share a
+        /// cache entry.
+        parallelism: Option<usize>,
     },
 }
 
@@ -305,13 +330,17 @@ fn parse_model(req: &Value) -> Result<ModelOptions, String> {
 
 /// Optional `mapper` overrides, applied on top of [`MapperOptions::default`]
 /// (with `bw_aware` following the model options unless set explicitly).
-fn parse_mapper(req: &Value, model: &ModelOptions) -> Result<MapperOptions, String> {
+fn parse_mapper(
+    req: &Value,
+    model: &ModelOptions,
+) -> Result<(MapperOptions, Option<usize>), String> {
     let mut opts = MapperOptions {
         bw_aware: model.bw_aware,
         ..MapperOptions::default()
     };
+    let mut parallelism = None;
     let Some(spec) = field(req, "mapper") else {
-        return Ok(opts);
+        return Ok((opts, parallelism));
     };
     let Value::Object(entries) = spec else {
         return Err("`mapper` must be an object".to_string());
@@ -326,10 +355,16 @@ fn parse_mapper(req: &Value, model: &ModelOptions) -> Result<MapperOptions, Stri
             "bw_aware" => {
                 opts.bw_aware = v.as_bool().ok_or("`mapper.bw_aware` must be a boolean")?;
             }
+            "parallelism" => {
+                parallelism = match parse_u64(v, "mapper.parallelism")? {
+                    0 => None,
+                    n => Some(n as usize),
+                };
+            }
             other => return Err(format!("unknown mapper option `{other}`")),
         }
     }
-    Ok(opts)
+    Ok((opts, parallelism))
 }
 
 fn parse_objective(req: &Value) -> Result<Objective, String> {
@@ -375,9 +410,11 @@ fn parse_request(req: &Value) -> Result<Request, String> {
                     .map_err(|e| format!("invalid `mapping`: {e}"))?;
                 QueryMode::Eval(Box::new(mapping))
             } else {
+                let (mapper, parallelism) = parse_mapper(req, &model)?;
                 QueryMode::Search {
                     objective: parse_objective(req)?,
-                    mapper: parse_mapper(req, &model)?,
+                    mapper,
+                    parallelism,
                 }
             };
             Ok(Request::Query(Box::new(Query {
@@ -411,7 +448,9 @@ impl Query {
                 entries.push(("op".to_string(), Value::String("eval".into())));
                 entries.push(("mapping".to_string(), mapping.to_value()));
             }
-            QueryMode::Search { objective, mapper } => {
+            QueryMode::Search {
+                objective, mapper, ..
+            } => {
                 entries.push(("op".to_string(), Value::String("search".into())));
                 entries.push(("objective".to_string(), objective.to_value()));
                 entries.push(("mapper".to_string(), mapper.to_value()));
@@ -434,9 +473,14 @@ impl Query {
                     search: None,
                 })
             }
-            QueryMode::Search { objective, mapper } => {
+            QueryMode::Search {
+                objective,
+                mapper,
+                parallelism,
+            } => {
                 let result = Mapper::new(&self.arch, &self.layer, self.spatial.clone())
                     .with_options(*mapper)
+                    .with_parallelism(*parallelism)
                     .search(*objective)
                     .map_err(|e| e.to_string())?;
                 Ok(EvalOutcome {
@@ -447,6 +491,8 @@ impl Query {
                         evaluated: result.evaluated,
                         generated: result.generated,
                         exhaustive: result.exhaustive,
+                        pruned: result.pruned,
+                        cache_hits: result.cache_hits,
                     }),
                 })
             }
@@ -472,6 +518,7 @@ pub struct EvalService {
     pool: WorkerPool,
     inflight: Mutex<std::collections::HashMap<u128, Arc<Inflight>>>,
     latencies_ms: Mutex<Vec<f64>>,
+    search_totals: Mutex<SearchTotals>,
 }
 
 impl EvalService {
@@ -488,7 +535,14 @@ impl EvalService {
             pool: WorkerPool::new(workers, queue),
             inflight: Mutex::new(std::collections::HashMap::new()),
             latencies_ms: Mutex::new(Vec::new()),
+            search_totals: Mutex::new(SearchTotals::default()),
         })
+    }
+
+    /// Cumulative search-effort counters over executed (non-cached)
+    /// search requests.
+    pub fn search_totals(&self) -> SearchTotals {
+        *self.search_totals.lock().expect("search totals poisoned")
     }
 
     /// The result cache (exposed for benchmarks and tests).
@@ -616,6 +670,15 @@ impl EvalService {
                 Role::Leader(slot) => {
                     let result = query.execute();
                     if let Ok(out) = &result {
+                        if let Some(meta) = &out.search {
+                            let mut totals =
+                                self.search_totals.lock().expect("search totals poisoned");
+                            totals.searches += 1;
+                            totals.generated += meta.generated;
+                            totals.evaluated += meta.evaluated;
+                            totals.pruned += meta.pruned;
+                            totals.cache_hits += meta.cache_hits;
+                        }
                         self.cache.insert(fp, out.clone());
                     }
                     self.inflight
@@ -656,6 +719,7 @@ impl EvalService {
             ("cache".to_string(), Value::Object(cache_value)),
             ("pool".to_string(), pool.to_value()),
             ("latency_ms".to_string(), latency.to_value()),
+            ("search".to_string(), self.search_totals().to_value()),
         ]
     }
 }
@@ -878,6 +942,42 @@ mod tests {
         // `/stats` alias.
         let alias = parse(&svc.handle_line(r#"{"kind":"/stats"}"#).unwrap());
         assert_eq!(alias.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn parallelism_is_excluded_from_the_fingerprint() {
+        // Searches differing only in `mapper.parallelism` return the same
+        // result, so they must share a cache entry.
+        let svc = service();
+        let serial = parse(&svc.handle_line(
+            r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#,
+        ).unwrap());
+        let threaded = parse(&svc.handle_line(
+            r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10,"parallelism":4}}"#,
+        ).unwrap());
+        assert_eq!(serial.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(serial.get("fingerprint"), threaded.get("fingerprint"));
+        assert_eq!(threaded.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(serial.get("latency"), threaded.get("latency"));
+    }
+
+    #[test]
+    fn stats_report_cumulative_search_totals() {
+        let svc = service();
+        let line = r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#;
+        let first = parse(&svc.handle_line(line).unwrap());
+        svc.handle_line(line).unwrap(); // cached: must not re-accumulate
+        let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let search = stats.get("search").unwrap();
+        assert_eq!(search.get("searches").and_then(Value::as_u64), Some(1));
+        let meta = first.get("search").unwrap();
+        for key in ["generated", "evaluated", "pruned", "cache_hits"] {
+            assert_eq!(
+                search.get(key).and_then(Value::as_u64),
+                meta.get(key).and_then(Value::as_u64),
+                "{key}"
+            );
+        }
     }
 
     #[test]

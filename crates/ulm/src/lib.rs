@@ -50,15 +50,20 @@ pub mod prelude {
         Port, PortUse, StallIntegration,
     };
     pub use ulm_dse::{
-        enumerate_designs, explore, pareto_front, DesignParams, DsePoint, ExploreOptions,
-        MemoryPool,
+        enumerate_designs, explore, explore_with_stats, pareto_front, DesignParams, DsePoint,
+        DseStats, ExploreOptions, MemoryPool,
     };
-    pub use ulm_energy::{EnergyModel, EnergyReport};
-    pub use ulm_mapper::{EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult};
+    pub use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
+    pub use ulm_mapper::{
+        EvalScratch, EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult,
+    };
     pub use ulm_mapping::{
         LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc, SpatialUnroll, TemporalLoop,
     };
-    pub use ulm_model::{LatencyModel, LatencyReport, ModelOptions, Scenario};
+    pub use ulm_model::{
+        roofline_bound, FastLatency, LatencyModel, LatencyReport, ModelOptions, ModelScratch,
+        Scenario,
+    };
     pub use ulm_network::{InterLayerOverlap, NetworkEvaluator, NetworkReport};
     pub use ulm_serve::{EvalService, Fingerprint, ResultCache, ServeOptions, WorkerPool};
     pub use ulm_sim::{SimReport, Simulator};

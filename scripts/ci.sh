@@ -18,4 +18,10 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --workspace --no-run
+
+echo "==> search-equivalence + allocation-free gates (release)"
+cargo test --release -q -p ulm-mapper --test search_equivalence --test alloc_free
+
 echo "CI OK"
