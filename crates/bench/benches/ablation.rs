@@ -69,7 +69,7 @@ fn variants() -> Vec<Variant> {
     ]
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let chip = presets::validation_chip();
     let concurrent = chip
         .arch

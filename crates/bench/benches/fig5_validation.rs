@@ -8,7 +8,7 @@ use ulm::prelude::*;
 use ulm_bench::svg::{write_svg, BarChart};
 use ulm_bench::Table;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let chip = presets::validation_chip();
     println!("architecture: {}", chip.arch);
     let spatial = SpatialUnroll::new(chip.spatial.clone());

@@ -8,7 +8,7 @@
 use ulm::prelude::*;
 use ulm_bench::{case1_layer, case1_mapping_a, case1_mapping_b, Table};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let arch = presets::case_study_chip(128);
     let layer = case1_layer();
     println!("architecture: {arch}");

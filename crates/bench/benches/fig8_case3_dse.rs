@@ -37,11 +37,11 @@ fn summarize(points: &[DsePoint], title: &str, csv: &str) -> Vec<(u64, f64, f64)
         }
         let min = of_side
             .iter()
-            .min_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap())
+            .min_by(|a, b| a.latency.total_cmp(&b.latency))
             .unwrap();
         let max = of_side
             .iter()
-            .max_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap())
+            .max_by(|a, b| a.latency.total_cmp(&b.latency))
             .unwrap();
         t.row(vec![
             format!("{side}x{side}"),

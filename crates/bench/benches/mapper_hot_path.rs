@@ -71,6 +71,10 @@ struct Snapshot {
     par_secs: f64,
     par_threads: usize,
     par_score_bits: u64,
+    model_iters: u64,
+    model_eval_secs: f64,
+    model_eval_fast_secs: f64,
+    model_bits_identical: bool,
 }
 
 /// One-shot wall-clock measurement of the three search flavors over the
@@ -140,6 +144,28 @@ fn measure() -> Snapshot {
     assert_eq!(best.mapping, fast.best.mapping);
     assert_eq!(best.mapping, par.best.mapping);
 
+    // Report-assembling vs scratch-based latency evaluation on the best
+    // mapping: both run the same lowering + Steps 2-3 core, so the only
+    // difference is report assembly vs scalar reuse.
+    let view = MappedLayer::new(&layer, &arch, &fast.best.mapping).expect("legal best mapping");
+    let model = LatencyModel::new();
+    let mut scratch = ModelScratch::default();
+    let model_iters: u64 = 2_000;
+    let t3 = Instant::now();
+    let mut slow_bits = 0u64;
+    for _ in 0..model_iters {
+        slow_bits = black_box(model.evaluate(&view)).cc_total.to_bits();
+    }
+    let model_eval_secs = t3.elapsed().as_secs_f64();
+    let t4 = Instant::now();
+    let mut fast_bits = 0u64;
+    for _ in 0..model_iters {
+        fast_bits = black_box(model.evaluate_fast(&view, &mut scratch))
+            .cc_total
+            .to_bits();
+    }
+    let model_eval_fast_secs = t4.elapsed().as_secs_f64();
+
     Snapshot {
         space,
         baseline_secs,
@@ -153,6 +179,10 @@ fn measure() -> Snapshot {
         par_secs,
         par_threads,
         par_score_bits: par.best.latency.cc_total.to_bits(),
+        model_iters,
+        model_eval_secs,
+        model_eval_fast_secs,
+        model_bits_identical: slow_bits == fast_bits,
     }
 }
 
@@ -187,7 +217,11 @@ fn write_snapshot(s: &Snapshot) {
          \"fast_parallel_speedup\": {:.2},\n  \
          \"pruned\": {},\n  \
          \"prefix_reuses\": {},\n  \
-         \"results_bit_identical\": {}\n}}\n",
+         \"results_bit_identical\": {},\n  \
+         \"model_evaluate_per_sec\": {:.1},\n  \
+         \"model_evaluate_fast_per_sec\": {:.1},\n  \
+         \"model_fast_speedup\": {:.2},\n  \
+         \"model_bits_identical\": {}\n}}\n",
         s.space,
         s.baseline_secs,
         baseline_ops,
@@ -203,6 +237,10 @@ fn write_snapshot(s: &Snapshot) {
         s.fast_pruned,
         s.fast_cache_hits,
         s.baseline_score_bits == s.fast_score_bits && s.baseline_score_bits == s.par_score_bits,
+        s.model_iters as f64 / s.model_eval_secs,
+        s.model_iters as f64 / s.model_eval_fast_secs,
+        s.model_eval_secs / s.model_eval_fast_secs,
+        s.model_bits_identical,
     );
     let path = json_path();
     fs::write(&path, json).expect("write BENCH_mapper.json");
@@ -215,6 +253,12 @@ fn write_snapshot(s: &Snapshot) {
         s.par_threads,
         par_ops,
         s.baseline_secs / s.par_secs,
+    );
+    println!(
+        "[bench] latency model: evaluate {:.0}/s vs evaluate_fast {:.0}/s ({:.1}x)",
+        s.model_iters as f64 / s.model_eval_secs,
+        s.model_iters as f64 / s.model_eval_fast_secs,
+        s.model_eval_secs / s.model_eval_fast_secs,
     );
     println!("[json] {}", path.display());
 }

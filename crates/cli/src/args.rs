@@ -52,6 +52,12 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+impl From<ArgError> for ulm::error::UlmError {
+    fn from(e: ArgError) -> Self {
+        ulm::error::UlmError::config(e.to_string())
+    }
+}
+
 /// Known boolean flags (everything else with `--` expects a value).
 const FLAGS: &[&str] = &["json", "all", "bw-unaware", "overlap", "help", "stats"];
 

@@ -1,14 +1,13 @@
 //! The `ulm` subcommands.
 
 use crate::args::{ArgError, Args};
-use std::error::Error;
 use ulm::prelude::*;
 
 /// Resolves `--arch` into an architecture plus its canonical spatial
 /// unrolling. Accepts `case16` (default), `case32`, `case64`,
 /// `validation` and `toy`; `--gb-bw` overrides the GB bandwidth of the
 /// case-study family.
-fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), Box<dyn Error>> {
+fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), UlmError> {
     if let Some(path) = args.get("arch-file") {
         let text = std::fs::read_to_string(path)?;
         let (arch, spatial) = ulm::arch::ArchDesc::from_json(&text)?.build()?;
@@ -23,10 +22,9 @@ fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), Box<dyn Er
         "validation" => presets::validation_chip(),
         "toy" => presets::toy_chip(),
         other => {
-            return Err(format!(
+            return Err(UlmError::config(format!(
                 "unknown --arch `{other}` (try case16|case32|case64|validation|toy)"
-            )
-            .into())
+            )))
         }
     };
     Ok((chip.arch, SpatialUnroll::new(chip.spatial)))
@@ -60,7 +58,7 @@ fn thread_option(args: &Args, key: &str) -> Result<Option<usize>, ArgError> {
 
 /// `ulm evaluate`: map one layer (best-latency search) and print the full
 /// latency/energy report.
-pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn evaluate(args: &Args) -> Result<(), UlmError> {
     let (arch, spatial) = resolve_arch(args)?;
     let layer = resolve_layer(args)?;
     let result = Mapper::new(&arch, &layer, spatial)
@@ -106,7 +104,7 @@ pub fn evaluate(args: &Args) -> Result<(), Box<dyn Error>> {
 
 /// `ulm search`: explore the mapping space under an objective and print
 /// the best mapping (or the `--all` top list).
-pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn search(args: &Args) -> Result<(), UlmError> {
     let (arch, spatial) = resolve_arch(args)?;
     let layer = resolve_layer(args)?;
     let objective = match args.get("objective").unwrap_or("latency") {
@@ -124,11 +122,7 @@ pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
     );
     if args.flag("all") {
         let mut all = mapper.enumerate_all()?;
-        all.sort_by(|a, b| {
-            a.score(objective)
-                .partial_cmp(&b.score(objective))
-                .expect("finite scores")
-        });
+        all.sort_by(|a, b| a.score(objective).total_cmp(&b.score(objective)));
         for em in all.iter().take(args.u64_or("top", 10)? as usize) {
             println!(
                 "  {:>12.0} cc  {:>10.1} nJ  U {:>5.1}%  {}",
@@ -165,7 +159,7 @@ pub fn search(args: &Args) -> Result<(), Box<dyn Error>> {
 
 /// `ulm validate`: model vs discrete-event simulator on the hand-tracking
 /// layers (the Fig. 5c experiment).
-pub fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn validate(args: &Args) -> Result<(), UlmError> {
     let chip = presets::validation_chip();
     let spatial = SpatialUnroll::new(chip.spatial.clone());
     let limit = args.u64_or("layers", u64::MAX)? as usize;
@@ -208,7 +202,7 @@ pub fn validate(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 /// `ulm dse`: architecture design-space exploration with a Pareto front.
-pub fn dse(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn dse(args: &Args) -> Result<(), UlmError> {
     let gb_bw = args.u64_or("gb-bw", 128)?;
     let sides = args.u64_list_or("sides", &[16, 32, 64])?;
     let (b, k, c) = args.layer_dims((256, 256, 64))?;
@@ -270,7 +264,7 @@ pub fn dse(args: &Args) -> Result<(), Box<dyn Error>> {
 /// JSON network description instead. Conv/pointwise layers are Im2Col
 /// lowered (the GEMM presets do not run depthwise natively; those layers
 /// are skipped with a note).
-fn resolve_network(args: &Args) -> Result<Vec<Layer>, Box<dyn Error>> {
+fn resolve_network(args: &Args) -> Result<Vec<Layer>, UlmError> {
     let raw: Vec<Layer> = if let Some(path) = args.get("file") {
         let text = std::fs::read_to_string(path)?;
         ulm::workload::NetworkDesc::from_json(&text)?.to_layers()?
@@ -281,10 +275,9 @@ fn resolve_network(args: &Args) -> Result<Vec<Layer>, Box<dyn Error>> {
             "resnet18" => networks::resnet18(224, 1),
             "alexnet" => networks::alexnet(1),
             other => {
-                return Err(format!(
+                return Err(UlmError::config(format!(
                     "unknown --net `{other}` (handtracking|mobilenet|resnet18|alexnet)"
-                )
-                .into())
+                )))
             }
         }
     };
@@ -299,7 +292,7 @@ fn resolve_network(args: &Args) -> Result<Vec<Layer>, Box<dyn Error>> {
 }
 
 /// `ulm network`: schedule a whole network end to end.
-pub fn network(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn network(args: &Args) -> Result<(), UlmError> {
     let chip = presets::validation_chip();
     let spatial = SpatialUnroll::new(chip.spatial.clone());
     let overlap = if args.flag("overlap") {
@@ -330,7 +323,7 @@ fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
 
 /// `ulm batch`: answer NDJSON evaluation requests from stdin on stdout,
 /// through the worker pool and the content-addressed result cache.
-pub fn batch(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn batch(args: &Args) -> Result<(), UlmError> {
     let service = ulm::serve::EvalService::new(serve_options(args)?);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -349,7 +342,7 @@ pub fn batch(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 /// `ulm serve`: the same NDJSON protocol over TCP, one line per request.
-pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
+pub fn serve(args: &Args) -> Result<(), UlmError> {
     let port = args.u64_or("port", 7878)?;
     let max_connections = match args.u64_or("max-connections", 0)? {
         0 => None,

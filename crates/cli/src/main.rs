@@ -47,7 +47,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error[{}]: {e}", e.code());
             ExitCode::FAILURE
         }
     }

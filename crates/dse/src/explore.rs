@@ -192,14 +192,8 @@ pub fn pareto_front(points: &[DsePoint]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         points[a]
             .area_mm2
-            .partial_cmp(&points[b].area_mm2)
-            .expect("areas are finite")
-            .then(
-                points[a]
-                    .latency
-                    .partial_cmp(&points[b].latency)
-                    .expect("latencies are finite"),
-            )
+            .total_cmp(&points[b].area_mm2)
+            .then(points[a].latency.total_cmp(&points[b].latency))
     });
     let mut front = Vec::new();
     let mut best_latency = f64::INFINITY;

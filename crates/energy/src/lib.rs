@@ -16,6 +16,14 @@
 //! round trips are included, and outputs crossing their final interface
 //! are counted at the re-quantized width.
 //!
+//! All counts are read off the shared [`LoweredLayer`] evaluation IR —
+//! the same
+//! residency tables the latency model and the simulator consume — so the
+//! three never disagree about how much data moved. [`EnergyModel::evaluate`]
+//! lowers internally; pass an existing IR to
+//! [`EnergyModel::evaluate_lowered`] /
+//! [`EnergyModel::evaluate_total_lowered`] to skip the re-lowering.
+//!
 //! # Example
 //!
 //! ```
@@ -35,14 +43,15 @@
 //! let view = MappedLayer::new(&layer, &chip.arch, &mapping)?;
 //! let report = EnergyModel::new().evaluate(&view);
 //! assert!(report.total_pj() > 0.0);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), ulm_mapping::MappingError>(())
 //! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
 use ulm_arch::{Memory, MemoryId, MemoryKind};
 use ulm_mapping::MappedLayer;
-use ulm_workload::{Operand, Relevance};
+use ulm_model::{DtlOptions, LoweredLayer};
+use ulm_workload::Operand;
 
 /// Unit-energy parameters (femtojoule-denominated, 7 nm-class defaults).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -143,6 +152,9 @@ pub struct EnergyScratch {
     /// so the final float sum visits exactly the same memories in the
     /// same (ascending id) order.
     traffic: Vec<(bool, u64, u64)>,
+    /// The IR rebuilt by [`EnergyModel::evaluate_total_fast`] when the
+    /// caller has no lowering of its own to share.
+    lowered: LoweredLayer,
 }
 
 impl EnergyModel {
@@ -162,69 +174,23 @@ impl EnergyModel {
         }
     }
 
-    /// Evaluates the mapped layer's energy.
+    /// Evaluates the mapped layer's energy, lowering the view internally.
     pub fn evaluate(&self, view: &MappedLayer<'_>) -> EnergyReport {
+        self.evaluate_lowered(view, &LoweredLayer::build(view, DtlOptions::default()))
+    }
+
+    /// [`evaluate`](Self::evaluate) over an already-lowered layer,
+    /// sharing the IR with the latency model and simulator.
+    pub fn evaluate_lowered(&self, view: &MappedLayer<'_>, lowered: &LoweredLayer) -> EnergyReport {
         let h = view.arch().hierarchy();
         let layer = view.layer();
         // (read_bits, write_bits) per memory.
         let mut traffic: BTreeMap<MemoryId, (u64, u64)> = BTreeMap::new();
-        fn add(traffic: &mut BTreeMap<MemoryId, (u64, u64)>, mid: MemoryId, rd: u64, wr: u64) {
+        self.accumulate(view, lowered, |mid, rd, wr| {
             let e = traffic.entry(mid).or_insert((0, 0));
             e.0 += rd;
             e.1 += wr;
-        }
-
-        for op in Operand::all() {
-            let chain = h.chain(op);
-            for level in 0..chain.len().saturating_sub(1) {
-                let lower = chain[level];
-                let upper = chain[level + 1];
-                let words = view.mem_data_words(op, level);
-                match op {
-                    Operand::W | Operand::I => {
-                        let bits =
-                            words * layer.precision().bits(op) * view.refill_count(op, level);
-                        add(&mut traffic, upper, bits, 0);
-                        add(&mut traffic, lower, 0, bits);
-                    }
-                    Operand::O => {
-                        let is_final = view.outputs_final_above(level);
-                        let out_bits = layer.precision().output_bits(is_final);
-                        let drains = view.refill_count(op, level);
-                        let distinct = view.distinct_blocks_above(op, level);
-                        let revisits = drains - distinct;
-                        // Every visit ends with a drain up…
-                        let drain_bits = words * out_bits * drains;
-                        add(&mut traffic, lower, drain_bits, 0);
-                        add(&mut traffic, upper, 0, drain_bits);
-                        // …and every revisit begins with a partial-sum
-                        // read-back (always at partial precision).
-                        let rb_bits = words * layer.precision().partial_sum_bits() * revisits;
-                        add(&mut traffic, upper, rb_bits, 0);
-                        add(&mut traffic, lower, 0, rb_bits);
-                    }
-                }
-            }
-            // Compute-side accesses at the innermost level.
-            if self.include_compute_accesses {
-                let innermost = chain[0];
-                let rel = layer.operand_relevance(op);
-                let words_per_cycle: u64 = view
-                    .mapping()
-                    .spatial()
-                    .factors()
-                    .iter()
-                    .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
-                    .map(|&(_, f)| f)
-                    .product();
-                let total_bits = words_per_cycle * layer.precision().bits(op) * view.cc_spatial();
-                match op {
-                    Operand::W | Operand::I => add(&mut traffic, innermost, total_bits, 0),
-                    // Accumulator read-modify-write each cycle.
-                    Operand::O => add(&mut traffic, innermost, total_bits, total_bits),
-                }
-            }
-        }
+        });
 
         let memories: Vec<MemEnergy> = traffic
             .into_iter()
@@ -253,66 +219,40 @@ impl EnergyModel {
     /// id-indexed array, summed over the same memories in the same order
     /// so the result is bit-identical. Used by the mapper's fast path.
     pub fn evaluate_total_fast(&self, view: &MappedLayer<'_>, scratch: &mut EnergyScratch) -> f64 {
+        let EnergyScratch { traffic, lowered } = scratch;
+        LoweredLayer::build_into(view, DtlOptions::default(), lowered);
+        self.total_from(view, lowered, traffic)
+    }
+
+    /// [`evaluate_total_fast`](Self::evaluate_total_fast) over an
+    /// already-lowered layer: no re-lowering, no allocation in steady
+    /// state.
+    pub fn evaluate_total_lowered(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &LoweredLayer,
+        scratch: &mut EnergyScratch,
+    ) -> f64 {
+        self.total_from(view, lowered, &mut scratch.traffic)
+    }
+
+    fn total_from(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &LoweredLayer,
+        traffic: &mut Vec<(bool, u64, u64)>,
+    ) -> f64 {
         let h = view.arch().hierarchy();
-        let layer = view.layer();
-        let traffic = &mut scratch.traffic;
         traffic.clear();
         traffic.resize(h.memories().len(), (false, 0, 0));
-        let mut add = |mid: MemoryId, rd: u64, wr: u64| {
+        self.accumulate(view, lowered, |mid, rd, wr| {
             let e = &mut traffic[mid.0];
             e.0 = true;
             e.1 += rd;
             e.2 += wr;
-        };
+        });
 
-        for op in Operand::all() {
-            let chain = h.chain(op);
-            for level in 0..chain.len().saturating_sub(1) {
-                let lower = chain[level];
-                let upper = chain[level + 1];
-                let words = view.mem_data_words(op, level);
-                match op {
-                    Operand::W | Operand::I => {
-                        let bits =
-                            words * layer.precision().bits(op) * view.refill_count(op, level);
-                        add(upper, bits, 0);
-                        add(lower, 0, bits);
-                    }
-                    Operand::O => {
-                        let is_final = view.outputs_final_above(level);
-                        let out_bits = layer.precision().output_bits(is_final);
-                        let drains = view.refill_count(op, level);
-                        let distinct = view.distinct_blocks_above(op, level);
-                        let revisits = drains - distinct;
-                        let drain_bits = words * out_bits * drains;
-                        add(lower, drain_bits, 0);
-                        add(upper, 0, drain_bits);
-                        let rb_bits = words * layer.precision().partial_sum_bits() * revisits;
-                        add(upper, rb_bits, 0);
-                        add(lower, 0, rb_bits);
-                    }
-                }
-            }
-            if self.include_compute_accesses {
-                let innermost = chain[0];
-                let rel = layer.operand_relevance(op);
-                let words_per_cycle: u64 = view
-                    .mapping()
-                    .spatial()
-                    .factors()
-                    .iter()
-                    .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
-                    .map(|&(_, f)| f)
-                    .product();
-                let total_bits = words_per_cycle * layer.precision().bits(op) * view.cc_spatial();
-                match op {
-                    Operand::W | Operand::I => add(innermost, total_bits, 0),
-                    Operand::O => add(innermost, total_bits, total_bits),
-                }
-            }
-        }
-
-        let mac_fj = self.mac_fj * layer.total_macs() as f64;
+        let mac_fj = self.mac_fj * view.layer().total_macs() as f64;
         let mut mem_fj = 0.0;
         for (i, &(touched, rd, wr)) in traffic.iter().enumerate() {
             if touched {
@@ -320,6 +260,61 @@ impl EnergyModel {
             }
         }
         mac_fj + mem_fj
+    }
+
+    /// The one traffic-counting pass: walks the IR's residency tables and
+    /// reports every interface crossing to `add(memory, read_bits,
+    /// write_bits)`. Both the report and the fast total are folds over
+    /// this sequence, so they cannot drift apart.
+    fn accumulate(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &LoweredLayer,
+        mut add: impl FnMut(MemoryId, u64, u64),
+    ) {
+        let h = view.arch().hierarchy();
+        let layer = view.layer();
+        for op in Operand::all() {
+            let chain = h.chain(op);
+            for level in 0..chain.len().saturating_sub(1) {
+                let lower = chain[level];
+                let upper = chain[level + 1];
+                let row = *lowered.level(op, level);
+                let words = row.words;
+                match op {
+                    Operand::W | Operand::I => {
+                        let bits = words * layer.precision().bits(op) * row.refills;
+                        add(upper, bits, 0);
+                        add(lower, 0, bits);
+                    }
+                    Operand::O => {
+                        let out_bits = layer.precision().output_bits(row.final_above);
+                        let drains = row.refills;
+                        let revisits = drains - row.distinct_above;
+                        // Every visit ends with a drain up…
+                        let drain_bits = words * out_bits * drains;
+                        add(lower, drain_bits, 0);
+                        add(upper, 0, drain_bits);
+                        // …and every revisit begins with a partial-sum
+                        // read-back (always at partial precision).
+                        let rb_bits = words * layer.precision().partial_sum_bits() * revisits;
+                        add(upper, rb_bits, 0);
+                        add(lower, 0, rb_bits);
+                    }
+                }
+            }
+            // Compute-side accesses at the innermost level.
+            if self.include_compute_accesses {
+                let innermost = chain[0];
+                let total_bits =
+                    lowered.words_per_cycle(op) * layer.precision().bits(op) * lowered.cc_spatial();
+                match op {
+                    Operand::W | Operand::I => add(innermost, total_bits, 0),
+                    // Accumulator read-modify-write each cycle.
+                    Operand::O => add(innermost, total_bits, total_bits),
+                }
+            }
+        }
     }
 }
 
@@ -414,6 +409,20 @@ mod tests {
                 assert_eq!(report.total_fj.to_bits(), fast.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn lowered_entry_points_match_internal_lowering() {
+        let (chip, layer, mapping) =
+            toy_view(&[(Dim::C, 4), (Dim::B, 2), (Dim::K, 2), (Dim::C, 2)]);
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let lowered = LoweredLayer::build(&view, DtlOptions::default());
+        let m = EnergyModel::new();
+        let report = m.evaluate(&view);
+        assert_eq!(m.evaluate_lowered(&view, &lowered), report);
+        let mut scratch = EnergyScratch::default();
+        let total = m.evaluate_total_lowered(&view, &lowered, &mut scratch);
+        assert_eq!(total.to_bits(), report.total_fj.to_bits());
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible boundary of the workspace — the CLI subcommands, the
+//! `ulm serve` / `ulm batch` NDJSON protocol, the umbrella crate's
+//! quickstart — converges on [`UlmError`]: one enum with a `From` impl per
+//! domain error, a human-readable `Display`, a `source()` chain, and a
+//! **stable machine-readable code** ([`UlmError::code`]) that network
+//! clients can match on without parsing prose.
+//!
+//! Codes are namespaced `domain/kind` (e.g. `mapping/coverage`,
+//! `mapper/no-legal-mapping`, `request/invalid`) and are part of the
+//! serve-protocol contract: they never change meaning once shipped.
+//!
+//! ```
+//! use ulm_error::UlmError;
+//! use ulm_mapper::MapperError;
+//!
+//! let e: UlmError = MapperError::NoLegalMapping { tried: 42 }.into();
+//! assert_eq!(e.code(), "mapper/no-legal-mapping");
+//! assert!(e.to_string().contains("42"));
+//! ```
+
+use std::fmt;
+
+use ulm_arch::archdesc::ArchDescError;
+use ulm_mapper::MapperError;
+use ulm_mapping::MappingError;
+use ulm_network::NetworkError;
+use ulm_periodic::WindowError;
+use ulm_sim::ScheduleTooLarge;
+use ulm_workload::netdesc::NetDescError;
+
+/// The workspace error: every domain failure, one enum, one stable code.
+#[derive(Debug)]
+pub enum UlmError {
+    /// A mapping failed validation against layer + architecture.
+    Mapping(MappingError),
+    /// The mapping search exhausted its space without a legal mapping.
+    Mapper(MapperError),
+    /// A whole-network evaluation failed on one of its layers.
+    Network(NetworkError),
+    /// A periodic window was constructed with impossible parameters.
+    Window(WindowError),
+    /// The simulator refused to enumerate an impractically large schedule.
+    Schedule(ScheduleTooLarge),
+    /// An architecture description failed to parse or validate.
+    ArchDesc(ArchDescError),
+    /// A network description failed to parse or validate.
+    NetDesc(NetDescError),
+    /// A malformed request reached a service boundary (bad JSON shape,
+    /// unknown field value, missing required key).
+    InvalidRequest(String),
+    /// Invalid configuration outside the request path: unknown presets,
+    /// bad command-line values, unusable option combinations.
+    Config(String),
+    /// An I/O failure (reading descriptions, network sockets).
+    Io(std::io::Error),
+    /// A JSON serialization failure while producing output.
+    Json(serde_json::Error),
+}
+
+impl UlmError {
+    /// Shorthand for [`UlmError::InvalidRequest`].
+    pub fn invalid_request(msg: impl Into<String>) -> Self {
+        UlmError::InvalidRequest(msg.into())
+    }
+
+    /// Shorthand for [`UlmError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        UlmError::Config(msg.into())
+    }
+
+    /// The stable machine-readable code, `domain/kind`.
+    ///
+    /// Codes are a protocol contract: `ulm serve` and `ulm batch` emit
+    /// them verbatim in NDJSON error responses, so they are append-only —
+    /// existing codes never change meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            UlmError::Mapping(e) => match e {
+                MappingError::SpatialOverflow { .. } => "mapping/spatial-overflow",
+                MappingError::LevelsMismatch { .. } => "mapping/levels-mismatch",
+                MappingError::UnallocatedLoops { .. } => "mapping/unallocated-loops",
+                MappingError::Coverage { .. } => "mapping/coverage",
+                MappingError::CapacityExceeded { .. } => "mapping/capacity-exceeded",
+                MappingError::InfeasibleLevel { .. } => "mapping/infeasible-level",
+            },
+            UlmError::Mapper(MapperError::NoLegalMapping { .. }) => "mapper/no-legal-mapping",
+            UlmError::Network(NetworkError::LayerUnmappable { .. }) => "network/layer-unmappable",
+            UlmError::Window(e) => match e {
+                WindowError::BadPeriod(..) => "window/bad-period",
+                WindowError::BadInterval { .. } => "window/bad-interval",
+            },
+            UlmError::Schedule(_) => "sim/schedule-too-large",
+            UlmError::ArchDesc(e) => match e {
+                ArchDescError::Json(_) => "arch/bad-json",
+                ArchDescError::UnknownToken { .. } => "arch/unknown-token",
+                ArchDescError::UnknownMemory { .. } => "arch/unknown-memory",
+                ArchDescError::Arch(_) => "arch/invalid",
+            },
+            UlmError::NetDesc(e) => match e {
+                NetDescError::Json(_) => "net/bad-json",
+                NetDescError::UnknownKind { .. } => "net/unknown-kind",
+            },
+            UlmError::InvalidRequest(_) => "request/invalid",
+            UlmError::Config(_) => "config/invalid",
+            UlmError::Io(_) => "io/error",
+            UlmError::Json(_) => "json/error",
+        }
+    }
+}
+
+impl fmt::Display for UlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UlmError::Mapping(e) => write!(f, "illegal mapping: {e}"),
+            UlmError::Mapper(e) => e.fmt(f),
+            UlmError::Network(e) => e.fmt(f),
+            UlmError::Window(e) => e.fmt(f),
+            UlmError::Schedule(e) => e.fmt(f),
+            UlmError::ArchDesc(e) => e.fmt(f),
+            UlmError::NetDesc(e) => e.fmt(f),
+            UlmError::InvalidRequest(msg) => f.write_str(msg),
+            UlmError::Config(msg) => f.write_str(msg),
+            UlmError::Io(e) => e.fmt(f),
+            UlmError::Json(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for UlmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UlmError::Mapping(e) => Some(e),
+            UlmError::Mapper(e) => Some(e),
+            UlmError::Network(e) => Some(e),
+            UlmError::Window(e) => Some(e),
+            UlmError::Schedule(e) => Some(e),
+            UlmError::ArchDesc(e) => Some(e),
+            UlmError::NetDesc(e) => Some(e),
+            UlmError::Io(e) => Some(e),
+            UlmError::Json(e) => Some(e),
+            UlmError::InvalidRequest(_) | UlmError::Config(_) => None,
+        }
+    }
+}
+
+impl From<MappingError> for UlmError {
+    fn from(e: MappingError) -> Self {
+        UlmError::Mapping(e)
+    }
+}
+
+impl From<MapperError> for UlmError {
+    fn from(e: MapperError) -> Self {
+        UlmError::Mapper(e)
+    }
+}
+
+impl From<NetworkError> for UlmError {
+    fn from(e: NetworkError) -> Self {
+        UlmError::Network(e)
+    }
+}
+
+impl From<WindowError> for UlmError {
+    fn from(e: WindowError) -> Self {
+        UlmError::Window(e)
+    }
+}
+
+impl From<ScheduleTooLarge> for UlmError {
+    fn from(e: ScheduleTooLarge) -> Self {
+        UlmError::Schedule(e)
+    }
+}
+
+impl From<ArchDescError> for UlmError {
+    fn from(e: ArchDescError) -> Self {
+        UlmError::ArchDesc(e)
+    }
+}
+
+impl From<NetDescError> for UlmError {
+    fn from(e: NetDescError) -> Self {
+        UlmError::NetDesc(e)
+    }
+}
+
+impl From<std::io::Error> for UlmError {
+    fn from(e: std::io::Error) -> Self {
+        UlmError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for UlmError {
+    fn from(e: serde_json::Error) -> Self {
+        UlmError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_namespaced() {
+        let cases: Vec<(UlmError, &str)> = vec![
+            (
+                MappingError::SpatialOverflow {
+                    product: 64,
+                    macs: 16,
+                }
+                .into(),
+                "mapping/spatial-overflow",
+            ),
+            (
+                MapperError::NoLegalMapping { tried: 3 }.into(),
+                "mapper/no-legal-mapping",
+            ),
+            (
+                NetworkError::LayerUnmappable {
+                    layer: "l0".into(),
+                    source: MapperError::NoLegalMapping { tried: 1 },
+                }
+                .into(),
+                "network/layer-unmappable",
+            ),
+            (WindowError::BadPeriod(0.0).into(), "window/bad-period"),
+            (
+                ScheduleTooLarge {
+                    transfers: 10,
+                    cap: 5,
+                }
+                .into(),
+                "sim/schedule-too-large",
+            ),
+            (
+                UlmError::invalid_request("kind `frobnicate` unknown"),
+                "request/invalid",
+            ),
+            (UlmError::config("unknown arch `x`"), "config/invalid"),
+        ];
+        for (e, code) in &cases {
+            assert_eq!(e.code(), *code);
+            assert!(
+                code.contains('/'),
+                "codes are namespaced domain/kind: {code}"
+            );
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chain_reaches_the_domain_error() {
+        use std::error::Error as _;
+        let e: UlmError = MapperError::NoLegalMapping { tried: 7 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -41,7 +41,7 @@ use std::time::Instant;
 use ulm_arch::Architecture;
 use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
 use ulm_mapping::{LoopStack, MappedLayer, Mapping, OperandAlloc, SpatialUnroll};
-use ulm_model::{roofline_bound, LatencyModel, LatencyReport, ModelScratch};
+use ulm_model::{roofline_bound, LatencyModel, LatencyReport, LoweredLayer, ModelScratch};
 use ulm_workload::{DimSizes, Layer, PerOperand};
 
 /// What the search minimizes.
@@ -303,8 +303,10 @@ impl<'a> Mapper<'a> {
         let mapping =
             Mapping::with_greedy_alloc(self.arch, self.layer, self.spatial.clone(), stack).ok()?;
         let view = MappedLayer::new(self.layer, self.arch, &mapping).ok()?;
-        let latency = self.latency_model.evaluate(&view);
-        let energy = self.energy_model.evaluate(&view);
+        // One lowering serves both models.
+        let lowered = LoweredLayer::build(&view, self.latency_model.dtl_options());
+        let latency = self.latency_model.evaluate_lowered(&view, &lowered);
+        let energy = self.energy_model.evaluate_lowered(&view, &lowered);
         Some(EvaluatedMapping {
             mapping,
             latency,
@@ -312,15 +314,16 @@ impl<'a> Mapper<'a> {
         })
     }
 
-    /// A fresh scratch arena for [`evaluate_ordering_fast`]
-    /// (`Self::evaluate_ordering_fast`), sized to this mapper's spatial
-    /// unrolling.
+    /// A fresh scratch arena for
+    /// [`evaluate_ordering_fast`](Self::evaluate_ordering_fast), sized to
+    /// this mapper's spatial unrolling.
     pub fn scratch(&self) -> EvalScratch {
         EvalScratch::new(&self.spatial)
     }
 
-    /// The fast counterpart of [`evaluate_ordering`]
-    /// (`Self::evaluate_ordering`): builds the greedy allocation in place
+    /// The fast counterpart of
+    /// [`evaluate_ordering`](Self::evaluate_ordering): builds the greedy
+    /// allocation in place
     /// inside `scratch` and evaluates only the `obj` score, performing
     /// zero heap allocations in the steady state. The returned score is
     /// bit-identical to `evaluate_ordering(...).score(obj)`; `None`
@@ -391,9 +394,14 @@ impl<'a> Mapper<'a> {
             ),
             Objective::Edp => {
                 let lat = self.latency_model.evaluate_fast(&view, &mut scratch.model);
-                let fj = self
-                    .energy_model
-                    .evaluate_total_fast(&view, &mut scratch.energy);
+                // The latency pass just lowered the view into
+                // `scratch.model`; the energy total reads that same IR
+                // instead of lowering a second time.
+                let fj = self.energy_model.evaluate_total_lowered(
+                    &view,
+                    scratch.model.lowered(),
+                    &mut scratch.energy,
+                );
                 FastEval::Scored(lat.cc_total * fj)
             }
         }
@@ -568,14 +576,8 @@ impl<'a> Mapper<'a> {
         all.sort_by(|a, b| {
             a.latency
                 .cc_total
-                .partial_cmp(&b.latency.cc_total)
-                .expect("finite latency")
-                .then(
-                    a.energy
-                        .total_fj
-                        .partial_cmp(&b.energy.total_fj)
-                        .expect("finite energy"),
-                )
+                .total_cmp(&b.latency.cc_total)
+                .then(a.energy.total_fj.total_cmp(&b.energy.total_fj))
         });
         let mut front: Vec<EvaluatedMapping> = Vec::new();
         let mut best_energy = f64::INFINITY;

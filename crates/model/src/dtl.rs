@@ -6,7 +6,7 @@ use std::fmt;
 use ulm_arch::{MemoryId, PortId, PortUse};
 use ulm_mapping::MappedLayer;
 use ulm_periodic::PeriodicWindow;
-use ulm_workload::{Operand, Relevance};
+use ulm_workload::Operand;
 
 /// The role a DTL plays in the dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -276,18 +276,26 @@ impl Default for DtlOptions {
 }
 
 /// Builds every DTL of the mapped layer (Step 1).
+///
+/// Convenience wrapper over the single Step-1 implementation inside
+/// [`LoweredLayer::build`](crate::LoweredLayer::build); prefer building
+/// the full IR when more than the DTL list is needed.
 pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
-    let mut dtls = Vec::new();
-    build_dtls_into(view, opts, &mut dtls);
-    dtls
+    crate::LoweredLayer::build(view, opts).into_dtls()
 }
 
-/// [`build_dtls`] writing into a caller-provided buffer (cleared first),
-/// so repeated evaluations reuse its capacity instead of allocating.
-pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<Dtl>) {
+/// Step 1 proper: reads the residency tables of a freshly lowered
+/// [`LoweredLayer`](crate::LoweredLayer) and appends the DTL list to it.
+/// This is the only place DTLs are constructed.
+pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::LoweredLayer) {
     let h = view.arch().hierarchy();
     let layer = view.layer();
-    dtls.clear();
+    let opts = lw.options();
+
+    // The tables are read through an immutable copy of the per-level rows
+    // while DTLs are appended; rows are small `Copy` structs.
+    let mut out = std::mem::take(lw.dtls_mut());
+    out.clear();
 
     for op in Operand::all() {
         let chain = h.chain(op);
@@ -297,9 +305,11 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
         for level in 0..chain.len().saturating_sub(1) {
             let lower = chain[level];
             let upper = chain[level + 1];
-            let period = view.mem_cc(op, level);
-            let z = view.z(op, level);
-            let words = view.mem_data_words(op, level);
+            let row = *lw.level(op, level);
+            let period = row.period;
+            let z = row.z;
+            let words = row.words;
+            let run = row.run;
             let lower_mem = h.mem(lower);
 
             match op {
@@ -309,13 +319,12 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
                     let (wp, wbw) = h.port(lower, op, PortUse::WriteIn);
                     let (rp, rbw) = h.port(upper, op, PortUse::ReadOut);
                     let real_bw = wbw.min(rbw) as f64;
-                    let run = view.top_ir_run(op, level);
                     let shape = if lower_mem.is_double_buffered() || run == 1 {
                         WindowShape::Full
                     } else {
                         WindowShape::Trailing(run)
                     };
-                    dtls.push(finish(
+                    out.push(finish(
                         op,
                         DtlKind::RefillDown,
                         level,
@@ -340,7 +349,7 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
                     ));
                 }
                 Operand::O => {
-                    let final_above = view.outputs_final_above(level);
+                    let final_above = row.final_above;
                     let bits = layer.precision().output_bits(final_above);
                     // Drain: lower read -> upper write. The source block
                     // finishes accumulating only in the last iteration of
@@ -349,13 +358,12 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
                     let (rp, rbw) = h.port(lower, op, PortUse::ReadOut);
                     let (wp, wbw) = h.port(upper, op, PortUse::WriteIn);
                     let real_bw = rbw.min(wbw) as f64;
-                    let run = view.top_ir_run(op, level);
                     let shape = if lower_mem.is_double_buffered() || run == 1 {
                         WindowShape::Full
                     } else {
                         WindowShape::Trailing(run)
                     };
-                    dtls.push(finish(
+                    out.push(finish(
                         op,
                         DtlKind::DrainUp,
                         level,
@@ -388,7 +396,7 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
                         } else {
                             WindowShape::Leading(run)
                         };
-                        dtls.push(finish(
+                        out.push(finish(
                             op,
                             DtlKind::PsumReadback,
                             level,
@@ -416,35 +424,27 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
             }
         }
 
-        // MAC-array-facing links of the innermost level.
+        // MAC-array-facing links of the innermost level. Irrelevant
+        // spatial unrolls are broadcast and touch the same word, so the
+        // feed rate counts op-relevant unroll factors only (the lowering
+        // pass precomputed that product).
         if opts.compute_links {
             let innermost = chain[0];
-            let spatial = view.mapping().spatial();
-            let rel = layer.operand_relevance(op);
-            // Distinct words the array touches per cycle: the product of
-            // op-relevant spatial unroll factors (irrelevant unrolls are
-            // broadcast and touch the same word).
-            let words_per_cycle: u64 = spatial
-                .factors()
-                .iter()
-                .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
-                .map(|&(_, f)| f)
-                .product();
-            let period = view.mem_cc(op, 0);
-            let z = view.z(op, 0);
-            let data_bits = words_per_cycle * op_bits * period;
+            let words_per_cycle = lw.words_per_cycle(op);
+            let row = *lw.level(op, 0);
+            let data_bits = words_per_cycle * op_bits * row.period;
             let (kind, usage) = match op {
                 Operand::W | Operand::I => (DtlKind::ComputeFeed, PortUse::ReadOut),
                 Operand::O => (DtlKind::ComputeWriteback, PortUse::WriteIn),
             };
             let (p, bw) = h.port(innermost, op, usage);
-            dtls.push(finish(
+            out.push(finish(
                 op,
                 kind,
                 0,
                 data_bits,
-                period,
-                z,
+                row.period,
+                row.z,
                 WindowShape::Full,
                 bw as f64,
                 Endpoints::one(Endpoint {
@@ -456,6 +456,8 @@ pub fn build_dtls_into(view: &MappedLayer<'_>, opts: DtlOptions, dtls: &mut Vec<
             ));
         }
     }
+
+    *lw.dtls_mut() = out;
 }
 
 #[cfg(test)]

@@ -1,25 +1,45 @@
 //! Allocation-free scalar evaluation for mapping search.
 //!
-//! [`LatencyModel::evaluate`] builds a full [`LatencyReport`] with
-//! human-readable diagnostics — per-DTL labels, port tables, bottleneck
-//! names — all of which allocate and none of which a mapping search
-//! reads. [`LatencyModel::evaluate_fast`] runs the identical Step-1/2/3
-//! pipeline (the same functions, in the same order, on the same floats)
-//! but stops at the scalar totals, reusing a [`ModelScratch`] so the
-//! steady-state path performs zero heap allocations.
-//!
-//! [`LatencyReport`]: crate::LatencyReport
+//! Both [`LatencyModel::evaluate`] and [`LatencyModel::evaluate_fast`]
+//! run the **same** core: lower the view into the [`LoweredLayer`] IR
+//! (Step 1), combine-and-
+//! integrate the stall pipeline over its DTLs (Steps 2–3), and compose
+//! the phase totals with [`FastLatency::compose`]. `evaluate` then
+//! assembles the human-readable diagnostic report on top; `evaluate_fast`
+//! stops at the scalars, reusing a [`ModelScratch`] so the steady-state
+//! path performs zero heap allocations. The numbers are bit-identical by
+//! construction — they come out of one code path, not two kept in sync.
 
-use crate::dtl::{self, Dtl, DtlOptions};
+use crate::lower::LoweredLayer;
+use crate::phases;
 use crate::stall::StallScratch;
-use crate::{phases, LatencyModel};
+use crate::LatencyModel;
+use ulm_arch::Architecture;
 use ulm_mapping::MappedLayer;
 
-/// Reusable buffers for [`LatencyModel::evaluate_fast`].
+/// Reusable buffers for [`LatencyModel::evaluate_fast`]: the lowered IR
+/// plus the Step-2/3 stall pipeline buffers.
 #[derive(Debug, Default)]
 pub struct ModelScratch {
-    dtls: Vec<Dtl>,
+    lowered: LoweredLayer,
     stall: StallScratch,
+}
+
+impl ModelScratch {
+    /// The IR produced by the most recent evaluation through this
+    /// scratch. Other consumers (energy, sim) can read the same lowering
+    /// instead of re-deriving it.
+    pub fn lowered(&self) -> &LoweredLayer {
+        &self.lowered
+    }
+
+    pub(crate) fn parts(&mut self) -> (&LoweredLayer, &mut StallScratch) {
+        (&self.lowered, &mut self.stall)
+    }
+
+    pub(crate) fn lowered_mut(&mut self) -> &mut LoweredLayer {
+        &mut self.lowered
+    }
 }
 
 /// The scalar subset of a latency report, produced without allocating.
@@ -45,6 +65,33 @@ pub struct FastLatency {
     pub utilization: f64,
 }
 
+impl FastLatency {
+    /// The one place the latency composition
+    /// `CC_total = preload + CC_spatial + SS_overall + offload` (and the
+    /// derived utilization) is written down. Every evaluation path —
+    /// slow, fast, and the mapper's pruning floor — goes through here, so
+    /// their floats agree bit for bit.
+    pub fn compose(
+        preload: u64,
+        offload: u64,
+        cc_ideal: f64,
+        cc_spatial: u64,
+        ss_overall: f64,
+    ) -> Self {
+        let cc_total = preload as f64 + cc_spatial as f64 + ss_overall + offload as f64;
+        let utilization = cc_ideal / cc_total;
+        FastLatency {
+            cc_ideal,
+            cc_spatial,
+            ss_overall,
+            preload,
+            offload,
+            cc_total,
+            utilization,
+        }
+    }
+}
+
 impl LatencyModel {
     /// Evaluates the mapped layer to scalar totals only, reusing
     /// `scratch` buffers so the steady-state path allocates nothing.
@@ -53,32 +100,51 @@ impl LatencyModel {
     /// [`evaluate`](Self::evaluate); only the diagnostic report layer is
     /// skipped.
     pub fn evaluate_fast(&self, view: &MappedLayer<'_>, scratch: &mut ModelScratch) -> FastLatency {
+        LoweredLayer::build_into(view, self.dtl_options(), &mut scratch.lowered);
+        self.core(view.arch(), &scratch.lowered, &mut scratch.stall, false)
+    }
+
+    /// [`evaluate_fast`](Self::evaluate_fast) over an already-lowered
+    /// layer: Steps 2–3 plus the phase composition, no re-lowering.
+    pub fn evaluate_lowered_fast(
+        &self,
+        arch: &Architecture,
+        lowered: &LoweredLayer,
+        stall: &mut StallScratch,
+    ) -> FastLatency {
+        self.core(arch, lowered, stall, false)
+    }
+
+    /// Steps 2–3 and the phase composition — THE shared core.
+    ///
+    /// `force_combine` runs the port analysis even for bandwidth-unaware
+    /// models so the report path can surface port/memory diagnostics;
+    /// `ss_overall` is still forced to zero in that case, exactly as the
+    /// unaware model defines it.
+    pub(crate) fn core(
+        &self,
+        arch: &Architecture,
+        lowered: &LoweredLayer,
+        stall: &mut StallScratch,
+        force_combine: bool,
+    ) -> FastLatency {
         let opts = self.options();
-
-        // Step 1: divide.
-        dtl::build_dtls_into(
-            view,
-            DtlOptions {
-                compute_links: opts.compute_links,
-                phase_aware_z: opts.phase_aware_z,
-            },
-            &mut scratch.dtls,
-        );
-
-        // Steps 2 & 3: combine and integrate.
-        let ss_overall = if opts.bw_aware {
-            let raw = scratch.stall.combine_and_integrate(
-                view.arch(),
-                &scratch.dtls,
+        let ss_overall = if opts.bw_aware || force_combine {
+            let raw = stall.combine_and_integrate(
+                arch,
+                lowered.dtls(),
                 opts.union,
                 opts.eq2_oversubscription_bound,
             );
-            raw.max(0.0)
+            if opts.bw_aware {
+                raw.max(0.0)
+            } else {
+                0.0
+            }
         } else {
             0.0
         };
-
-        scalar_totals(view, ss_overall)
+        lowered.totals(ss_overall)
     }
 
     /// An exact, allocation-free lower bound on
@@ -86,29 +152,18 @@ impl LatencyModel {
     /// temporal stall assumed zero. Since `SS_overall >= 0` and the total
     /// is the float sum `((preload + cc_spatial) + ss) + offload`, this
     /// bound can never exceed the true total — the branch-and-bound
-    /// search prunes on it without risking the argmin.
+    /// search prunes on it without risking the argmin. Computed straight
+    /// from the view (no DTL/window construction), so pruned candidates
+    /// never pay for a full lowering.
     pub fn phase_floor(&self, view: &MappedLayer<'_>) -> f64 {
-        scalar_totals(view, 0.0).cc_total
-    }
-}
-
-/// Phase/scenario arithmetic shared by `evaluate_fast` and `phase_floor`,
-/// mirroring `evaluate`'s expressions exactly.
-fn scalar_totals(view: &MappedLayer<'_>, ss_overall: f64) -> FastLatency {
-    let preload = phases::preload_cycles(view);
-    let offload = phases::offload_cycles(view);
-    let cc_ideal = view.cc_ideal();
-    let cc_spatial = view.cc_spatial();
-    let cc_total = preload as f64 + cc_spatial as f64 + ss_overall + offload as f64;
-    let utilization = cc_ideal / cc_total;
-    FastLatency {
-        cc_ideal,
-        cc_spatial,
-        ss_overall,
-        preload,
-        offload,
-        cc_total,
-        utilization,
+        FastLatency::compose(
+            phases::preload_cycles(view),
+            phases::offload_cycles(view),
+            view.cc_ideal(),
+            view.cc_spatial(),
+            0.0,
+        )
+        .cc_total
     }
 }
 
@@ -165,6 +220,21 @@ mod tests {
                 assert_eq!(full.offload, fast.offload);
                 assert_eq!(full.cc_spatial, fast.cc_spatial);
             }
+        }
+    }
+
+    #[test]
+    fn lowered_fast_matches_fast() {
+        let model = LatencyModel::new();
+        let mut scratch = ModelScratch::default();
+        for (arch, layer, mapping) in views() {
+            let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
+            let fast = model.evaluate_fast(&view, &mut scratch);
+            let lowered = LoweredLayer::build(&view, model.dtl_options());
+            let mut stall = StallScratch::default();
+            let via_ir = model.evaluate_lowered_fast(&arch, &lowered, &mut stall);
+            assert_eq!(fast.cc_total.to_bits(), via_ir.cc_total.to_bits());
+            assert_eq!(fast.ss_overall.to_bits(), via_ir.ss_overall.to_bits());
         }
     }
 

@@ -45,11 +45,12 @@
 //! let view = MappedLayer::new(&layer, &chip.arch, &mapping)?;
 //! let report = LatencyModel::new().evaluate(&view);
 //! assert!(report.cc_total >= report.cc_spatial as f64);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), ulm_mapping::MappingError>(())
 //! ```
 
 pub mod dtl;
 pub mod fast;
+pub mod lower;
 pub mod phases;
 pub mod report;
 pub mod roofline;
@@ -57,6 +58,7 @@ pub mod stall;
 
 pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
 pub use fast::{FastLatency, ModelScratch};
+pub use lower::{LevelLowering, LoweredLayer};
 pub use report::{BandwidthFix, DtlReport, LatencyReport, MemReport, PortReport, Scenario};
 pub use roofline::{roofline, roofline_bound, Roof, Roofline};
 pub use stall::{MemStall, PortGroup, PortGroupCore, StallScratch};
@@ -125,40 +127,67 @@ impl LatencyModel {
         &self.opts
     }
 
+    /// The Step-1 lowering options implied by the model options.
+    pub fn dtl_options(&self) -> DtlOptions {
+        DtlOptions {
+            compute_links: self.opts.compute_links,
+            phase_aware_z: self.opts.phase_aware_z,
+        }
+    }
+
     /// Evaluates the mapped layer and returns the full latency report.
+    ///
+    /// This is report assembly over the very same lowering + stall core
+    /// that [`evaluate_fast`](Self::evaluate_fast) runs — the scalars are
+    /// bit-identical because they come out of one code path.
     pub fn evaluate(&self, view: &MappedLayer<'_>) -> LatencyReport {
+        let mut scratch = ModelScratch::default();
+        self.evaluate_with(view, &mut scratch)
+    }
+
+    /// [`evaluate`](Self::evaluate) reusing caller-provided scratch
+    /// buffers across calls.
+    pub fn evaluate_with(
+        &self,
+        view: &MappedLayer<'_>,
+        scratch: &mut ModelScratch,
+    ) -> LatencyReport {
+        LoweredLayer::build_into(view, self.dtl_options(), scratch.lowered_mut());
+        let (lowered, stall) = scratch.parts();
+        let fast = self.core(view.arch(), lowered, stall, true);
+        let (lowered, stall) = scratch.parts();
+        self.assemble_report(view, lowered, stall, fast)
+    }
+
+    /// [`evaluate`](Self::evaluate) over an already-lowered layer, so
+    /// several consumers (latency, energy, simulation) can share one
+    /// lowering pass. The IR must have been built with this model's
+    /// [`dtl_options`](Self::dtl_options).
+    pub fn evaluate_lowered(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &LoweredLayer,
+    ) -> LatencyReport {
+        debug_assert_eq!(lowered.options(), self.dtl_options());
+        let mut stall = StallScratch::default();
+        let fast = self.core(view.arch(), lowered, &mut stall, true);
+        self.assemble_report(view, lowered, &stall, fast)
+    }
+
+    /// Diagnostic-report assembly on top of the shared core's outputs.
+    fn assemble_report(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &LoweredLayer,
+        stall: &StallScratch,
+        fast: FastLatency,
+    ) -> LatencyReport {
         let h = view.arch().hierarchy();
-
-        // Step 1: divide.
-        let dtls = dtl::build_dtls(
-            view,
-            DtlOptions {
-                compute_links: self.opts.compute_links,
-                phase_aware_z: self.opts.phase_aware_z,
-            },
-        );
-
-        // Steps 2 & 3: combine and integrate.
-        let groups =
-            stall::combine_ports_with(&dtls, self.opts.union, self.opts.eq2_oversubscription_bound);
-        let mem_stalls = stall::combine_memories(&groups);
-        let raw = stall::integrate(view.arch(), &mem_stalls);
-        let ss_overall = if self.opts.bw_aware {
-            raw.max(0.0)
-        } else {
-            0.0
-        };
-
-        // Phases and scenario math.
-        let preload = phases::preload_cycles(view);
-        let offload = phases::offload_cycles(view);
-        let cc_ideal = view.cc_ideal();
-        let cc_spatial = view.cc_spatial();
-        let spatial_stall = view.spatial_stall();
-        let cc_total = preload as f64 + cc_spatial as f64 + ss_overall + offload as f64;
-        let spatial_utilization = cc_ideal / cc_spatial as f64;
-        let temporal_utilization = cc_spatial as f64 / (cc_spatial as f64 + ss_overall);
-        let utilization = cc_ideal / cc_total;
+        let dtls = lowered.dtls();
+        let ss_overall = fast.ss_overall;
+        let spatial_stall = lowered.spatial_stall();
+        let spatial_utilization = fast.cc_ideal / fast.cc_spatial as f64;
+        let temporal_utilization = fast.cc_spatial as f64 / (fast.cc_spatial as f64 + ss_overall);
         let scenario = Scenario::classify(
             spatial_stall < 0.5, // within rounding of fully mapped
             ss_overall == 0.0,
@@ -166,9 +195,10 @@ impl LatencyModel {
 
         // Bottleneck: the stalling memory that sets SS_overall.
         let bottleneck = if ss_overall > 0.0 {
-            mem_stalls
+            stall
+                .memory_stalls()
                 .iter()
-                .max_by(|a, b| a.ss.partial_cmp(&b.ss).expect("stalls are finite"))
+                .max_by(|a, b| a.ss.total_cmp(&b.ss))
                 .map(|m| h.mem(m.mem).name().to_string())
         } else {
             None
@@ -189,7 +219,11 @@ impl LatencyModel {
                 ss_u: d.ss_u,
             })
             .collect();
-        let port_reports: Vec<PortReport> = groups
+        // A group's members are exactly the DTLs with an endpoint on its
+        // (memory, port), in ascending DTL order — the same member order
+        // the Step-2 grouping visits.
+        let port_reports: Vec<PortReport> = stall
+            .port_groups()
             .iter()
             .map(|g| PortReport {
                 memory: h.mem(g.mem).name().to_string(),
@@ -200,10 +234,19 @@ impl LatencyModel {
                 muw_exact: g.muw_exact,
                 ss_comb: g.ss_comb,
                 min_stall_free_bw: g.min_stall_free_bw,
-                dtls: g.dtl_indices.iter().map(|&i| dtls[i].label(view)).collect(),
+                dtls: dtls
+                    .iter()
+                    .filter(|d| {
+                        d.endpoints
+                            .iter()
+                            .any(|ep| ep.mem == g.mem && ep.port == g.port)
+                    })
+                    .map(|d| d.label(view))
+                    .collect(),
             })
             .collect();
-        let mem_reports: Vec<MemReport> = mem_stalls
+        let mem_reports: Vec<MemReport> = stall
+            .memory_stalls()
             .iter()
             .map(|m| MemReport {
                 memory: h.mem(m.mem).name().to_string(),
@@ -212,14 +255,14 @@ impl LatencyModel {
             .collect();
 
         LatencyReport {
-            cc_ideal,
-            cc_spatial,
+            cc_ideal: fast.cc_ideal,
+            cc_spatial: fast.cc_spatial,
             spatial_stall,
             ss_overall,
-            preload,
-            offload,
-            cc_total,
-            utilization,
+            preload: fast.preload,
+            offload: fast.offload,
+            cc_total: fast.cc_total,
+            utilization: fast.utilization,
             spatial_utilization,
             temporal_utilization,
             scenario,

@@ -1,0 +1,327 @@
+//! The **`LoweredLayer` evaluation IR**: one lowering pass from a
+//! [`MappedLayer`] to everything the downstream consumers need.
+//!
+//! The paper's Step 1 ("Divide") produces exactly one artifact — the
+//! per-operand unit-memory/DTL graph with `Mem_DATA`, `Mem_CC`, `ReqBW_u`
+//! and `Z` — yet latency, energy and simulation all read overlapping
+//! pieces of it. `LoweredLayer` materializes that artifact once:
+//!
+//! ```text
+//! Layer → Mapping → MappedLayer → LoweredLayer → {latency, energy, sim, network}
+//! ```
+//!
+//! The IR holds, per `(operand, level)`:
+//!
+//! * the residency/turnaround table ([`LevelLowering`]): `Mem_DATA` words,
+//!   `Mem_CC`, `Z`, the top irrelevant-run, the exact distinct-content
+//!   transfer count, the distinct-block count, and output finality;
+//! * the loops above the level (a flat `(size, relevant)` arena) together
+//!   with the mixed-radix [`region`](LoweredLayer::region) arithmetic the
+//!   simulator uses to discover which periods move data;
+//!
+//! plus the layer-wide quantities: the Step-1 DTL list, per-operand
+//! compute feed rates, and the phase inputs (`preload`, `offload`,
+//! `CC_ideal`, `CC_spatial`).
+//!
+//! Construction is a single pass over the view. [`LoweredLayer::build`]
+//! allocates an owned IR for long-lived use (e.g. one per layer in
+//! `ulm-network`); [`LoweredLayer::build_into`] refills an existing IR
+//! reusing its capacity, which is what keeps the mapper's hot path
+//! allocation-free (the IR lives inside
+//! [`ModelScratch`](crate::ModelScratch)).
+
+use crate::dtl::{self, Dtl, DtlOptions};
+use crate::fast::FastLatency;
+use crate::phases;
+use ulm_mapping::MappedLayer;
+use ulm_workload::{Operand, Relevance};
+
+/// The lowered residency/turnaround table of one `(operand, level)`.
+///
+/// All fields are exact integers derived from the mapping, so consumers
+/// reading them reproduce the source arithmetic bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelLowering {
+    /// `Mem_DATA` in words: data of the operand resident at this level.
+    pub words: u64,
+    /// `Mem_CC`: the block turnaround period in cycles.
+    pub period: u64,
+    /// `Z`: number of periods over the computation phase.
+    pub z: u64,
+    /// Product of the consecutive irrelevant-loop run at the top of the
+    /// level's own loop range (the Table-I window scale factor).
+    pub run: u64,
+    /// Exact number of distinct-content block transfers into (W/I) or out
+    /// of (O) the level over the whole layer.
+    pub refills: u64,
+    /// Number of distinct blocks seen above the level (revisits ignored).
+    pub distinct_above: u64,
+    /// True when no loop irrelevant to the operand remains above the
+    /// level. For outputs this means blocks crossing the interface above
+    /// are final (fully accumulated), not partial sums.
+    pub final_above: bool,
+    /// Range into the flat loops-above arena.
+    loops: (u32, u32),
+}
+
+/// The build-once evaluation IR shared by the latency model (slow and
+/// fast paths), the energy model, the simulator's schedule extraction and
+/// the network evaluator. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct LoweredLayer {
+    opts: DtlOptions,
+    /// Per-(operand, level) tables, operand-major.
+    levels: Vec<LevelLowering>,
+    /// `levels` range per operand: operand `k` owns
+    /// `levels[offsets[k]..offsets[k + 1]]`.
+    offsets: [usize; 4],
+    /// Flat `(size, relevant)` arena of the loops above each level,
+    /// innermost-above first, indexed by [`LevelLowering::loops`].
+    loops: Vec<(u64, bool)>,
+    /// The Step-1 DTL list, in canonical build order.
+    dtls: Vec<Dtl>,
+    /// Distinct words of each operand the MAC array touches per cycle
+    /// (the product of operand-relevant spatial unroll factors).
+    words_per_cycle: [u64; 3],
+    preload: u64,
+    offload: u64,
+    cc_ideal: f64,
+    cc_spatial: u64,
+    spatial_stall: f64,
+}
+
+impl LoweredLayer {
+    /// Lowers `view` into a fresh, owned IR.
+    pub fn build(view: &MappedLayer<'_>, opts: DtlOptions) -> Self {
+        let mut out = Self::default();
+        Self::build_into(view, opts, &mut out);
+        out
+    }
+
+    /// Lowers `view` into `out`, reusing its buffers — the steady-state
+    /// path allocates nothing once the buffers have grown to size.
+    pub fn build_into(view: &MappedLayer<'_>, opts: DtlOptions, out: &mut LoweredLayer) {
+        let h = view.arch().hierarchy();
+        out.opts = opts;
+        out.levels.clear();
+        out.loops.clear();
+
+        out.cc_ideal = view.cc_ideal();
+        out.cc_spatial = view.cc_spatial();
+        out.spatial_stall = view.spatial_stall();
+        out.preload = phases::preload_cycles(view);
+        out.offload = phases::offload_cycles(view);
+
+        let stack = view.mapping().stack();
+        let spatial = view.mapping().spatial();
+        for op in Operand::all() {
+            out.offsets[op.index()] = out.levels.len();
+            let rel = view.layer().operand_relevance(op);
+            out.words_per_cycle[op.index()] = spatial
+                .factors()
+                .iter()
+                .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
+                .map(|&(_, f)| f)
+                .product();
+            let chain = h.chain(op);
+            for level in 0..chain.len() {
+                let lo = out.loops.len() as u32;
+                let from = view.mapping().alloc(op).upper(level);
+                out.loops.extend(
+                    stack.loops()[from..]
+                        .iter()
+                        .map(|l| (l.size, rel.get(l.dim).is_relevant())),
+                );
+                out.levels.push(LevelLowering {
+                    words: view.mem_data_words(op, level),
+                    period: view.mem_cc(op, level),
+                    z: view.z(op, level),
+                    run: view.top_ir_run(op, level),
+                    refills: view.refill_count(op, level),
+                    distinct_above: view.distinct_blocks_above(op, level),
+                    final_above: !view.has_ir_above(op, level),
+                    loops: (lo, out.loops.len() as u32),
+                });
+            }
+        }
+        out.offsets[3] = out.levels.len();
+
+        // Step 1: the DTL graph, read off the tables just built.
+        dtl::build_dtls_lowered(view, out);
+    }
+
+    /// The options the DTL list was built with.
+    pub fn options(&self) -> DtlOptions {
+        self.opts
+    }
+
+    /// The Step-1 DTL list.
+    pub fn dtls(&self) -> &[Dtl] {
+        &self.dtls
+    }
+
+    pub(crate) fn dtls_mut(&mut self) -> &mut Vec<Dtl> {
+        &mut self.dtls
+    }
+
+    /// Consumes the IR, returning the DTL list.
+    pub fn into_dtls(self) -> Vec<Dtl> {
+        self.dtls
+    }
+
+    /// The residency tables of one operand's chain, innermost first.
+    pub fn levels(&self, op: Operand) -> &[LevelLowering] {
+        &self.levels[self.offsets[op.index()]..self.offsets[op.index() + 1]]
+    }
+
+    /// The residency table of one `(operand, level)`.
+    pub fn level(&self, op: Operand, level: usize) -> &LevelLowering {
+        &self.levels(op)[level]
+    }
+
+    /// The `(size, relevant)` loops above `level`, innermost-above first.
+    pub fn loops_above(&self, op: Operand, level: usize) -> &[(u64, bool)] {
+        let (lo, hi) = self.level(op, level).loops;
+        &self.loops[lo as usize..hi as usize]
+    }
+
+    /// The distinct-data region id active during period `j` of
+    /// `(op, level)`: the mixed-radix digits of `j` restricted to the
+    /// operand-relevant loops above the level. Periods sharing a region
+    /// reuse the same block, so no transfer happens between them.
+    pub fn region(&self, op: Operand, level: usize, j: u64) -> u64 {
+        let mut rem = j;
+        let mut id = 0u64;
+        let mut mul = 1u64;
+        for &(size, relevant) in self.loops_above(op, level) {
+            let d = rem % size;
+            rem /= size;
+            if relevant {
+                id += d * mul;
+                mul *= size;
+            }
+        }
+        id
+    }
+
+    /// Distinct words of `op` the MAC array touches per cycle.
+    pub fn words_per_cycle(&self, op: Operand) -> u64 {
+        self.words_per_cycle[op.index()]
+    }
+
+    /// Pre-load phase cycles.
+    pub fn preload(&self) -> u64 {
+        self.preload
+    }
+
+    /// Off-load phase cycles.
+    pub fn offload(&self) -> u64 {
+        self.offload
+    }
+
+    /// `CC_ideal` (may be fractional).
+    pub fn cc_ideal(&self) -> f64 {
+        self.cc_ideal
+    }
+
+    /// `CC_spatial`: the temporal iteration count.
+    pub fn cc_spatial(&self) -> u64 {
+        self.cc_spatial
+    }
+
+    /// Spatial stall: `CC_spatial − CC_ideal`.
+    pub fn spatial_stall(&self) -> f64 {
+        self.spatial_stall
+    }
+
+    /// Composes the phase totals with a given temporal stall — the single
+    /// implementation of `CC_total = preload + CC_spatial + SS_overall +
+    /// offload` shared by the slow and fast latency paths.
+    pub fn totals(&self, ss_overall: f64) -> FastLatency {
+        FastLatency::compose(
+            self.preload,
+            self.offload,
+            self.cc_ideal,
+            self.cc_spatial,
+            ss_overall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_mapping::{LoopStack, Mapping, SpatialUnroll};
+    use ulm_workload::{Dim, Layer, Precision};
+
+    fn toy_view() -> (ulm_arch::presets::PresetChip, Layer, Mapping) {
+        let chip = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        let mapping = Mapping::with_greedy_alloc(
+            &chip.arch,
+            &layer,
+            SpatialUnroll::new(chip.spatial.clone()),
+            LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]),
+        )
+        .unwrap();
+        (chip, layer, mapping)
+    }
+
+    #[test]
+    fn tables_match_view_accessors() {
+        let (chip, layer, mapping) = toy_view();
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let lw = LoweredLayer::build(&view, DtlOptions::default());
+        let h = chip.arch.hierarchy();
+        for op in Operand::all() {
+            assert_eq!(lw.levels(op).len(), h.chain(op).len());
+            for (level, e) in lw.levels(op).iter().enumerate() {
+                assert_eq!(e.words, view.mem_data_words(op, level));
+                assert_eq!(e.period, view.mem_cc(op, level));
+                assert_eq!(e.z, view.z(op, level));
+                assert_eq!(e.run, view.top_ir_run(op, level));
+                assert_eq!(e.refills, view.refill_count(op, level));
+                assert_eq!(e.distinct_above, view.distinct_blocks_above(op, level));
+                assert_eq!(e.final_above, !view.has_ir_above(op, level));
+            }
+        }
+        assert_eq!(lw.cc_spatial(), view.cc_spatial());
+        assert_eq!(lw.cc_ideal().to_bits(), view.cc_ideal().to_bits());
+    }
+
+    #[test]
+    fn build_into_reuses_buffers_and_matches_build() {
+        let (chip, layer, mapping) = toy_view();
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let owned = LoweredLayer::build(&view, DtlOptions::default());
+        let mut reused = LoweredLayer::default();
+        LoweredLayer::build_into(&view, DtlOptions::default(), &mut reused);
+        LoweredLayer::build_into(&view, DtlOptions::default(), &mut reused);
+        assert_eq!(owned.dtls(), reused.dtls());
+        assert_eq!(owned.levels, reused.levels);
+        assert_eq!(owned.loops, reused.loops);
+        assert_eq!(owned.preload(), reused.preload());
+        assert_eq!(owned.offload(), reused.offload());
+    }
+
+    #[test]
+    fn regions_collapse_irrelevant_loops() {
+        let (chip, layer, mapping) = toy_view();
+        let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
+        let lw = LoweredLayer::build(&view, DtlOptions::default());
+        // W at level 0: loops above are C8 (relevant), B2 (irrelevant),
+        // K2 (relevant). Periods that differ only in the B digit share a
+        // region.
+        let regions: Vec<u64> = (0..lw.level(Operand::W, 0).z)
+            .map(|j| lw.region(Operand::W, 0, j))
+            .collect();
+        let distinct = {
+            let mut r = regions.clone();
+            r.sort_unstable();
+            r.dedup();
+            r.len() as u64
+        };
+        assert_eq!(distinct, lw.level(Operand::W, 0).distinct_above);
+    }
+}

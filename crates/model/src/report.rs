@@ -161,7 +161,7 @@ impl LatencyReport {
                 stall: p.ss_comb,
             })
             .collect();
-        fixes.sort_by(|a, b| b.stall.partial_cmp(&a.stall).expect("finite stalls"));
+        fixes.sort_by(|a, b| b.stall.total_cmp(&a.stall));
         fixes
     }
 

@@ -56,7 +56,7 @@ impl Roofline {
         self.roofs
             .iter()
             .filter(|r| r.min_cycles > self.compute_cycles)
-            .max_by(|a, b| a.min_cycles.partial_cmp(&b.min_cycles).expect("finite"))
+            .max_by(|a, b| a.min_cycles.total_cmp(&b.min_cycles))
             .map(|r| r.interface.as_str())
             .unwrap_or("compute")
     }

@@ -63,13 +63,34 @@ pub struct PortGroupCore {
 }
 
 /// Reusable buffers for the allocation-free Step-2/3 pipeline.
+///
+/// After [`combine_and_integrate`](Self::combine_and_integrate) the
+/// scratch retains the per-port groups and per-memory stalls it computed,
+/// so report assembly can read the very numbers that produced
+/// `SS_overall` instead of re-running the pipeline.
 #[derive(Debug, Default)]
 pub struct StallScratch {
     keys: Vec<(MemoryId, PortId, usize)>,
     windows: Vec<PeriodicWindow>,
     union: UnionScratch,
+    groups: Vec<PortGroupCore>,
     mem_stalls: Vec<MemStall>,
     grouped: Vec<MemoryId>,
+}
+
+impl StallScratch {
+    /// The Step-2 port groups of the most recent
+    /// [`combine_and_integrate`](Self::combine_and_integrate), in
+    /// ascending `(memory, port)` order.
+    pub fn port_groups(&self) -> &[PortGroupCore] {
+        &self.groups
+    }
+
+    /// The per-memory maxima of the most recent
+    /// [`combine_and_integrate`](Self::combine_and_integrate).
+    pub fn memory_stalls(&self) -> &[MemStall] {
+        &self.mem_stalls
+    }
 }
 
 /// Groups DTLs by `(memory, port)` and applies Eq. (1)/(2), calling `f`
@@ -181,9 +202,11 @@ impl StallScratch {
             keys,
             windows,
             union,
+            groups,
             mem_stalls,
             grouped,
         } = self;
+        groups.clear();
         mem_stalls.clear();
         for_each_port_group(
             dtls,
@@ -192,12 +215,15 @@ impl StallScratch {
             keys,
             windows,
             union,
-            |core, _| match mem_stalls.last_mut() {
-                Some(last) if last.mem == core.mem => last.ss = last.ss.max(core.ss_comb),
-                _ => mem_stalls.push(MemStall {
-                    mem: core.mem,
-                    ss: core.ss_comb,
-                }),
+            |core, _| {
+                groups.push(core);
+                match mem_stalls.last_mut() {
+                    Some(last) if last.mem == core.mem => last.ss = last.ss.max(core.ss_comb),
+                    _ => mem_stalls.push(MemStall {
+                        mem: core.mem,
+                        ss: core.ss_comb,
+                    }),
+                }
             },
         );
         integrate_with(arch, mem_stalls, grouped)

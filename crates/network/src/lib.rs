@@ -44,7 +44,7 @@ use ulm_arch::Architecture;
 use ulm_energy::{EnergyModel, EnergyReport};
 use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
-use ulm_model::{LatencyModel, LatencyReport};
+use ulm_model::{LatencyModel, LatencyReport, LoweredLayer};
 use ulm_workload::Layer;
 
 /// How consecutive layers may overlap.
@@ -232,8 +232,13 @@ impl<'a> NetworkEvaluator<'a> {
             .best;
         let view = MappedLayer::new(layer, self.arch, &best.mapping)
             .expect("search returns validated mappings");
-        let latency = LatencyModel::new().evaluate(&view);
-        let energy = EnergyModel::new().evaluate(&view);
+        // One lowering feeds both models: latency and energy read the
+        // same residency tables, so their block counts agree by
+        // construction.
+        let model = LatencyModel::new();
+        let lowered = LoweredLayer::build(&view, model.dtl_options());
+        let latency = model.evaluate_lowered(&view, &lowered);
+        let energy = EnergyModel::new().evaluate_lowered(&view, &lowered);
         Ok((best.mapping, latency, energy))
     }
 

@@ -198,7 +198,7 @@ fn try_hyperperiod_union(
     }
     periods.clear();
     periods.extend(windows.iter().map(|w| w.period()));
-    periods.sort_by(|a, b| a.partial_cmp(b).expect("periods are finite"));
+    periods.sort_by(f64::total_cmp);
     let hyper = *periods.last().expect("non-empty");
     for p in periods.iter() {
         let ratio = hyper / p;
@@ -230,7 +230,7 @@ fn try_hyperperiod_union(
 
 /// Sorts intervals and returns the measure of their union.
 fn merged_length(intervals: &mut [(f64, f64)]) -> f64 {
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite interval bounds"));
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut total = 0.0;
     let mut cur: Option<(f64, f64)> = None;
     for &(lo, hi) in intervals.iter() {
@@ -275,10 +275,7 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on interval start (BinaryHeap is a max-heap).
-        other
-            .lo
-            .partial_cmp(&self.lo)
-            .expect("finite interval bounds")
+        other.lo.total_cmp(&self.lo)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Sharded, bounded, content-addressed result cache.
 //!
-//! Maps a [`Fingerprint`](crate::fingerprint::Fingerprint) to a cached
+//! Maps a [`Fingerprint`] to a cached
 //! evaluation result. The key space is split across independent
 //! `RwLock`-guarded shards so concurrent workers rarely contend; reads take
 //! the shard's read lock (recency stamps are atomics, so hits never upgrade
@@ -89,7 +89,10 @@ impl<V: Clone> ResultCache<V> {
 
     /// Looks up a fingerprint, refreshing its recency on a hit.
     pub fn get(&self, fp: Fingerprint) -> Option<V> {
-        let shard = self.shard(fp).read().expect("cache shard poisoned");
+        let shard = self
+            .shard(fp)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match shard.get(&fp.0) {
             Some(entry) => {
                 entry.stamp.store(self.tick(), Ordering::Relaxed);
@@ -109,7 +112,10 @@ impl<V: Clone> ResultCache<V> {
         if self.per_shard_capacity == 0 {
             return;
         }
-        let mut shard = self.shard(fp).write().expect("cache shard poisoned");
+        let mut shard = self
+            .shard(fp)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.len() >= self.per_shard_capacity && !shard.contains_key(&fp.0) {
             if let Some(oldest) = shard
                 .iter()
@@ -147,7 +153,11 @@ impl<V: Clone> ResultCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 

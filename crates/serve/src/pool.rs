@@ -63,7 +63,11 @@ impl<T> JobHandle<T> {
     /// Panics if called twice (the result has already been taken) or if the
     /// job itself panicked on a worker.
     pub fn wait(self) -> T {
-        let mut guard = self.slot.value.lock().expect("job slot poisoned");
+        let mut guard = self
+            .slot
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(v) = guard.take() {
                 return v;
@@ -77,14 +81,18 @@ impl<T> JobHandle<T> {
                 .slot
                 .done
                 .wait_timeout(guard, std::time::Duration::from_millis(50))
-                .expect("job slot poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             guard = g;
         }
     }
 
     /// True once the result is available (non-blocking).
     pub fn is_ready(&self) -> bool {
-        self.slot.value.lock().expect("job slot poisoned").is_some()
+        self.slot
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
     }
 }
 
@@ -146,18 +154,25 @@ impl WorkerPool {
         let shared = Arc::clone(&self.shared);
         let job: Job = Box::new(move || {
             let out = f();
-            *worker_slot.value.lock().expect("job slot poisoned") = Some(out);
+            *worker_slot
+                .value
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
             worker_slot.done.notify_all();
             shared.completed.fetch_add(1, Ordering::Relaxed);
         });
 
-        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while queue.jobs.len() >= self.shared.capacity {
             queue = self
                 .shared
                 .not_full
                 .wait(queue)
-                .expect("pool queue poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         queue.jobs.push_back(job);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -171,7 +186,7 @@ impl WorkerPool {
         self.shared
             .queue
             .lock()
-            .expect("pool queue poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .jobs
             .len()
     }
@@ -196,7 +211,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             queue.shutdown = true;
         }
         self.shared.not_empty.notify_all();
@@ -211,7 +230,10 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     break job;
@@ -219,7 +241,10 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.not_empty.wait(queue).expect("pool queue poisoned");
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         shared.not_full.notify_one();

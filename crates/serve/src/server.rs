@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use ulm_arch::{presets, ArchDesc, Architecture};
 use ulm_energy::{EnergyModel, EnergyReport};
+use ulm_error::UlmError;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::{LatencyModel, LatencyReport, ModelOptions};
@@ -128,7 +129,7 @@ impl LatencySummary {
             };
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let rank = ((count as f64 * 0.95).ceil() as usize).clamp(1, count);
         LatencySummary {
@@ -180,14 +181,15 @@ fn field<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
     }
 }
 
-fn parse_u64(v: &Value, what: &str) -> Result<u64, String> {
-    v.as_u64()
-        .ok_or_else(|| format!("`{what}` must be a non-negative integer"))
+fn parse_u64(v: &Value, what: &str) -> Result<u64, UlmError> {
+    v.as_u64().ok_or_else(|| {
+        UlmError::invalid_request(format!("`{what}` must be a non-negative integer"))
+    })
 }
 
 /// Resolves the `arch` field: a preset name (with optional top-level
 /// `gb_bw`) or an inline architecture-description object.
-fn parse_arch(req: &Value) -> Result<(Architecture, SpatialUnroll), String> {
+fn parse_arch(req: &Value) -> Result<(Architecture, SpatialUnroll), UlmError> {
     let default = Value::String(String::new());
     let spec = field(req, "arch").unwrap_or(&default);
     match spec {
@@ -203,54 +205,55 @@ fn parse_arch(req: &Value) -> Result<(Architecture, SpatialUnroll), String> {
                 "validation" => presets::validation_chip(),
                 "toy" => presets::toy_chip(),
                 other => {
-                    return Err(format!(
+                    return Err(UlmError::invalid_request(format!(
                         "unknown arch preset `{other}` (case16|case32|case64|validation|toy)"
-                    ))
+                    )))
                 }
             };
             Ok((chip.arch, SpatialUnroll::new(chip.spatial)))
         }
         obj @ Value::Object(_) => {
             let desc: ArchDesc = serde::Deserialize::from_value(obj)
-                .map_err(|e| format!("invalid arch description: {e}"))?;
-            let (arch, spatial) = desc
-                .build()
-                .map_err(|e| format!("invalid arch description: {e}"))?;
+                .map_err(|e| UlmError::invalid_request(format!("invalid arch description: {e}")))?;
+            let (arch, spatial) = desc.build().map_err(UlmError::from)?;
             Ok((arch, SpatialUnroll::new(spatial)))
         }
-        _ => Err("`arch` must be a preset name or an object".to_string()),
+        _ => Err(UlmError::invalid_request(
+            "`arch` must be a preset name or an object",
+        )),
     }
 }
 
-fn parse_precision(name: &str) -> Result<Precision, String> {
+fn parse_precision(name: &str) -> Result<Precision, UlmError> {
     match name {
         "int8_out24" => Ok(Precision::int8_out24()),
         "int8_acc24" => Ok(Precision::int8_acc24()),
-        other => Err(format!(
+        other => Err(UlmError::invalid_request(format!(
             "unknown precision `{other}` (int8_out24|int8_acc24)"
-        )),
+        ))),
     }
 }
 
 /// Rejects zero sizes before they reach `Layer::matmul` (which asserts
 /// positivity and would panic the worker).
-fn check_dims(b: u64, k: u64, c: u64) -> Result<(), String> {
+fn check_dims(b: u64, k: u64, c: u64) -> Result<(), UlmError> {
     if b == 0 || k == 0 || c == 0 {
-        return Err(format!(
+        return Err(UlmError::invalid_request(format!(
             "layer dimensions must be positive, got {b}x{k}x{c}"
-        ));
+        )));
     }
     Ok(())
 }
 
 /// Resolves the `layer` field: `"BxKxC"` shorthand or an object with
 /// `b`/`k`/`c` and optional `precision`/`name`.
-fn parse_layer(req: &Value) -> Result<Layer, String> {
-    let spec = field(req, "layer").ok_or("missing `layer`")?;
+fn parse_layer(req: &Value) -> Result<Layer, UlmError> {
+    let spec = field(req, "layer").ok_or_else(|| UlmError::invalid_request("missing `layer`"))?;
     match spec {
         Value::String(text) => {
             let parts: Vec<&str> = text.split('x').collect();
-            let bad = || format!("`layer` string must be BxKxC, got `{text}`");
+            let bad =
+                || UlmError::invalid_request(format!("`layer` string must be BxKxC, got `{text}`"));
             if parts.len() != 3 {
                 return Err(bad());
             }
@@ -267,13 +270,18 @@ fn parse_layer(req: &Value) -> Result<Layer, String> {
             ))
         }
         Value::Object(_) => {
-            let b = parse_u64(field(spec, "b").ok_or("`layer` needs `b`")?, "layer.b")?;
-            let k = parse_u64(field(spec, "k").ok_or("`layer` needs `k`")?, "layer.k")?;
-            let c = parse_u64(field(spec, "c").ok_or("`layer` needs `c`")?, "layer.c")?;
+            let need = |key: &str| UlmError::invalid_request(format!("`layer` needs `{key}`"));
+            let b = parse_u64(field(spec, "b").ok_or_else(|| need("b"))?, "layer.b")?;
+            let k = parse_u64(field(spec, "k").ok_or_else(|| need("k"))?, "layer.k")?;
+            let c = parse_u64(field(spec, "c").ok_or_else(|| need("c"))?, "layer.c")?;
             check_dims(b, k, c)?;
             let precision = match field(spec, "precision") {
                 Some(Value::String(p)) => parse_precision(p)?,
-                Some(_) => return Err("`layer.precision` must be a string".into()),
+                Some(_) => {
+                    return Err(UlmError::invalid_request(
+                        "`layer.precision` must be a string",
+                    ))
+                }
                 None => Precision::int8_out24(),
             };
             let name = match field(spec, "name") {
@@ -282,19 +290,23 @@ fn parse_layer(req: &Value) -> Result<Layer, String> {
             };
             Ok(Layer::matmul(name, b, k, c, precision))
         }
-        _ => Err("`layer` must be a BxKxC string or an object".to_string()),
+        _ => Err(UlmError::invalid_request(
+            "`layer` must be a BxKxC string or an object",
+        )),
     }
 }
 
 /// Optional `spatial` override: `[["K",16],["B",8]]`.
-fn parse_spatial(req: &Value, default: SpatialUnroll) -> Result<SpatialUnroll, String> {
+fn parse_spatial(req: &Value, default: SpatialUnroll) -> Result<SpatialUnroll, UlmError> {
     match field(req, "spatial") {
         None => Ok(default),
         Some(v) => {
-            let pairs: Vec<(Dim, u64)> =
-                serde::Deserialize::from_value(v).map_err(|e| format!("invalid `spatial`: {e}"))?;
+            let pairs: Vec<(Dim, u64)> = serde::Deserialize::from_value(v)
+                .map_err(|e| UlmError::invalid_request(format!("invalid `spatial`: {e}")))?;
             if pairs.iter().any(|&(_, f)| f == 0) {
-                return Err("`spatial` factors must be positive".to_string());
+                return Err(UlmError::invalid_request(
+                    "`spatial` factors must be positive",
+                ));
             }
             Ok(SpatialUnroll::new(pairs))
         }
@@ -302,18 +314,18 @@ fn parse_spatial(req: &Value, default: SpatialUnroll) -> Result<SpatialUnroll, S
 }
 
 /// Optional `model` overrides, applied on top of [`ModelOptions::default`].
-fn parse_model(req: &Value) -> Result<ModelOptions, String> {
+fn parse_model(req: &Value) -> Result<ModelOptions, UlmError> {
     let mut opts = ModelOptions::default();
     let Some(spec) = field(req, "model") else {
         return Ok(opts);
     };
     let Value::Object(entries) = spec else {
-        return Err("`model` must be an object".to_string());
+        return Err(UlmError::invalid_request("`model` must be an object"));
     };
     for (key, v) in entries {
         let flag = v
             .as_bool()
-            .ok_or_else(|| format!("`model.{key}` must be a boolean"));
+            .ok_or_else(|| UlmError::invalid_request(format!("`model.{key}` must be a boolean")));
         match key.as_str() {
             "bw_aware" => opts.bw_aware = flag?,
             "compute_links" => opts.compute_links = flag?,
@@ -322,7 +334,11 @@ fn parse_model(req: &Value) -> Result<ModelOptions, String> {
             "max_intervals" => {
                 opts.union.max_intervals = parse_u64(v, "model.max_intervals")?;
             }
-            other => return Err(format!("unknown model option `{other}`")),
+            other => {
+                return Err(UlmError::invalid_request(format!(
+                    "unknown model option `{other}`"
+                )))
+            }
         }
     }
     Ok(opts)
@@ -333,7 +349,7 @@ fn parse_model(req: &Value) -> Result<ModelOptions, String> {
 fn parse_mapper(
     req: &Value,
     model: &ModelOptions,
-) -> Result<(MapperOptions, Option<usize>), String> {
+) -> Result<(MapperOptions, Option<usize>), UlmError> {
     let mut opts = MapperOptions {
         bw_aware: model.bw_aware,
         ..MapperOptions::default()
@@ -343,7 +359,7 @@ fn parse_mapper(
         return Ok((opts, parallelism));
     };
     let Value::Object(entries) = spec else {
-        return Err("`mapper` must be an object".to_string());
+        return Err(UlmError::invalid_request("`mapper` must be an object"));
     };
     for (key, v) in entries {
         match key.as_str() {
@@ -353,7 +369,9 @@ fn parse_mapper(
             "samples" => opts.samples = parse_u64(v, "mapper.samples")? as usize,
             "seed" => opts.seed = parse_u64(v, "mapper.seed")?,
             "bw_aware" => {
-                opts.bw_aware = v.as_bool().ok_or("`mapper.bw_aware` must be a boolean")?;
+                opts.bw_aware = v.as_bool().ok_or_else(|| {
+                    UlmError::invalid_request("`mapper.bw_aware` must be a boolean")
+                })?;
             }
             "parallelism" => {
                 parallelism = match parse_u64(v, "mapper.parallelism")? {
@@ -361,32 +379,38 @@ fn parse_mapper(
                     n => Some(n as usize),
                 };
             }
-            other => return Err(format!("unknown mapper option `{other}`")),
+            other => {
+                return Err(UlmError::invalid_request(format!(
+                    "unknown mapper option `{other}`"
+                )))
+            }
         }
     }
     Ok((opts, parallelism))
 }
 
-fn parse_objective(req: &Value) -> Result<Objective, String> {
+fn parse_objective(req: &Value) -> Result<Objective, UlmError> {
     match field(req, "objective") {
         None => Ok(Objective::Latency),
         Some(Value::String(s)) => match s.to_ascii_lowercase().as_str() {
             "latency" => Ok(Objective::Latency),
             "energy" => Ok(Objective::Energy),
             "edp" => Ok(Objective::Edp),
-            other => Err(format!("unknown objective `{other}` (latency|energy|edp)")),
+            other => Err(UlmError::invalid_request(format!(
+                "unknown objective `{other}` (latency|energy|edp)"
+            ))),
         },
-        Some(_) => Err("`objective` must be a string".to_string()),
+        Some(_) => Err(UlmError::invalid_request("`objective` must be a string")),
     }
 }
 
-fn parse_request(req: &Value) -> Result<Request, String> {
+fn parse_request(req: &Value) -> Result<Request, UlmError> {
     if !matches!(req, Value::Object(_)) {
-        return Err("request must be a JSON object".to_string());
+        return Err(UlmError::invalid_request("request must be a JSON object"));
     }
     let kind = match field(req, "kind") {
         Some(Value::String(k)) => k.as_str(),
-        Some(_) => return Err("`kind` must be a string".to_string()),
+        Some(_) => return Err(UlmError::invalid_request("`kind` must be a string")),
         // Requests with a `mapping` default to eval, everything else to
         // search, so minimal lines stay minimal.
         None => {
@@ -405,9 +429,10 @@ fn parse_request(req: &Value) -> Result<Request, String> {
             let layer = parse_layer(req)?;
             let model = parse_model(req)?;
             let mode = if kind == "eval" {
-                let spec = field(req, "mapping").ok_or("`eval` needs a `mapping`")?;
+                let spec = field(req, "mapping")
+                    .ok_or_else(|| UlmError::invalid_request("`eval` needs a `mapping`"))?;
                 let mapping: Mapping = serde::Deserialize::from_value(spec)
-                    .map_err(|e| format!("invalid `mapping`: {e}"))?;
+                    .map_err(|e| UlmError::invalid_request(format!("invalid `mapping`: {e}")))?;
                 QueryMode::Eval(Box::new(mapping))
             } else {
                 let (mapper, parallelism) = parse_mapper(req, &model)?;
@@ -425,7 +450,9 @@ fn parse_request(req: &Value) -> Result<Request, String> {
                 mode,
             })))
         }
-        other => Err(format!("unknown kind `{other}` (eval|search|stats)")),
+        other => Err(UlmError::invalid_request(format!(
+            "unknown kind `{other}` (eval|search|stats)"
+        ))),
     }
 }
 
@@ -459,13 +486,15 @@ impl Query {
         fingerprint_value(&Value::Object(entries))
     }
 
-    fn execute(&self) -> Result<EvalOutcome, String> {
+    fn execute(&self) -> Result<EvalOutcome, UlmError> {
         match &self.mode {
             QueryMode::Eval(mapping) => {
-                let view = MappedLayer::new(&self.layer, &self.arch, mapping)
-                    .map_err(|e| format!("illegal mapping: {e}"))?;
-                let latency = LatencyModel::with_options(self.model).evaluate(&view);
-                let energy = EnergyModel::new().evaluate(&view);
+                let view = MappedLayer::new(&self.layer, &self.arch, mapping)?;
+                // One lowering feeds both models.
+                let model = LatencyModel::with_options(self.model);
+                let lowered = ulm_model::LoweredLayer::build(&view, model.dtl_options());
+                let latency = model.evaluate_lowered(&view, &lowered);
+                let energy = EnergyModel::new().evaluate_lowered(&view, &lowered);
                 Ok(EvalOutcome {
                     mapping: (**mapping).clone(),
                     latency,
@@ -481,8 +510,7 @@ impl Query {
                 let result = Mapper::new(&self.arch, &self.layer, self.spatial.clone())
                     .with_options(*mapper)
                     .with_parallelism(*parallelism)
-                    .search(*objective)
-                    .map_err(|e| e.to_string())?;
+                    .search(*objective)?;
                 Ok(EvalOutcome {
                     mapping: result.best.mapping,
                     latency: result.best.latency,
@@ -542,7 +570,10 @@ impl EvalService {
     /// Cumulative search-effort counters over executed (non-cached)
     /// search requests.
     pub fn search_totals(&self) -> SearchTotals {
-        *self.search_totals.lock().expect("search totals poisoned")
+        *self
+            .search_totals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The result cache (exposed for benchmarks and tests).
@@ -572,7 +603,10 @@ impl EvalService {
                 let id = req.get("id").cloned().unwrap_or(Value::Null);
                 (id.clone(), self.respond(&req))
             }
-            Err(e) => (Value::Null, Err(format!("invalid JSON: {e}"))),
+            Err(e) => (
+                Value::Null,
+                Err(UlmError::invalid_request(format!("invalid JSON: {e}"))),
+            ),
         };
         let mut entries = vec![("id".to_string(), id)];
         match body {
@@ -580,9 +614,11 @@ impl EvalService {
                 entries.push(("ok".to_string(), Value::Bool(true)));
                 entries.extend(fields);
             }
-            Err(msg) => {
+            Err(e) => {
                 entries.push(("ok".to_string(), Value::Bool(false)));
-                entries.push(("error".to_string(), Value::String(msg)));
+                entries.push(("error".to_string(), Value::String(e.to_string())));
+                // The stable machine-readable error code, `domain/kind`.
+                entries.push(("code".to_string(), Value::String(e.code().to_string())));
             }
         }
         Some(serde_json::to_string(&Value::Object(entries)).expect("printing is infallible"))
@@ -595,7 +631,7 @@ impl EvalService {
         self.pool.submit(move || service.handle_line(&line))
     }
 
-    fn respond(&self, req: &Value) -> Result<Vec<(String, Value)>, String> {
+    fn respond(&self, req: &Value) -> Result<Vec<(String, Value)>, UlmError> {
         match parse_request(req)? {
             Request::Stats => Ok(self.stats_fields()),
             Request::Query(query) => {
@@ -605,7 +641,7 @@ impl EvalService {
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 self.latencies_ms
                     .lock()
-                    .expect("latency recorder poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(elapsed_ms);
                 let (outcome, cached) = result?;
                 Ok(vec![
@@ -643,7 +679,7 @@ impl EvalService {
         &self,
         query: &Query,
         fp: Fingerprint,
-    ) -> Result<(EvalOutcome, bool), String> {
+    ) -> Result<(EvalOutcome, bool), UlmError> {
         loop {
             if let Some(hit) = self.cache.get(fp) {
                 return Ok((hit, true));
@@ -653,7 +689,10 @@ impl EvalService {
                 Follower(Arc<Inflight>),
             }
             let role = {
-                let mut map = self.inflight.lock().expect("inflight map poisoned");
+                let mut map = self
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 match map.get(&fp.0) {
                     Some(slot) => Role::Follower(Arc::clone(slot)),
                     None => {
@@ -671,8 +710,10 @@ impl EvalService {
                     let result = query.execute();
                     if let Ok(out) = &result {
                         if let Some(meta) = &out.search {
-                            let mut totals =
-                                self.search_totals.lock().expect("search totals poisoned");
+                            let mut totals = self
+                                .search_totals
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             totals.searches += 1;
                             totals.generated += meta.generated;
                             totals.evaluated += meta.evaluated;
@@ -683,16 +724,25 @@ impl EvalService {
                     }
                     self.inflight
                         .lock()
-                        .expect("inflight map poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .remove(&fp.0);
-                    *slot.done.lock().expect("inflight slot poisoned") = true;
+                    *slot
+                        .done
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
                     slot.cv.notify_all();
                     return result.map(|out| (out, false));
                 }
                 Role::Follower(slot) => {
-                    let mut done = slot.done.lock().expect("inflight slot poisoned");
+                    let mut done = slot
+                        .done
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     while !*done {
-                        done = slot.cv.wait(done).expect("inflight slot poisoned");
+                        done = slot
+                            .cv
+                            .wait(done)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                     // Loop around: a successful leader filled the cache
                     // (hit); a failed leader left it empty and this thread
@@ -706,7 +756,10 @@ impl EvalService {
         let cache = self.cache.stats();
         let pool = self.pool.stats();
         let latency = {
-            let samples = self.latencies_ms.lock().expect("latency recorder poisoned");
+            let samples = self
+                .latencies_ms
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             LatencySummary::from_samples(&samples)
         };
         let mut cache_value = match cache.to_value() {
@@ -919,6 +972,33 @@ mod tests {
         }
         // Blank lines are skipped outright.
         assert_eq!(svc.handle_line("   "), None);
+    }
+
+    #[test]
+    fn error_responses_carry_stable_codes() {
+        let svc = service();
+        for (bad, code) in [
+            ("{not json", "request/invalid"),
+            (r#"{"kind":"explode"}"#, "request/invalid"),
+            (
+                r#"{"kind":"search","arch":"nope","layer":"4x4x8"}"#,
+                "request/invalid",
+            ),
+            // A well-formed request whose search finds no legal mapping
+            // surfaces the typed domain error, not a stringly one.
+            (
+                r#"{"kind":"search","arch":"toy","layer":"4x4x8","spatial":[["K",1024]]}"#,
+                "mapper/no-legal-mapping",
+            ),
+        ] {
+            let v = parse(&svc.handle_line(bad).unwrap());
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{bad}");
+            assert_eq!(
+                v.get("code"),
+                Some(&Value::String(code.to_string())),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

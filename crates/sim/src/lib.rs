@@ -34,11 +34,12 @@
 //!     &layer,
 //!     SpatialUnroll::new(chip.spatial.clone()),
 //!     LoopStack::from_pairs(&[(Dim::C, 8), (Dim::B, 2), (Dim::K, 2)]),
-//! )?;
-//! let view = MappedLayer::new(&layer, &chip.arch, &mapping)?;
+//! )
+//! .unwrap();
+//! let view = MappedLayer::new(&layer, &chip.arch, &mapping).unwrap();
 //! let report = Simulator::new().simulate(&view)?;
 //! assert!(report.total_cycles >= report.compute_cycles);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), ulm_sim::ScheduleTooLarge>(())
 //! ```
 
 pub mod engine;
@@ -46,7 +47,7 @@ pub mod schedule;
 pub mod trace;
 
 pub use engine::{PortBusy, SimReport};
-pub use schedule::{ScheduleTooLarge, Transfer, TransferKind};
+pub use schedule::{build_schedule_lowered, Schedule, ScheduleTooLarge, Transfer, TransferKind};
 pub use trace::{Trace, TraceEvent};
 
 use ulm_mapping::MappedLayer;
@@ -81,6 +82,23 @@ impl Simulator {
     /// than [`max_transfers`](Self::max_transfers) block transfers.
     pub fn simulate(&self, view: &MappedLayer<'_>) -> Result<SimReport, ScheduleTooLarge> {
         let schedule = schedule::build_schedule(view, self.max_transfers)?;
+        Ok(engine::run(&schedule))
+    }
+
+    /// Like [`simulate`](Self::simulate), but reads an already-lowered
+    /// layer instead of re-lowering the view — use this to share one
+    /// [`ulm_model::LoweredLayer`] between the analytical model, the
+    /// energy model and the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same cap as [`simulate`](Self::simulate).
+    pub fn simulate_lowered(
+        &self,
+        view: &MappedLayer<'_>,
+        lowered: &ulm_model::LoweredLayer,
+    ) -> Result<SimReport, ScheduleTooLarge> {
+        let schedule = schedule::build_schedule_lowered(view, lowered, self.max_transfers)?;
         Ok(engine::run(&schedule))
     }
 

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use ulm_arch::{MemoryId, PortId, PortUse};
 use ulm_mapping::MappedLayer;
+use ulm_model::{DtlOptions, LoweredLayer};
 use ulm_workload::Operand;
 
 /// What a scheduled transfer does.
@@ -82,41 +83,6 @@ impl std::fmt::Display for ScheduleTooLarge {
 
 impl std::error::Error for ScheduleTooLarge {}
 
-/// The loops above one level, pre-digested for region arithmetic.
-struct LoopsAbove {
-    /// `(size, relevant)` innermost-above first.
-    loops: Vec<(u64, bool)>,
-}
-
-impl LoopsAbove {
-    fn of(view: &MappedLayer<'_>, op: Operand, level: usize) -> Self {
-        let rel = view.layer().operand_relevance(op);
-        let from = view.mapping().alloc(op).upper(level);
-        let loops = view.mapping().stack().loops()[from..]
-            .iter()
-            .map(|l| (l.size, rel.get(l.dim).is_relevant()))
-            .collect();
-        Self { loops }
-    }
-
-    /// The distinct-data region id active during period `j`: the mixed
-    /// radix digits of `j` restricted to relevant loops.
-    fn region(&self, j: u64) -> u64 {
-        let mut rem = j;
-        let mut id = 0u64;
-        let mut mul = 1u64;
-        for &(size, relevant) in &self.loops {
-            let d = rem % size;
-            rem /= size;
-            if relevant {
-                id += d * mul;
-                mul *= size;
-            }
-        }
-        id
-    }
-}
-
 /// The full schedule for one mapped layer.
 #[derive(Debug, Clone)]
 pub struct Schedule {
@@ -126,23 +92,40 @@ pub struct Schedule {
     pub total_cycles: u64,
 }
 
-/// Builds the schedule.
+/// Builds the schedule, lowering the view internally.
 ///
 /// # Errors
 ///
 /// Returns [`ScheduleTooLarge`] if more than `cap` transfers would be
 /// generated.
 pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, ScheduleTooLarge> {
+    build_schedule_lowered(view, &LoweredLayer::build(view, DtlOptions::default()), cap)
+}
+
+/// Builds the schedule from an already-lowered layer: every block count,
+/// turnaround period and region comes from the same
+/// [`LoweredLayer`] tables the analytical model and the energy model
+/// read, so the three consumers cannot disagree about what data moves.
+///
+/// # Errors
+///
+/// Returns [`ScheduleTooLarge`] if more than `cap` transfers would be
+/// generated.
+pub fn build_schedule_lowered(
+    view: &MappedLayer<'_>,
+    lowered: &LoweredLayer,
+    cap: u64,
+) -> Result<Schedule, ScheduleTooLarge> {
     let h = view.arch().hierarchy();
     let layer = view.layer();
-    let total = view.cc_spatial();
+    let total = lowered.cc_spatial();
 
     // Pre-flight size check using the exact refill counts.
     let mut est: u64 = 0;
     for op in Operand::all() {
         let chain = h.chain(op);
         for level in 0..chain.len().saturating_sub(1) {
-            est += 2 * view.refill_count(op, level); // refills or drains+readbacks
+            est += 2 * lowered.level(op, level).refills; // refills or drains+readbacks
         }
     }
     if est > cap {
@@ -169,11 +152,11 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
             let lower = chain[level];
             let upper = chain[level + 1];
             let lower_mem = h.mem(lower);
-            let period = view.mem_cc(op, level);
-            let z = view.z(op, level);
-            let words = view.mem_data_words(op, level);
-            let above = LoopsAbove::of(view, op, level);
-            let run = view.top_ir_run(op, level);
+            let row = *lowered.level(op, level);
+            let period = row.period;
+            let z = row.z;
+            let words = row.words;
+            let run = row.run;
             let db = lower_mem.is_double_buffered();
             let upper_is_top = level + 1 == chain.len() - 1;
 
@@ -185,7 +168,7 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
                     let mut cover = Vec::with_capacity(z as usize);
                     let mut last_region = None;
                     for j in 0..z {
-                        let region = above.region(j);
+                        let region = lowered.region(op, level, j);
                         if last_region == Some(region) {
                             let prev = *cover.last().expect("first period always transfers");
                             cover.push(prev);
@@ -202,7 +185,7 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
                         // this period must already have arrived.
                         let mut deps = Vec::new();
                         if !upper_is_top {
-                            let up_period = view.mem_cc(op, level + 1);
+                            let up_period = lowered.level(op, level + 1).period;
                             let jj = need_cycle / up_period;
                             let up_cover = &covering[&(op, level + 1)];
                             deps.push(up_cover[jj as usize]);
@@ -232,8 +215,7 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
                     // may overlap neighbouring periods like a
                     // double-buffered memory.
                     let relaxed = db || lower_mem.replication() > 1;
-                    let is_final = view.outputs_final_above(level);
-                    let out_bits = layer.precision().output_bits(is_final);
+                    let out_bits = layer.precision().output_bits(row.final_above);
                     let (drp, drbw) = h.port(lower, op, PortUse::ReadOut);
                     let (dwp, dwbw) = h.port(upper, op, PortUse::WriteIn);
                     let drain_bw = drbw.min(dwbw);
@@ -245,15 +227,15 @@ pub fn build_schedule(view: &MappedLayer<'_>, cap: u64) -> Result<Schedule, Sche
                     let mut last_drain_of_region: HashMap<u64, usize> = HashMap::new();
                     let mut prev_drain: Option<usize> = None;
                     for j in 0..z {
-                        let region = above.region(j);
+                        let region = lowered.region(op, level, j);
                         let next_region = if j + 1 < z {
-                            Some(above.region(j + 1))
+                            Some(lowered.region(op, level, j + 1))
                         } else {
                             None
                         };
                         // Read-back first: re-entering a region seen before.
                         let prev_region = if j > 0 {
-                            Some(above.region(j - 1))
+                            Some(lowered.region(op, level, j - 1))
                         } else {
                             None
                         };

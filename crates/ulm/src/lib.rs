@@ -28,12 +28,13 @@
 //! let report = &result.best.latency;
 //! assert!(report.utilization > 0.0);
 //! println!("{report}");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), UlmError>(())
 //! ```
 
 pub use ulm_arch as arch;
 pub use ulm_dse as dse;
 pub use ulm_energy as energy;
+pub use ulm_error as error;
 pub use ulm_mapper as mapper;
 pub use ulm_mapping as mapping;
 pub use ulm_model as model;
@@ -54,6 +55,7 @@ pub mod prelude {
         DseStats, ExploreOptions, MemoryPool,
     };
     pub use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
+    pub use ulm_error::UlmError;
     pub use ulm_mapper::{
         EvalScratch, EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult,
     };
@@ -61,8 +63,8 @@ pub mod prelude {
         LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc, SpatialUnroll, TemporalLoop,
     };
     pub use ulm_model::{
-        roofline_bound, FastLatency, LatencyModel, LatencyReport, ModelOptions, ModelScratch,
-        Scenario,
+        roofline_bound, FastLatency, LatencyModel, LatencyReport, LoweredLayer, ModelOptions,
+        ModelScratch, Scenario,
     };
     pub use ulm_network::{InterLayerOverlap, NetworkEvaluator, NetworkReport};
     pub use ulm_serve::{EvalService, Fingerprint, ResultCache, ServeOptions, WorkerPool};

@@ -15,7 +15,7 @@ use ulm::dse::{enumerate_designs, explore, ExploreOptions, MemoryPool};
 use ulm::prelude::*;
 use ulm::serve::{run_batch, EvalService, ServeOptions};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     // --- 1. + 2. NDJSON batch with a cache hit -------------------------
     let service = EvalService::new(ServeOptions {
         parallelism: Some(4),
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "processed {} requests ({} errors)",
         summary.requests, summary.errors
     );
-    for line in std::str::from_utf8(&out)?.lines() {
+    for line in String::from_utf8_lossy(&out).lines() {
         // The full payloads are large; print the interesting prefix.
         let head: String = line.chars().take(120).collect();
         println!("  {head}…");

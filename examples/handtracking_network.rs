@@ -9,7 +9,7 @@
 
 use ulm::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let chip = presets::validation_chip();
     println!("architecture: {}", chip.arch);
     let spatial = SpatialUnroll::new(chip.spatial.clone());

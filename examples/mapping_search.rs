@@ -9,7 +9,7 @@
 
 use ulm::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let arch = presets::case_study_chip(128);
     let layer = Layer::matmul("l", 64, 96, 640, Precision::int8_out24());
     let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let by = |f: fn(&EvaluatedMapping) -> f64, all: &[EvaluatedMapping]| {
         let mut idx: Vec<usize> = (0..all.len()).collect();
-        idx.sort_by(|&a, &b| f(&all[a]).partial_cmp(&f(&all[b])).unwrap());
+        idx.sort_by(|&a, &b| f(&all[a]).total_cmp(&f(&all[b])));
         idx
     };
     let by_latency = by(|em| em.latency.cc_total, &all);

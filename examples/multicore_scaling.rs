@@ -16,7 +16,7 @@ fn factory(gb_bw: u64) -> (Architecture, SpatialUnroll) {
     (chip.arch, SpatialUnroll::new(chip.spatial))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let layers = vec![
         Layer::matmul("gemm-a", 512, 128, 256, Precision::int8_acc24()),
         Layer::matmul("gemm-b", 512, 256, 128, Precision::int8_acc24()),

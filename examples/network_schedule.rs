@@ -8,7 +8,7 @@
 
 use ulm::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let chip = presets::validation_chip();
     let spatial = SpatialUnroll::new(chip.spatial.clone());
     let layers = networks::handtracking_validation_layers();

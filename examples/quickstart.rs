@@ -7,7 +7,7 @@
 
 use ulm::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     // Hardware: the paper's scaled-down case-study accelerator — 16x16
     // MACs (8x16 PEs x 2), 16 KB W-LB, 8 KB I-LB, 1 MB GB with
     // 128 bit/cycle read/write bandwidth.

@@ -11,7 +11,7 @@
 use ulm::model::roofline;
 use ulm::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ulm::error::UlmError> {
     let arch = presets::case_study_chip(128);
     println!("architecture: {arch}\n");
     println!(

@@ -12,6 +12,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> no Box<dyn Error> in library crates (use ulm_error::UlmError)"
+if grep -rnE "Box<dyn (std::error::)?Error" crates/*/src --include="*.rs" | grep -v "^crates/cli/src/main.rs:"; then
+    echo "error: library code must use the typed UlmError, not Box<dyn Error>" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -1,0 +1,216 @@
+//! Cross-consumer consistency of the shared `LoweredLayer` IR.
+//!
+//! The latency model's DTLs, the energy model's access counts and the
+//! simulator's scheduled transfer volumes are all views of the same
+//! per-(operand, level) residency tables. These properties pin that
+//! contract: on randomized mappings, every consumer must read *identical*
+//! block data — `Mem_DATA × Z` in the DTLs, `words × bits × refills` in
+//! the energy traffic, and the same products summed over the scheduled
+//! transfers — from one shared lowering.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use ulm::model::{DtlKind, DtlOptions};
+use ulm::prelude::*;
+use ulm::sim::{build_schedule_lowered, TransferKind};
+
+/// A random small matmul layer and loop ordering on the toy chip, built
+/// so most draws are legal (same scheme as `model_vs_sim_prop`).
+fn arb_point() -> impl Strategy<Value = (Layer, Vec<(Dim, u64)>)> {
+    (1u32..4, 1u32..4, 1u32..5, any::<u64>()).prop_map(|(b, k, c, seed)| {
+        let layer = Layer::matmul("p", 1 << b, 1 << k, 1 << c, Precision::int8_acc24());
+        let mut factors = Vec::new();
+        for _ in 0..b.saturating_sub(1) {
+            factors.push((Dim::B, 2u64));
+        }
+        for _ in 0..k.saturating_sub(1) {
+            factors.push((Dim::K, 2));
+        }
+        for _ in 0..c {
+            factors.push((Dim::C, 2));
+        }
+        let mut s = seed;
+        for i in (1..factors.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            factors.swap(i, j);
+        }
+        (layer, factors)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every inter-memory DTL's `Mem_DATA`/`Mem_CC`/`Z` equals the shared
+    /// residency table row it was lowered from.
+    #[test]
+    fn dtls_read_the_shared_tables((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let model = LatencyModel::new();
+        let lowered = LoweredLayer::build(&view, model.dtl_options());
+        for d in lowered.dtls() {
+            let expected_bits = match d.kind {
+                DtlKind::RefillDown => {
+                    let row = lowered.level(d.operand, d.level);
+                    prop_assert_eq!(d.period, row.period);
+                    prop_assert_eq!(d.z, row.z);
+                    row.words * layer.precision().bits(d.operand)
+                }
+                DtlKind::DrainUp => {
+                    let row = lowered.level(d.operand, d.level);
+                    prop_assert_eq!(d.period, row.period);
+                    prop_assert_eq!(d.z, row.z);
+                    row.words * layer.precision().output_bits(row.final_above)
+                }
+                DtlKind::PsumReadback => {
+                    let row = lowered.level(d.operand, d.level);
+                    prop_assert!(!row.final_above, "read-backs only below accumulation");
+                    row.words * layer.precision().partial_sum_bits()
+                }
+                // Compute-facing links move the per-cycle feed, not blocks.
+                DtlKind::ComputeFeed | DtlKind::ComputeWriteback => continue,
+            };
+            prop_assert_eq!(d.data_bits, expected_bits, "dtl {}", d.kind);
+        }
+        // The slow path over the shared lowering is the canonical result.
+        let from_shared = model.evaluate_lowered(&view, &lowered);
+        let standalone = model.evaluate(&view);
+        prop_assert_eq!(from_shared.cc_total.to_bits(), standalone.cc_total.to_bits());
+    }
+
+    /// The simulator's scheduled transfers move exactly the table's
+    /// distinct-content block counts and volumes.
+    #[test]
+    fn sim_schedule_matches_the_shared_tables((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let lowered = LoweredLayer::build(&view, DtlOptions::default());
+        let schedule = build_schedule_lowered(&view, &lowered, u64::MAX)
+            .expect("uncapped");
+        prop_assert_eq!(schedule.total_cycles, lowered.cc_spatial());
+
+        let h = chip.arch.hierarchy();
+        for op in Operand::all() {
+            let chain = h.chain(op);
+            for level in 0..chain.len().saturating_sub(1) {
+                let row = lowered.level(op, level);
+                let count = |kind: TransferKind| {
+                    schedule
+                        .transfers
+                        .iter()
+                        .filter(|t| t.operand == op && t.level == level && t.kind == kind)
+                        .count() as u64
+                };
+                let volume = |kind: TransferKind| {
+                    schedule
+                        .transfers
+                        .iter()
+                        .filter(|t| t.operand == op && t.level == level && t.kind == kind)
+                        .map(|t| t.bits)
+                        .sum::<u64>()
+                };
+                match op {
+                    Operand::W | Operand::I => {
+                        prop_assert_eq!(count(TransferKind::Refill), row.refills);
+                        prop_assert_eq!(
+                            volume(TransferKind::Refill),
+                            row.words * layer.precision().bits(op) * row.refills
+                        );
+                    }
+                    Operand::O => {
+                        let out_bits = layer.precision().output_bits(row.final_above);
+                        prop_assert_eq!(count(TransferKind::Drain), row.refills);
+                        prop_assert_eq!(
+                            volume(TransferKind::Drain),
+                            row.words * out_bits * row.refills
+                        );
+                        let revisits = row.refills - row.distinct_above;
+                        prop_assert_eq!(count(TransferKind::Readback), revisits);
+                        prop_assert_eq!(
+                            volume(TransferKind::Readback),
+                            row.words * layer.precision().partial_sum_bits() * revisits
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The energy model's per-memory access counts are exactly the table
+    /// products (block traffic) plus the compute-feed term.
+    #[test]
+    fn energy_counts_match_the_shared_tables((layer, stack) in arb_point()) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let lowered = LoweredLayer::build(&view, DtlOptions::default());
+        let report = EnergyModel::new().evaluate_lowered(&view, &lowered);
+
+        // Reconstruct the expected per-memory (read, write) bits from the
+        // IR rows alone, mirroring the documented traffic contract.
+        let h = chip.arch.hierarchy();
+        let mut expected: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        let mut add = |mid: MemoryId, rd: u64, wr: u64| {
+            let e = expected.entry(mid.0).or_insert((0, 0));
+            e.0 += rd;
+            e.1 += wr;
+        };
+        for op in Operand::all() {
+            let chain = h.chain(op);
+            for level in 0..chain.len().saturating_sub(1) {
+                let row = lowered.level(op, level);
+                match op {
+                    Operand::W | Operand::I => {
+                        let bits = row.words * layer.precision().bits(op) * row.refills;
+                        add(chain[level + 1], bits, 0);
+                        add(chain[level], 0, bits);
+                    }
+                    Operand::O => {
+                        let out_bits = layer.precision().output_bits(row.final_above);
+                        let drain = row.words * out_bits * row.refills;
+                        add(chain[level], drain, 0);
+                        add(chain[level + 1], 0, drain);
+                        let revisits = row.refills - row.distinct_above;
+                        let rb = row.words * layer.precision().partial_sum_bits() * revisits;
+                        add(chain[level + 1], rb, 0);
+                        add(chain[level], 0, rb);
+                    }
+                }
+            }
+            let feed =
+                lowered.words_per_cycle(op) * layer.precision().bits(op) * lowered.cc_spatial();
+            match op {
+                Operand::W | Operand::I => add(chain[0], feed, 0),
+                Operand::O => add(chain[0], feed, feed),
+            }
+        }
+
+        prop_assert_eq!(report.memories.len(), expected.len());
+        for (m, (&mid, &(rd, wr))) in report.memories.iter().zip(expected.iter()) {
+            prop_assert_eq!(m.memory.as_str(), h.mem(MemoryId(mid)).name());
+            prop_assert_eq!(m.read_bits, rd, "{} reads", m.memory);
+            prop_assert_eq!(m.write_bits, wr, "{} writes", m.memory);
+        }
+    }
+}
