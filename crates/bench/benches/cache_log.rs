@@ -1,0 +1,44 @@
+//! Durable cache-log codec benches: the append-path record encoder and the
+//! startup replay that warms a restarted service's cache.
+//!
+//! Replay cost is what a replica pays at boot, so it is the number that
+//! decides how aggressively the server should compact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ulm::serve::store::{encode_record, replay, MAGIC};
+
+/// A log of `records` entries with distinct fingerprints and `payload_len`
+/// bytes of deterministic payload each.
+fn synthetic_log(records: usize, payload_len: usize) -> Vec<u8> {
+    let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+    let mut bytes = MAGIC.to_vec();
+    for i in 0..records {
+        bytes.extend_from_slice(&encode_record(i as u128 * 0x9E37_79B9, &payload));
+    }
+    bytes
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+    c.bench_function("cache_log/encode_512B", |b| {
+        b.iter(|| black_box(encode_record(black_box(7), black_box(&payload))))
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_log_replay");
+    g.sample_size(20);
+    let small = synthetic_log(100, 512);
+    g.bench_function("replay_100x512B", |b| {
+        b.iter(|| black_box(replay(black_box(&small)).unwrap()))
+    });
+    let large = synthetic_log(10_000, 512);
+    g.bench_function("replay_10000x512B", |b| {
+        b.iter(|| black_box(replay(black_box(&large)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_replay);
+criterion_main!(benches);

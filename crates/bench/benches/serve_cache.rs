@@ -22,6 +22,7 @@ fn quiet_service() -> std::sync::Arc<EvalService> {
         parallelism: Some(1),
         cache_capacity: 256,
         queue_capacity: None,
+        ..ServeOptions::default()
     })
 }
 

@@ -9,6 +9,9 @@ use std::fmt;
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// The nested action (second positional), only for commands that take
+    /// one (`ulm cache export|import|info`).
+    pub subcommand: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -59,7 +62,20 @@ impl From<ArgError> for ulm::error::UlmError {
 }
 
 /// Known boolean flags (everything else with `--` expects a value).
-const FLAGS: &[&str] = &["json", "all", "bw-unaware", "overlap", "help", "stats"];
+const FLAGS: &[&str] = &[
+    "json",
+    "all",
+    "bw-unaware",
+    "overlap",
+    "help",
+    "stats",
+    "reactor",
+    "no-timing",
+    "shutdown-on-stdin-close",
+];
+
+/// Commands that take a second positional argument (a nested action).
+const WITH_SUBCOMMAND: &[&str] = &["cache"];
 
 impl Args {
     /// Parses `argv[1..]`.
@@ -71,6 +87,7 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
         let mut it = argv.into_iter().peekable();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut subcommand = None;
         let mut options = HashMap::new();
         let mut flags = Vec::new();
         while let Some(tok) = it.next() {
@@ -86,12 +103,15 @@ impl Args {
                         .ok_or_else(|| ArgError::MissingValue(key.into()))?;
                     options.insert(key.to_string(), v);
                 }
+            } else if WITH_SUBCOMMAND.contains(&command.as_str()) && subcommand.is_none() {
+                subcommand = Some(tok);
             } else {
                 return Err(ArgError::UnexpectedPositional(tok));
             }
         }
         Ok(Self {
             command,
+            subcommand,
             options,
             flags,
         })
@@ -202,6 +222,49 @@ mod tests {
             parse(&["x", "stray"]).unwrap_err(),
             ArgError::UnexpectedPositional(_)
         ));
+    }
+
+    #[test]
+    fn cache_takes_one_subcommand() {
+        let a = parse(&[
+            "cache",
+            "export",
+            "--cache-dir",
+            "/tmp/x",
+            "--out",
+            "snap.ulmlog",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "cache");
+        assert_eq!(a.subcommand.as_deref(), Some("export"));
+        assert_eq!(a.get("cache-dir"), Some("/tmp/x"));
+        // A second positional is still rejected, and other commands take
+        // none at all.
+        assert!(matches!(
+            parse(&["cache", "export", "extra"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+        assert!(matches!(
+            parse(&["serve", "export"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn serve_reactor_flags_parse() {
+        let a = parse(&[
+            "serve",
+            "--reactor",
+            "--no-timing",
+            "--shutdown-on-stdin-close",
+            "--idle-timeout-ms",
+            "5000",
+        ])
+        .unwrap();
+        assert!(a.flag("reactor"));
+        assert!(a.flag("no-timing"));
+        assert!(a.flag("shutdown-on-stdin-close"));
+        assert_eq!(a.u64_or("idle-timeout-ms", 0).unwrap(), 5000);
     }
 
     #[test]

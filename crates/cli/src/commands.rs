@@ -311,6 +311,7 @@ pub fn network(args: &Args) -> Result<(), UlmError> {
 
 /// Service sizing shared by `ulm batch` and `ulm serve`.
 fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
+    let defaults = ulm::serve::ServeOptions::default();
     Ok(ulm::serve::ServeOptions {
         parallelism: match args.u64_or("parallelism", 0)? {
             0 => None,
@@ -318,13 +319,24 @@ fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
         },
         cache_capacity: args.u64_or("cache-capacity", 4096)? as usize,
         queue_capacity: None,
+        cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
+        include_timing: !args.flag("no-timing"),
+        max_line_len: args.u64_or("max-line-len", defaults.max_line_len as u64)? as usize,
+    })
+}
+
+/// `--key <ms>` as an optional duration: 0 or absent disables it.
+fn timeout_option(args: &Args, key: &str) -> Result<Option<std::time::Duration>, ArgError> {
+    Ok(match args.u64_or(key, 0)? {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
     })
 }
 
 /// `ulm batch`: answer NDJSON evaluation requests from stdin on stdout,
 /// through the worker pool and the content-addressed result cache.
 pub fn batch(args: &Args) -> Result<(), UlmError> {
-    let service = ulm::serve::EvalService::new(serve_options(args)?);
+    let service = ulm::serve::EvalService::open(serve_options(args)?)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -342,19 +354,154 @@ pub fn batch(args: &Args) -> Result<(), UlmError> {
 }
 
 /// `ulm serve`: the same NDJSON protocol over TCP, one line per request.
+/// With `--reactor`, one epoll event loop multiplexes every connection
+/// instead of a thread per connection.
 pub fn serve(args: &Args) -> Result<(), UlmError> {
     let port = args.u64_or("port", 7878)?;
-    let max_connections = match args.u64_or("max-connections", 0)? {
-        0 => None,
-        n => Some(n as usize),
-    };
-    let service = ulm::serve::EvalService::new(serve_options(args)?);
+    let max_connections = args.u64_or("max-connections", 0)?;
+    let service = ulm::serve::EvalService::open(serve_options(args)?)?;
+    if let Some(disk) = service.disk_stats() {
+        eprintln!(
+            "cache log: warmed {} entries from {} records{}",
+            disk.warmed,
+            disk.replayed_records,
+            match &disk.recovered_from {
+                Some(code) => format!(" (recovered from {code})"),
+                None => String::new(),
+            }
+        );
+    }
     let listener = std::net::TcpListener::bind(("127.0.0.1", port as u16))?;
     eprintln!(
         "serving NDJSON evaluation requests on {}",
         listener.local_addr()?
     );
-    ulm::serve::run_tcp(&service, listener, max_connections)?;
+    if args.flag("reactor") {
+        let defaults = ulm::reactor::ReactorOptions::default();
+        let opts = ulm::reactor::ReactorOptions {
+            max_connections: match max_connections {
+                0 => defaults.max_connections,
+                n => n as usize,
+            },
+            idle_timeout: timeout_option(args, "idle-timeout-ms")?,
+            write_timeout: timeout_option(args, "write-timeout-ms")?,
+            drain_timeout: timeout_option(args, "drain-timeout-ms")?
+                .unwrap_or(defaults.drain_timeout),
+            shutdown_on_stdin_close: args.flag("shutdown-on-stdin-close"),
+            ..defaults
+        };
+        let summary = ulm::serve::run_reactor(&service, listener, opts)?;
+        eprintln!(
+            "reactor done: {} connections, {} requests, {} responses, \
+             {} idle-closed, {} write-timeout, {} over-capacity, {} oversized, drained={}",
+            summary.accepted,
+            summary.requests,
+            summary.responses,
+            summary.closed_idle,
+            summary.closed_write_timeout,
+            summary.rejected_over_capacity,
+            summary.oversized_lines,
+            summary.drained_cleanly,
+        );
+    } else {
+        // In the threaded path, `--max-connections` keeps its historical
+        // meaning: stop after accepting n connections (0 = unlimited).
+        let limit = match max_connections {
+            0 => None,
+            n => Some(n as usize),
+        };
+        ulm::serve::run_tcp(&service, listener, limit)?;
+    }
+    Ok(())
+}
+
+/// `ulm cache`: offline snapshot workflow for the durable result log —
+/// `export` writes a compacted snapshot, `import` merges one into a cache
+/// directory, `info` describes a log without touching it.
+pub fn cache(args: &Args) -> Result<(), UlmError> {
+    use ulm::serve::store::{read_log, write_log};
+    let dir = || -> Result<std::path::PathBuf, UlmError> {
+        args.get("cache-dir")
+            .map(std::path::PathBuf::from)
+            .ok_or_else(|| UlmError::config("ulm cache needs --cache-dir <dir>"))
+    };
+    let log_path = |dir: &std::path::Path| dir.join(ulm::serve::CACHE_LOG_FILE);
+    match args.subcommand.as_deref() {
+        Some("export") => {
+            let out = args
+                .get("out")
+                .ok_or_else(|| UlmError::config("cache export needs --out <file>"))?;
+            let (entries, report) = read_log(&log_path(&dir()?))?;
+            if let Some(damage) = &report.corruption {
+                eprintln!("warning: exporting valid prefix only ({damage})");
+            }
+            write_log(std::path::Path::new(out), &entries)?;
+            println!(
+                "exported {} entries ({} records read) to {out}",
+                entries.len(),
+                report.records
+            );
+        }
+        Some("import") => {
+            let from = args
+                .get("from")
+                .ok_or_else(|| UlmError::config("cache import needs --from <file>"))?;
+            let (imported, report) = read_log(std::path::Path::new(from))?;
+            if let Some(damage) = report.corruption {
+                // Refuse damaged imports: a snapshot is supposed to be a
+                // compacted, pristine file — damage means a bad copy.
+                return Err(damage);
+            }
+            let target = log_path(&dir()?);
+            let mut merged: std::collections::BTreeMap<u128, Vec<u8>> = match read_log(&target) {
+                Ok((existing, _)) => existing.into_iter().collect(),
+                // Absent target: start empty. A present-but-unreadable
+                // target is a real error.
+                Err(UlmError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    std::collections::BTreeMap::new()
+                }
+                Err(e) => return Err(e),
+            };
+            let before = merged.len();
+            for (fp, payload) in imported {
+                merged.insert(fp, payload);
+            }
+            let entries: Vec<(u128, Vec<u8>)> = merged.into_iter().collect();
+            if let Some(parent) = target.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            write_log(&target, &entries)?;
+            println!(
+                "imported {} new entries ({} total) into {}",
+                entries.len() - before,
+                entries.len(),
+                target.display()
+            );
+        }
+        Some("info") => {
+            let path = log_path(&dir()?);
+            let bytes = std::fs::metadata(&path)?.len();
+            let (entries, report) = read_log(&path)?;
+            println!(
+                "{}: {} bytes, {} records, {} distinct entries{}",
+                path.display(),
+                bytes,
+                report.records,
+                entries.len(),
+                match &report.corruption {
+                    Some(damage) =>
+                        format!(", DAMAGED past byte {} ({damage})", report.valid_bytes),
+                    None => ", clean".to_string(),
+                }
+            );
+        }
+        other => {
+            return Err(UlmError::config(format!(
+                "unknown cache action `{}` (export|import|info)",
+                other.unwrap_or("<none>")
+            )))
+        }
+    }
     Ok(())
 }
 
@@ -373,6 +520,7 @@ COMMANDS
   network    schedule the hand-tracking network end to end (--overlap)
   batch      answer NDJSON eval/search/stats requests from stdin on stdout
   serve      the same NDJSON protocol over TCP (--port, default 7878)
+  cache      durable result log tools: cache export|import|info
   help       this text
 
 COMMON OPTIONS
@@ -395,6 +543,18 @@ COMMON OPTIONS
   --parallelism <n>     worker threads (batch/serve; 0 = all cores)
   --cache-capacity <n>  cached results (batch/serve; default 4096)
   --port <n>            TCP port (serve; default 7878)
-  --max-connections <n> stop after n connections (serve; 0 = unlimited)"
+  --max-connections <n> threaded serve: stop after n connections (0 = unlimited)
+                        reactor serve: concurrent-connection ceiling
+  --cache-dir <dir>     batch/serve: persist results to <dir>/results.ulmlog
+                        and warm the cache from it on startup
+  --max-line-len <n>    request line length limit in bytes (default 1 MiB)
+  --no-timing           omit elapsed_ms from responses (deterministic output)
+  --reactor             serve: single-threaded epoll event loop (Linux)
+  --idle-timeout-ms <n>     reactor: close idle connections (0 = never)
+  --write-timeout-ms <n>    reactor: close slow-reading clients (0 = never)
+  --drain-timeout-ms <n>    reactor: shutdown drain budget (default 10000)
+  --shutdown-on-stdin-close reactor: exit cleanly when stdin reaches EOF
+  --out <file>          cache export: snapshot destination
+  --from <file>         cache import: snapshot to merge in"
     );
 }

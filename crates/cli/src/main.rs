@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "network" => commands::network(&args),
         "batch" => commands::batch(&args),
         "serve" => commands::serve(&args),
+        "cache" => commands::cache(&args),
         other => {
             eprintln!("error: unknown command `{other}`");
             commands::help();

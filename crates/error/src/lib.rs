@@ -27,8 +27,25 @@ use ulm_mapper::MapperError;
 use ulm_mapping::MappingError;
 use ulm_network::NetworkError;
 use ulm_periodic::WindowError;
+use ulm_reactor::ReactorError;
 use ulm_sim::ScheduleTooLarge;
 use ulm_workload::netdesc::NetDescError;
+
+/// How a persisted cache log failed validation. Carried by
+/// [`UlmError::CacheCorrupt`]; each kind maps to its own stable code so
+/// operators can distinguish "wrong file" from "torn tail".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCorruptKind {
+    /// The file does not start with the cache-log magic — it is not a
+    /// cache log (or is from an incompatible future version).
+    BadMagic,
+    /// A record's checksum did not match its bytes.
+    BadChecksum,
+    /// The file ended mid-record (torn final write).
+    Truncated,
+    /// A checksummed record decoded to an unusable payload.
+    BadPayload,
+}
 
 /// The workspace error: every domain failure, one enum, one stable code.
 #[derive(Debug)]
@@ -50,6 +67,27 @@ pub enum UlmError {
     /// A malformed request reached a service boundary (bad JSON shape,
     /// unknown field value, missing required key).
     InvalidRequest(String),
+    /// A request line exceeded the serve tier's length bound and was
+    /// discarded without being parsed.
+    TooLarge {
+        /// The configured bound, in bytes.
+        limit: usize,
+    },
+    /// A connection was rejected because the server is at its
+    /// concurrent-connection ceiling.
+    OverCapacity {
+        /// Connections active when the rejection happened.
+        active: usize,
+    },
+    /// The event-driven serve tier failed (or is unsupported here).
+    Reactor(ReactorError),
+    /// A persisted cache log failed validation at `offset`.
+    CacheCorrupt {
+        /// Byte offset where validation stopped trusting the file.
+        offset: u64,
+        /// What exactly failed.
+        kind: CacheCorruptKind,
+    },
     /// Invalid configuration outside the request path: unknown presets,
     /// bad command-line values, unusable option combinations.
     Config(String),
@@ -103,6 +141,16 @@ impl UlmError {
                 NetDescError::UnknownKind { .. } => "net/unknown-kind",
             },
             UlmError::InvalidRequest(_) => "request/invalid",
+            UlmError::TooLarge { .. } => "request/too-large",
+            UlmError::OverCapacity { .. } => "serve/over-capacity",
+            UlmError::Reactor(ReactorError::Io(_)) => "reactor/io",
+            UlmError::Reactor(ReactorError::Unsupported) => "reactor/unsupported",
+            UlmError::CacheCorrupt { kind, .. } => match kind {
+                CacheCorruptKind::BadMagic => "cache/bad-magic",
+                CacheCorruptKind::BadChecksum => "cache/bad-checksum",
+                CacheCorruptKind::Truncated => "cache/truncated",
+                CacheCorruptKind::BadPayload => "cache/bad-payload",
+            },
             UlmError::Config(_) => "config/invalid",
             UlmError::Io(_) => "io/error",
             UlmError::Json(_) => "json/error",
@@ -121,6 +169,22 @@ impl fmt::Display for UlmError {
             UlmError::ArchDesc(e) => e.fmt(f),
             UlmError::NetDesc(e) => e.fmt(f),
             UlmError::InvalidRequest(msg) => f.write_str(msg),
+            UlmError::TooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte bound")
+            }
+            UlmError::OverCapacity { active } => {
+                write!(f, "server at capacity ({active} connections active)")
+            }
+            UlmError::Reactor(e) => e.fmt(f),
+            UlmError::CacheCorrupt { offset, kind } => {
+                let what = match kind {
+                    CacheCorruptKind::BadMagic => "not a cache log (bad magic)",
+                    CacheCorruptKind::BadChecksum => "record checksum mismatch",
+                    CacheCorruptKind::Truncated => "file ends mid-record",
+                    CacheCorruptKind::BadPayload => "record payload undecodable",
+                };
+                write!(f, "cache log corrupt at byte {offset}: {what}")
+            }
             UlmError::Config(msg) => f.write_str(msg),
             UlmError::Io(e) => e.fmt(f),
             UlmError::Json(e) => e.fmt(f),
@@ -140,8 +204,19 @@ impl std::error::Error for UlmError {
             UlmError::NetDesc(e) => Some(e),
             UlmError::Io(e) => Some(e),
             UlmError::Json(e) => Some(e),
-            UlmError::InvalidRequest(_) | UlmError::Config(_) => None,
+            UlmError::Reactor(e) => Some(e),
+            UlmError::InvalidRequest(_)
+            | UlmError::Config(_)
+            | UlmError::TooLarge { .. }
+            | UlmError::OverCapacity { .. }
+            | UlmError::CacheCorrupt { .. } => None,
         }
+    }
+}
+
+impl From<ReactorError> for UlmError {
+    fn from(e: ReactorError) -> Self {
+        UlmError::Reactor(e)
     }
 }
 
@@ -240,6 +315,30 @@ mod tests {
                 "request/invalid",
             ),
             (UlmError::config("unknown arch `x`"), "config/invalid"),
+            (UlmError::TooLarge { limit: 1024 }, "request/too-large"),
+            (UlmError::OverCapacity { active: 9 }, "serve/over-capacity"),
+            (ReactorError::Unsupported.into(), "reactor/unsupported"),
+            (
+                UlmError::CacheCorrupt {
+                    offset: 40,
+                    kind: CacheCorruptKind::BadChecksum,
+                },
+                "cache/bad-checksum",
+            ),
+            (
+                UlmError::CacheCorrupt {
+                    offset: 0,
+                    kind: CacheCorruptKind::BadMagic,
+                },
+                "cache/bad-magic",
+            ),
+            (
+                UlmError::CacheCorrupt {
+                    offset: 99,
+                    kind: CacheCorruptKind::Truncated,
+                },
+                "cache/truncated",
+            ),
         ];
         for (e, code) in &cases {
             assert_eq!(e.code(), *code);

@@ -1,0 +1,151 @@
+//! Line framing for the per-connection read state machine.
+//!
+//! The reactor appends whatever the socket yields into a per-connection
+//! buffer; [`extract_line`] pulls complete, length-bounded NDJSON lines
+//! back out. Oversized lines flip the connection into *discard* mode: the
+//! offending bytes are dropped (never buffered) until the terminating
+//! newline restores sync, so one hostile client cannot balloon memory.
+
+/// One step of the framing state machine.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Extracted {
+    /// A complete line, stripped of the trailing `\n` (and `\r`).
+    Line(String),
+    /// A line longer than the bound was dropped (up to its newline, or
+    /// into discard mode when the newline has not arrived yet).
+    Oversized,
+    /// No complete line is buffered yet.
+    Incomplete,
+}
+
+/// Pulls the next complete line out of `buf`, enforcing `max_len`.
+///
+/// `discarding` carries the oversized-resync state across calls: while
+/// set, bytes are dropped until a newline is seen. Call repeatedly until
+/// [`Extracted::Incomplete`].
+pub fn extract_line(buf: &mut Vec<u8>, discarding: &mut bool, max_len: usize) -> Extracted {
+    if *discarding {
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(p) => {
+                buf.drain(..=p);
+                *discarding = false;
+            }
+            None => {
+                buf.clear();
+                return Extracted::Incomplete;
+            }
+        }
+    }
+    match buf.iter().position(|&b| b == b'\n') {
+        Some(p) => {
+            if p > max_len {
+                buf.drain(..=p);
+                return Extracted::Oversized;
+            }
+            let mut line: Vec<u8> = buf.drain(..=p).collect();
+            line.pop(); // the \n
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            Extracted::Line(String::from_utf8_lossy(&line).into_owned())
+        }
+        None if buf.len() > max_len => {
+            buf.clear();
+            *discarding = true;
+            Extracted::Oversized
+        }
+        None => Extracted::Incomplete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(buf: &mut Vec<u8>, bytes: &[u8]) {
+        buf.extend_from_slice(bytes);
+    }
+
+    #[test]
+    fn lines_come_out_in_order_with_crlf_stripped() {
+        let mut buf = Vec::new();
+        let mut discard = false;
+        feed(&mut buf, b"alpha\r\nbeta\ngam");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 64),
+            Extracted::Line("alpha".into())
+        );
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 64),
+            Extracted::Line("beta".into())
+        );
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 64),
+            Extracted::Incomplete
+        );
+        feed(&mut buf, b"ma\n");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 64),
+            Extracted::Line("gamma".into())
+        );
+    }
+
+    #[test]
+    fn oversized_terminated_line_is_dropped_whole() {
+        let mut buf = Vec::new();
+        let mut discard = false;
+        feed(&mut buf, b"0123456789\nok\n");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Oversized
+        );
+        assert!(!discard, "the newline already restored sync");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Line("ok".into())
+        );
+    }
+
+    #[test]
+    fn unterminated_oversized_line_discards_until_newline() {
+        let mut buf = Vec::new();
+        let mut discard = false;
+        feed(&mut buf, b"xxxxxxxxxx");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Oversized
+        );
+        assert!(discard);
+        assert!(buf.is_empty(), "oversized bytes are never buffered");
+        // More of the same line streams in and is dropped.
+        feed(&mut buf, b"yyyyyyyyyy");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Incomplete
+        );
+        assert!(buf.is_empty());
+        // The newline resyncs; the next line parses.
+        feed(&mut buf, b"zz\nok\n");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Line("ok".into())
+        );
+        assert!(!discard);
+    }
+
+    #[test]
+    fn boundary_length_is_accepted() {
+        let mut buf = Vec::new();
+        let mut discard = false;
+        feed(&mut buf, b"abcd\n");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Line("abcd".into())
+        );
+        feed(&mut buf, b"abcde\n");
+        assert_eq!(
+            extract_line(&mut buf, &mut discard, 4),
+            Extracted::Oversized
+        );
+    }
+}

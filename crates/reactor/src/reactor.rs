@@ -1,0 +1,673 @@
+//! The Linux epoll event loop.
+//!
+//! One thread owns every socket. Connections are nonblocking; readiness
+//! drives per-connection read/write state machines ([`crate::conn`]);
+//! request execution happens elsewhere (the [`LineService`] hands work to
+//! its own pool) and completed responses come back through a wake-up
+//! eventfd. A hashed [`TimerWheel`] enforces idle and slow-reader
+//! timeouts, and a [`ShutdownHandle`] (or end-of-file on stdin, when
+//! enabled) triggers a graceful drain: stop accepting, finish in-flight
+//! requests, flush, close, return.
+
+#![cfg(target_os = "linux")]
+
+use crate::api::{
+    Completion, CompletionSink, LineService, ReactorError, ReactorOptions, ReactorSummary,
+    ShutdownHandle,
+};
+use crate::conn::{extract_line, Extracted};
+use crate::sys::{
+    read_stdin_chunk, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::timer::TimerWheel;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_STDIN: u64 = u64::MAX - 2;
+
+/// Responses buffered for a slow reader beyond this stop further request
+/// extraction on that connection until the backlog flushes.
+const MAX_PENDING_OUT: usize = 256 * 1024;
+
+/// How long `epoll_wait` may sleep with no timers armed.
+const MAX_WAIT: Duration = Duration::from_millis(500);
+
+/// `accept()` backoff after a transient failure like `EMFILE`.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
+
+fn token_of(idx: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | idx as u64
+}
+
+/// Errno values that mean "this accept failed, the listener is fine":
+/// fd exhaustion (process or system), transient memory pressure, or a
+/// connection that died in the backlog.
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+    ) || matches!(
+        e.raw_os_error(),
+        Some(23 /* ENFILE */)
+            | Some(24 /* EMFILE */)
+            | Some(12 /* ENOMEM */)
+            | Some(105 /* ENOBUFS */)
+            | Some(71 /* EPROTO */)
+    )
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    discarding: bool,
+    inflight: bool,
+    peer_closed: bool,
+    interest: u32,
+    last_activity: Instant,
+    /// When the oldest unflushed response byte was queued (or last made
+    /// progress); drives the slow-reader write timeout.
+    write_since: Option<Instant>,
+}
+
+impl Conn {
+    fn out_pending(&self) -> usize {
+        self.out_buf.len() - self.out_pos
+    }
+}
+
+/// Why a connection was closed by the reactor (for counters).
+enum CloseReason {
+    Normal,
+    IdleTimeout,
+    WriteTimeout,
+}
+
+/// An epoll reactor bound to one listener. Create it, keep a
+/// [`ShutdownHandle`], then [`run`](Reactor::run) it (usually on a
+/// dedicated thread).
+pub struct Reactor {
+    listener: TcpListener,
+    epoll: Epoll,
+    wake: Arc<EventFd>,
+    sink: Arc<CompletionSink>,
+    opts: ReactorOptions,
+}
+
+impl Reactor {
+    /// Wraps `listener` (switched to nonblocking) in a new event loop.
+    pub fn new(listener: TcpListener, opts: ReactorOptions) -> Result<Self, ReactorError> {
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(EventFd::new()?);
+        let notifier = Arc::clone(&wake);
+        let sink = Arc::new(CompletionSink {
+            queue: Mutex::new(Vec::new()),
+            waker: Box::new(move || notifier.notify()),
+            shutdown: AtomicBool::new(false),
+        });
+        listener.set_nonblocking(true)?;
+        Ok(Reactor {
+            listener,
+            epoll,
+            wake,
+            sink,
+            opts,
+        })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that asks this reactor to drain and exit.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            sink: Arc::clone(&self.sink),
+        }
+    }
+
+    /// Runs the event loop until shutdown, consuming the reactor.
+    pub fn run<S: LineService>(self, service: &S) -> Result<ReactorSummary, ReactorError> {
+        let Reactor {
+            listener,
+            epoll,
+            wake,
+            sink,
+            opts,
+        } = self;
+        let mut lp = EventLoop {
+            epoll: &epoll,
+            service,
+            sink: &sink,
+            opts: &opts,
+            slab: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            parked: VecDeque::new(),
+            inflight: 0,
+            timers: TimerWheel::new(512, opts.timer_tick),
+            summary: ReactorSummary::default(),
+            draining: false,
+        };
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.raw(), EPOLLIN, TOKEN_WAKE)?;
+        let mut listener_armed = true;
+        if opts.shutdown_on_stdin_close {
+            // Regular-file stdin cannot be epoll-watched (EPERM); shutdown
+            // then only comes from the handle.
+            let _ = epoll.add(0, EPOLLIN, TOKEN_STDIN);
+        }
+
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+        let mut drain_deadline: Option<Instant> = None;
+        let mut accept_paused_until: Option<Instant> = None;
+        loop {
+            let now = Instant::now();
+            if sink.shutdown.load(Ordering::SeqCst) && !lp.draining {
+                if listener_armed {
+                    let _ = epoll.delete(listener.as_raw_fd());
+                    listener_armed = false;
+                }
+                drain_deadline = Some(now + opts.drain_timeout);
+                lp.begin_drain();
+            }
+            if lp.draining {
+                if lp.active == 0 {
+                    lp.summary.drained_cleanly = true;
+                    break;
+                }
+                if drain_deadline.is_some_and(|d| now >= d) {
+                    lp.close_all();
+                    break;
+                }
+            }
+            if accept_paused_until.is_some_and(|p| now >= p) && !lp.draining {
+                accept_paused_until = None;
+                if epoll
+                    .add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)
+                    .is_ok()
+                {
+                    listener_armed = true;
+                }
+                if let Some(pause) = lp.accept_all(&listener)? {
+                    let _ = epoll.delete(listener.as_raw_fd());
+                    listener_armed = false;
+                    accept_paused_until = Some(pause);
+                }
+            }
+
+            let mut timeout = lp.timers.next_due(now).unwrap_or(MAX_WAIT).min(MAX_WAIT);
+            if let Some(d) = drain_deadline {
+                timeout = timeout.min(d.saturating_duration_since(now));
+            }
+            if let Some(p) = accept_paused_until {
+                timeout = timeout.min(p.saturating_duration_since(now));
+            }
+            let n = epoll.wait(&mut events, Some(timeout))?;
+
+            let mut accept_ready = false;
+            for event in events.iter().take(n) {
+                let token = { event.data };
+                let mask = { event.events };
+                match token {
+                    TOKEN_WAKE => wake.drain(),
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_STDIN => {
+                        let mut chunk = [0u8; 256];
+                        if matches!(read_stdin_chunk(&mut chunk), Ok(0)) {
+                            let _ = epoll.delete(0);
+                            sink.shutdown.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    _ => lp.on_conn_event(token, mask),
+                }
+            }
+            if accept_ready && listener_armed && !lp.draining {
+                if let Some(pause) = lp.accept_all(&listener)? {
+                    let _ = epoll.delete(listener.as_raw_fd());
+                    listener_armed = false;
+                    accept_paused_until = Some(pause);
+                }
+            }
+            lp.drain_completions();
+            lp.feed_parked();
+            lp.handle_timeouts(Instant::now());
+        }
+        Ok(lp.summary)
+    }
+}
+
+struct EventLoop<'a, S: LineService> {
+    epoll: &'a Epoll,
+    service: &'a S,
+    sink: &'a Arc<CompletionSink>,
+    opts: &'a ReactorOptions,
+    slab: Vec<Option<Conn>>,
+    /// Per-slot generation; bumped on close so stale tokens miss.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    active: usize,
+    /// Extracted lines waiting for submission capacity.
+    parked: VecDeque<(u64, String)>,
+    /// Submissions not yet answered (excludes parked lines).
+    inflight: usize,
+    timers: TimerWheel,
+    summary: ReactorSummary,
+    draining: bool,
+}
+
+impl<S: LineService> EventLoop<'_, S> {
+    fn capacity(&self) -> usize {
+        self.service.capacity_hint().max(1)
+    }
+
+    fn conn_idx(&self, token: u64) -> Option<usize> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        (idx < self.slab.len() && self.slab[idx].is_some() && self.gens[idx] == gen).then_some(idx)
+    }
+
+    /// Accepts until the backlog is empty. `Some(until)` asks the caller to
+    /// pause accepting (fd pressure); fatal listener errors propagate.
+    fn accept_all(&mut self, listener: &TcpListener) -> Result<Option<Instant>, ReactorError> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.active >= self.opts.max_connections {
+                        self.summary.rejected_over_capacity += 1;
+                        let _ = stream.set_nonblocking(true);
+                        if let Some(line) = self.service.over_capacity(self.active) {
+                            let mut bytes = line.into_bytes();
+                            bytes.push(b'\n');
+                            let _ = (&stream).write(&bytes);
+                        }
+                        continue; // Dropping the stream closes it.
+                    }
+                    self.open_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_transient_accept_error(&e) => {
+                    self.summary.accept_retries += 1;
+                    eprintln!("ulm-reactor: accept failed ({e}); pausing accepts briefly");
+                    return Ok(Some(Instant::now() + ACCEPT_BACKOFF));
+                }
+                Err(e) => return Err(ReactorError::Io(e)),
+            }
+        }
+    }
+
+    fn open_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slab.push(None);
+                self.gens.push(0);
+                self.slab.len() - 1
+            }
+        };
+        let token = token_of(idx, self.gens[idx]);
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.slab[idx] = Some(Conn {
+            stream,
+            read_buf: Vec::new(),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            discarding: false,
+            inflight: false,
+            peer_closed: false,
+            interest,
+            last_activity: Instant::now(),
+            write_since: None,
+        });
+        self.active += 1;
+        self.summary.accepted += 1;
+        self.arm_timer(idx);
+    }
+
+    fn close_conn(&mut self, idx: usize, reason: CloseReason) {
+        if let Some(conn) = self.slab[idx].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.active -= 1;
+            match reason {
+                CloseReason::Normal => {}
+                CloseReason::IdleTimeout => self.summary.closed_idle += 1,
+                CloseReason::WriteTimeout => self.summary.closed_write_timeout += 1,
+            }
+        }
+    }
+
+    fn close_all(&mut self) {
+        for idx in 0..self.slab.len() {
+            self.close_conn(idx, CloseReason::Normal);
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, mask: u32) {
+        let Some(idx) = self.conn_idx(token) else {
+            return;
+        };
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(idx, CloseReason::Normal);
+            return;
+        }
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.on_readable(idx);
+        }
+        self.try_advance(idx);
+    }
+
+    /// Reads everything available; never blocks.
+    fn on_readable(&mut self, idx: usize) {
+        let now = Instant::now();
+        let mut dead = false;
+        {
+            let Some(conn) = self.slab[idx].as_mut() else {
+                return;
+            };
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.last_activity = now;
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.close_conn(idx, CloseReason::Normal);
+        }
+    }
+
+    /// Drives one connection as far as it can go: flush pending output,
+    /// extract and dispatch request lines, close when finished.
+    fn try_advance(&mut self, idx: usize) {
+        if !self.flush_writes(idx) {
+            return;
+        }
+        loop {
+            enum Step {
+                Submit(u64, String),
+                Oversized,
+                Stop,
+            }
+            let step = {
+                let Some(conn) = self.slab[idx].as_mut() else {
+                    return;
+                };
+                if conn.inflight || self.draining || conn.out_pending() > MAX_PENDING_OUT {
+                    Step::Stop
+                } else {
+                    match extract_line(
+                        &mut conn.read_buf,
+                        &mut conn.discarding,
+                        self.opts.max_line_len,
+                    ) {
+                        Extracted::Line(line) => {
+                            conn.inflight = true;
+                            Step::Submit(token_of(idx, self.gens[idx]), line)
+                        }
+                        Extracted::Oversized => Step::Oversized,
+                        Extracted::Incomplete => Step::Stop,
+                    }
+                }
+            };
+            match step {
+                Step::Submit(token, line) => {
+                    self.summary.requests += 1;
+                    self.submit_or_park(token, line);
+                }
+                Step::Oversized => {
+                    self.summary.oversized_lines += 1;
+                    if let Some(resp) = self.service.oversized(self.opts.max_line_len) {
+                        self.queue_output(idx, &resp);
+                    }
+                }
+                Step::Stop => break,
+            }
+        }
+        if !self.flush_writes(idx) {
+            return;
+        }
+        let done = {
+            let Some(conn) = self.slab[idx].as_ref() else {
+                return;
+            };
+            (conn.peer_closed || self.draining) && !conn.inflight && conn.out_pending() == 0
+        };
+        if done {
+            self.close_conn(idx, CloseReason::Normal);
+            return;
+        }
+        self.update_interest(idx);
+        self.arm_timer(idx);
+    }
+
+    /// Writes as much buffered output as the socket takes. Returns false
+    /// when the connection died.
+    fn flush_writes(&mut self, idx: usize) -> bool {
+        let now = Instant::now();
+        let mut dead = false;
+        {
+            let Some(conn) = self.slab[idx].as_mut() else {
+                return false;
+            };
+            while conn.out_pos < conn.out_buf.len() {
+                match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = now;
+                        conn.write_since = Some(now); // Progress restarts the clock.
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.out_pos == conn.out_buf.len() && conn.out_pos > 0 {
+                conn.out_buf.clear();
+                conn.out_pos = 0;
+                conn.write_since = None;
+            }
+        }
+        if dead {
+            self.close_conn(idx, CloseReason::Normal);
+            return false;
+        }
+        true
+    }
+
+    fn queue_output(&mut self, idx: usize, line: &str) {
+        let Some(conn) = self.slab[idx].as_mut() else {
+            return;
+        };
+        if conn.out_pending() == 0 {
+            conn.out_buf.clear();
+            conn.out_pos = 0;
+            conn.write_since = Some(Instant::now());
+        } else if conn.out_pos > 4096 {
+            conn.out_buf.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+        conn.out_buf.extend_from_slice(line.as_bytes());
+        conn.out_buf.push(b'\n');
+    }
+
+    fn submit_or_park(&mut self, token: u64, line: String) {
+        if self.inflight < self.capacity() {
+            self.inflight += 1;
+            self.service.submit(line, self.completion(token));
+        } else {
+            self.parked.push_back((token, line));
+        }
+    }
+
+    fn completion(&self, token: u64) -> Completion {
+        Completion {
+            sink: Arc::clone(self.sink),
+            token,
+            sent: false,
+        }
+    }
+
+    /// Routes finished responses back onto their connections.
+    fn drain_completions(&mut self) {
+        loop {
+            let batch = std::mem::take(
+                &mut *self
+                    .sink
+                    .queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+            if batch.is_empty() {
+                return;
+            }
+            for (token, response) in batch {
+                self.inflight = self.inflight.saturating_sub(1);
+                let Some(idx) = self.conn_idx(token) else {
+                    continue; // The connection died while the job ran.
+                };
+                if let Some(conn) = self.slab[idx].as_mut() {
+                    conn.inflight = false;
+                }
+                if let Some(line) = response {
+                    self.summary.responses += 1;
+                    self.queue_output(idx, &line);
+                }
+                self.try_advance(idx);
+            }
+        }
+    }
+
+    /// Submits parked lines as completions free capacity.
+    fn feed_parked(&mut self) {
+        while self.inflight < self.capacity() {
+            let Some((token, line)) = self.parked.pop_front() else {
+                return;
+            };
+            if self.conn_idx(token).is_some() {
+                self.inflight += 1;
+                self.service.submit(line, self.completion(token));
+            }
+        }
+    }
+
+    /// The connection's current deadline, if any timeouts apply.
+    fn deadline_of(&self, idx: usize) -> Option<(Instant, CloseReason)> {
+        let conn = self.slab[idx].as_ref()?;
+        if conn.out_pending() > 0 {
+            let since = conn.write_since.unwrap_or(conn.last_activity);
+            self.opts
+                .write_timeout
+                .map(|wt| (since + wt, CloseReason::WriteTimeout))
+        } else if !conn.inflight {
+            self.opts
+                .idle_timeout
+                .map(|it| (conn.last_activity + it, CloseReason::IdleTimeout))
+        } else {
+            None // The server itself is working; never penalize the client.
+        }
+    }
+
+    fn arm_timer(&mut self, idx: usize) {
+        if let Some((deadline, _)) = self.deadline_of(idx) {
+            self.timers.arm(token_of(idx, self.gens[idx]), deadline);
+        }
+    }
+
+    fn handle_timeouts(&mut self, now: Instant) {
+        let mut due = Vec::new();
+        self.timers.advance(now, &mut due);
+        for token in due {
+            let Some(idx) = self.conn_idx(token) else {
+                continue;
+            };
+            match self.deadline_of(idx) {
+                Some((deadline, reason)) if deadline <= now => self.close_conn(idx, reason),
+                Some((deadline, _)) => self.timers.arm(token, deadline),
+                // No active timeout right now; re-armed on state change.
+                None => {}
+            }
+        }
+    }
+
+    /// Starts a graceful drain: no new reads, finish in-flight work, flush
+    /// and close. Idle connections close immediately.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        for idx in 0..self.slab.len() {
+            if self.slab[idx].is_some() {
+                self.try_advance(idx);
+            }
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.slab[idx].as_mut() else {
+            return;
+        };
+        let mut want = EPOLLRDHUP;
+        if !conn.peer_closed
+            && !conn.inflight
+            && !self.draining
+            && conn.out_pending() <= MAX_PENDING_OUT
+        {
+            want |= EPOLLIN;
+        }
+        if conn.out_pending() > 0 {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            let token = token_of(idx, self.gens[idx]);
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, token)
+                .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Thin, safe wrappers over the Linux readiness primitives the reactor
+//! needs: `epoll` and `eventfd`.
+//!
+//! The workspace is std-only — no `libc` crate — so the three epoll entry
+//! points and `eventfd` are declared here as `extern "C"` symbols; every
+//! Rust binary on Linux already links the C runtime that provides them.
+//! File descriptors are held in [`OwnedFd`] so they close on drop.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+use std::time::Duration;
+
+/// Readable readiness (also reported for peer half-close).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never subscribed).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never subscribed).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One readiness report. On x86-64 the kernel ABI packs this struct to
+/// 12 bytes, hence the packed repr there.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event bitmask (`EPOLLIN` | …).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest mask of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness, filling `events`; returns how many fired.
+    /// `timeout = None` blocks indefinitely. Interrupted waits report zero
+    /// events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        let ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 1ns timeout does not spin at 0ms.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(c_int::MAX as u128) as c_int,
+        };
+        let n = unsafe {
+            epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len().min(c_int::MAX as usize) as c_int,
+                ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+/// A nonblocking eventfd used to wake `epoll_wait` from other threads
+/// (worker completions, shutdown requests).
+pub struct EventFd {
+    fd: OwnedFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking, close-on-exec eventfd.
+    pub fn new() -> io::Result<Self> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The raw descriptor, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Posts one wakeup. Safe from any thread; a full counter (impossible
+    /// in practice) is ignored — the reactor is already awake then.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        let _ = unsafe {
+            write(
+                self.fd.as_raw_fd(),
+                one.to_ne_bytes().as_ptr(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+
+    /// Drains pending wakeups so level-triggered epoll stops reporting.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+    }
+}
+
+/// Reads stdin (fd 0) without blocking the caller beyond one syscall;
+/// returns how many bytes arrived, 0 meaning end-of-file.
+pub fn read_stdin_chunk(buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(0, buf.as_mut_ptr(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing posted: a zero-timeout wait reports no events.
+        assert_eq!(ep.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+        ev.notify();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 42);
+        assert_ne!({ events[0].events } & EPOLLIN, 0);
+        ev.drain();
+        assert_eq!(ep.wait(&mut events, Some(Duration::ZERO)).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_tracks_socket_readiness() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ep = Epoll::new().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 1).unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1, "pending accept makes the listener readable");
+
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        ep.add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 2).unwrap();
+        client.write_all(b"hello\n").unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert!(n >= 1);
+        assert!((0..n).any(|i| { events[i].data } == 2));
+        ep.delete(stream.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! A hashed timer wheel with lazy cancellation.
+//!
+//! Connection timeouts are coarse (hundreds of milliseconds to minutes), so
+//! the reactor never needs an exact priority queue. Deadlines hash into one
+//! of `slots` buckets by tick index; [`TimerWheel::advance`] sweeps every
+//! bucket the clock passed and hands back candidate tokens. Entries are
+//! never removed on activity — the owner re-validates each candidate
+//! against the connection's *current* deadline and simply re-arms the ones
+//! that moved. Stale entries for closed connections fall out on their own
+//! because token generations stop matching.
+
+use std::time::{Duration, Instant};
+
+/// A fixed-size hashed timer wheel over opaque `u64` tokens.
+pub struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    tick: Duration,
+    /// First tick not yet swept.
+    cursor: u64,
+    start: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets advancing every `tick` (clamped to 1ms+).
+    pub fn new(slots: usize, tick: Duration) -> Self {
+        TimerWheel {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            cursor: 0,
+            start: Instant::now(),
+        }
+    }
+
+    /// The wheel's tick duration.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        // Round up: firing a deadline one tick late is fine, early is not.
+        (elapsed.as_nanos() / self.tick.as_nanos()).min(u128::from(u64::MAX)) as u64 + 1
+    }
+
+    /// Arms `token` to surface from [`TimerWheel::advance`] at or shortly
+    /// after `deadline`. Duplicate arms are fine; the owner re-validates.
+    pub fn arm(&mut self, token: u64, deadline: Instant) {
+        // A deadline already in the past goes into the next unswept slot.
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        if self.slots[idx].last() == Some(&token) {
+            return; // Cheap dedup for back-to-back re-arms.
+        }
+        self.slots[idx].push(token);
+    }
+
+    /// Sweeps all slots between the last sweep and `now`, collecting the
+    /// candidates into `out` (deduplicated per call).
+    pub fn advance(&mut self, now: Instant, out: &mut Vec<u64>) {
+        let target = self.tick_of(now);
+        if target <= self.cursor {
+            return;
+        }
+        // Cap the sweep at one full revolution; older slots would repeat.
+        let from = self
+            .cursor
+            .max(target.saturating_sub(self.slots.len() as u64));
+        for tick in from..target {
+            let idx = (tick % self.slots.len() as u64) as usize;
+            out.append(&mut self.slots[idx]);
+        }
+        self.cursor = target;
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// The duration until the next non-empty slot fires, if any — an upper
+    /// bound for the epoll wait timeout.
+    pub fn next_due(&self, now: Instant) -> Option<Duration> {
+        if self.slots.iter().all(Vec::is_empty) {
+            return None;
+        }
+        // Scan from the first unswept tick: slots between the cursor and
+        // "now" are due immediately. Hash collisions can make this an
+        // underestimate — an early wakeup, which the owner tolerates.
+        for ahead in 0..self.slots.len() as u64 {
+            let tick = self.cursor + ahead;
+            if !self.slots[(tick % self.slots.len() as u64) as usize].is_empty() {
+                let fire_ns = u128::from(tick) * self.tick.as_nanos();
+                let now_ns = now.saturating_duration_since(self.start).as_nanos();
+                let wait = fire_ns.saturating_sub(now_ns);
+                return Some(Duration::from_nanos(wait.min(u128::from(u64::MAX)) as u64));
+            }
+        }
+        // Entries exist but all slots ahead were empty within one
+        // revolution — fire a full revolution out.
+        Some(self.tick * self.slots.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_tokens_surface_after_their_deadline() {
+        let mut wheel = TimerWheel::new(8, Duration::from_millis(10));
+        let now = Instant::now();
+        wheel.arm(1, now + Duration::from_millis(15));
+        wheel.arm(2, now + Duration::from_millis(55));
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_millis(5), &mut fired);
+        assert!(fired.is_empty(), "nothing due yet: {fired:?}");
+        wheel.advance(now + Duration::from_millis(30), &mut fired);
+        assert_eq!(fired, vec![1]);
+        fired.clear();
+        wheel.advance(now + Duration::from_millis(80), &mut fired);
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn duplicates_collapse_within_one_sweep() {
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(10));
+        let now = Instant::now();
+        wheel.arm(7, now + Duration::from_millis(5));
+        wheel.arm(7, now + Duration::from_millis(12));
+        wheel.arm(7, now + Duration::from_millis(5));
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_sweep() {
+        let mut wheel = TimerWheel::new(4, Duration::from_millis(10));
+        let now = Instant::now();
+        let mut fired = Vec::new();
+        wheel.advance(now + Duration::from_millis(100), &mut fired);
+        assert!(fired.is_empty());
+        // Arm far in the past; it must still fire (in the next slot), not
+        // be lost behind the cursor.
+        wheel.arm(3, now);
+        wheel.advance(now + Duration::from_millis(130), &mut fired);
+        assert_eq!(fired, vec![3]);
+    }
+
+    #[test]
+    fn next_due_bounds_the_wait() {
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10));
+        let now = Instant::now();
+        assert_eq!(wheel.next_due(now), None, "empty wheel needs no wakeup");
+        wheel.arm(1, now + Duration::from_millis(40));
+        let due = wheel.next_due(now).expect("armed wheel has a due time");
+        assert!(due <= Duration::from_millis(60), "{due:?}");
+    }
+}

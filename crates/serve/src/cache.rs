@@ -149,6 +149,21 @@ impl<V: Clone> ResultCache<V> {
         (v, false)
     }
 
+    /// A point-in-time copy of every resident entry, ordered by key so
+    /// compaction and export produce deterministic files. Shards are locked
+    /// one at a time, so concurrent inserts may or may not appear.
+    pub fn snapshot(&self) -> Vec<(u128, V)> {
+        let mut out: Vec<(u128, V)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.extend(shard.iter().map(|(k, e)| (*k, e.value.clone())));
+        }
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
         self.shards

@@ -14,9 +14,14 @@
 //!   result, safe to share across worker threads.
 //! * [`pool`] — a bounded worker pool on plain `std::thread`; a full queue
 //!   blocks producers (backpressure) instead of buffering unboundedly.
-//! * [`server`] — the NDJSON request/response protocol plus the two
+//! * [`store`] — the durable, shareable backing store: an append-only,
+//!   checksummed log of fingerprint-keyed records that survives restarts,
+//!   recovers the valid prefix of a damaged file, and compacts in place.
+//! * [`server`] — the NDJSON request/response protocol plus the three
 //!   transports: [`server::run_batch`] for stdin/stdout pipelines
-//!   (`ulm batch`) and [`server::run_tcp`] for socket clients (`ulm serve`).
+//!   (`ulm batch`), [`server::run_tcp`] for thread-per-connection sockets
+//!   (`ulm serve`), and [`server::run_reactor`] for the single-threaded
+//!   epoll event loop (`ulm serve --reactor`).
 //!
 //! ## Quick start
 //!
@@ -26,7 +31,7 @@
 //! let service = EvalService::new(ServeOptions {
 //!     parallelism: Some(2),
 //!     cache_capacity: 256,
-//!     queue_capacity: None,
+//!     ..ServeOptions::default()
 //! });
 //! let requests = concat!(
 //!     r#"{"id":1,"kind":"search","arch":"toy","layer":"4x4x8","#,
@@ -48,11 +53,13 @@ pub mod cache;
 pub mod fingerprint;
 pub mod pool;
 pub mod server;
+pub mod store;
 
 pub use cache::{CacheStats, ResultCache};
 pub use fingerprint::{fingerprint_of, fingerprint_value, Fingerprint};
 pub use pool::{JobHandle, PoolStats, WorkerPool};
 pub use server::{
-    run_batch, run_tcp, BatchSummary, EvalOutcome, EvalService, LatencySummary, SearchMeta,
-    SearchTotals, ServeOptions,
+    run_batch, run_reactor, run_tcp, BatchSummary, DiskStats, EvalOutcome, EvalService,
+    LatencySummary, ReactorService, SearchMeta, SearchTotals, ServeOptions, CACHE_LOG_FILE,
 };
+pub use store::{CacheLog, ReplayReport};

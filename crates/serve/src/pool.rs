@@ -154,12 +154,15 @@ impl WorkerPool {
         let shared = Arc::clone(&self.shared);
         let job: Job = Box::new(move || {
             let out = f();
+            // Count completion *before* publishing the value: a waiter that
+            // observes the result must also observe the counter increment,
+            // so `stats()` right after `wait()` never under-reports.
+            shared.completed.fetch_add(1, Ordering::Relaxed);
             *worker_slot
                 .value
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
             worker_slot.done.notify_all();
-            shared.completed.fetch_add(1, Ordering::Relaxed);
         });
 
         let mut queue = self
@@ -194,6 +197,12 @@ impl WorkerPool {
     /// Worker-thread count.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Queued-job capacity: how many submissions fit before
+    /// [`submit`](WorkerPool::submit) blocks.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
     }
 
     /// A snapshot of the counters.

@@ -23,10 +23,13 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::fingerprint::{fingerprint_value, Fingerprint};
 use crate::pool::{JobHandle, PoolStats, WorkerPool};
+use crate::store::{CacheLog, ReplayReport};
 use serde::{Serialize, Value};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use ulm_arch::{presets, ArchDesc, Architecture};
@@ -35,10 +38,11 @@ use ulm_error::UlmError;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::{LatencyModel, LatencyReport, ModelOptions};
+use ulm_reactor::{extract_line, Extracted};
 use ulm_workload::{Dim, Layer, Precision};
 
 /// Configuration for an [`EvalService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOptions {
     /// Worker threads; `None` uses `std::thread::available_parallelism`.
     pub parallelism: Option<usize>,
@@ -46,6 +50,17 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Job-queue slots; `None` uses twice the worker count.
     pub queue_capacity: Option<usize>,
+    /// Directory for the durable cache log; `None` keeps the cache
+    /// memory-only. Opening replays the log into the in-memory cache, and
+    /// every newly computed result is appended to it.
+    pub cache_dir: Option<PathBuf>,
+    /// Emit per-request `elapsed_ms` in responses. Off, responses for
+    /// identical request streams are byte-identical across runs and
+    /// transports — the differential tests rely on that.
+    pub include_timing: bool,
+    /// Longest accepted request line in bytes; longer lines are answered
+    /// with a `request/too-large` error and discarded.
+    pub max_line_len: usize,
 }
 
 impl Default for ServeOptions {
@@ -54,9 +69,18 @@ impl Default for ServeOptions {
             parallelism: None,
             cache_capacity: 4096,
             queue_capacity: None,
+            cache_dir: None,
+            include_timing: true,
+            max_line_len: 1 << 20,
         }
     }
 }
+
+/// Filename of the durable result log inside a cache directory.
+pub const CACHE_LOG_FILE: &str = "results.ulmlog";
+
+/// Append-count threshold that triggers an automatic log compaction.
+const COMPACT_EVERY: u64 = 4096;
 
 /// A memoizable evaluation result (the cache's value type).
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -532,12 +556,85 @@ impl Query {
 // The service
 // ---------------------------------------------------------------------------
 
+/// Decodes one persisted log payload back into an outcome; `None` when
+/// the JSON is unreadable or no longer matches the outcome shape.
+fn decode_outcome(payload: &[u8]) -> Option<EvalOutcome> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let value: Value = serde_json::from_str(text).ok()?;
+    serde::Deserialize::from_value(&value).ok()
+}
+
+/// Serializes the cache's current entries into log-ready `(fingerprint,
+/// payload)` pairs.
+fn encode_snapshot(cache: &ResultCache<EvalOutcome>) -> Vec<(u128, Vec<u8>)> {
+    cache
+        .snapshot()
+        .into_iter()
+        .filter_map(|(fp, outcome)| {
+            serde_json::to_string(&outcome.to_value())
+                .ok()
+                .map(|json| (fp, json.into_bytes()))
+        })
+        .collect()
+}
+
+/// One protocol-shaped error line (`id:null`, `ok:false`, message + code)
+/// for failures that happen before a request can be parsed at all —
+/// oversized lines, over-capacity rejections.
+fn error_response(err: &UlmError) -> String {
+    let entries = vec![
+        ("id".to_string(), Value::Null),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::String(err.to_string())),
+        ("code".to_string(), Value::String(err.code().to_string())),
+    ];
+    serde_json::to_string(&Value::Object(entries)).expect("printing is infallible")
+}
+
 /// Coordination point for concurrent identical queries (single-flight):
 /// the first thread to miss computes; the rest wait and then read the
 /// cache instead of re-running the same search.
 struct Inflight {
     done: Mutex<bool>,
     cv: std::sync::Condvar,
+}
+
+/// Durable-store state and counters for a disk-backed service.
+struct DiskState {
+    log: Mutex<CacheLog>,
+    /// Entries successfully replayed into the cache at startup.
+    warmed: usize,
+    /// What the startup replay found on disk.
+    replay: ReplayReport,
+    /// CRC-valid records whose payload would not decode (skipped).
+    decode_failures: u64,
+    /// Records appended this run.
+    appends: AtomicU64,
+    /// Appends that failed at the I/O layer (the request still succeeds).
+    append_errors: AtomicU64,
+    /// Automatic compactions this run.
+    compactions: AtomicU64,
+}
+
+/// Counters describing the durable cache log, reported by `/stats` and
+/// returned by [`EvalService::disk_stats`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DiskStats {
+    /// Entries replayed into the in-memory cache at startup.
+    pub warmed: usize,
+    /// Valid records the startup replay read (before deduplication).
+    pub replayed_records: u64,
+    /// Stable code of the tail corruption the replay recovered from, if
+    /// any (e.g. `cache/truncated`).
+    pub recovered_from: Option<String>,
+    /// CRC-valid records whose payload would not decode (skipped).
+    pub decode_failures: u64,
+    /// Records appended this run.
+    pub appends: u64,
+    /// Appends that failed at the I/O layer.
+    pub append_errors: u64,
+    /// Automatic compactions this run.
+    pub compactions: u64,
 }
 
 /// The concurrent, cache-backed evaluation engine.
@@ -547,24 +644,146 @@ pub struct EvalService {
     inflight: Mutex<std::collections::HashMap<u128, Arc<Inflight>>>,
     latencies_ms: Mutex<Vec<f64>>,
     search_totals: Mutex<SearchTotals>,
+    disk: Option<DiskState>,
+    include_timing: bool,
+    max_line_len: usize,
 }
 
 impl EvalService {
-    /// A service with the given sizing.
+    /// A memory-only service with the given sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `opts.cache_dir` is set — opening a durable store can
+    /// fail, so that path must go through [`EvalService::open`].
     pub fn new(opts: ServeOptions) -> Arc<Self> {
+        assert!(
+            opts.cache_dir.is_none(),
+            "EvalService::new is memory-only; use EvalService::open for cache_dir"
+        );
+        Self::open(opts).expect("in-memory service construction is infallible")
+    }
+
+    /// A service with the given sizing, warming the in-memory cache from
+    /// `opts.cache_dir`'s log when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cache log cannot be created/opened, or exists but is
+    /// not a cache log (`cache/bad-magic`). A *damaged* log is not an
+    /// error: the valid prefix is loaded and the torn tail truncated away.
+    pub fn open(opts: ServeOptions) -> Result<Arc<Self>, UlmError> {
         let workers = opts.parallelism.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4)
         });
         let queue = opts.queue_capacity.unwrap_or(2 * workers.max(1));
-        Arc::new(EvalService {
-            cache: ResultCache::new(opts.cache_capacity),
+        let cache = ResultCache::new(opts.cache_capacity);
+        let disk = match &opts.cache_dir {
+            None => None,
+            Some(dir) => {
+                let (log, entries, replay) = CacheLog::open(&dir.join(CACHE_LOG_FILE))?;
+                let mut warmed = 0usize;
+                let mut decode_failures = 0u64;
+                for (fp, payload) in entries {
+                    match decode_outcome(&payload) {
+                        Some(outcome) => {
+                            cache.insert(Fingerprint(fp), outcome);
+                            warmed += 1;
+                        }
+                        None => decode_failures += 1,
+                    }
+                }
+                Some(DiskState {
+                    log: Mutex::new(log),
+                    warmed,
+                    replay,
+                    decode_failures,
+                    appends: AtomicU64::new(0),
+                    append_errors: AtomicU64::new(0),
+                    compactions: AtomicU64::new(0),
+                })
+            }
+        };
+        Ok(Arc::new(EvalService {
+            cache,
             pool: WorkerPool::new(workers, queue),
             inflight: Mutex::new(std::collections::HashMap::new()),
             latencies_ms: Mutex::new(Vec::new()),
             search_totals: Mutex::new(SearchTotals::default()),
+            disk,
+            include_timing: opts.include_timing,
+            max_line_len: opts.max_line_len,
+        }))
+    }
+
+    /// Counters for the durable store, `None` when memory-only.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| DiskStats {
+            warmed: d.warmed,
+            replayed_records: d.replay.records,
+            recovered_from: d.replay.corruption.as_ref().map(|e| e.code().to_string()),
+            decode_failures: d.decode_failures,
+            appends: d.appends.load(Ordering::Relaxed),
+            append_errors: d.append_errors.load(Ordering::Relaxed),
+            compactions: d.compactions.load(Ordering::Relaxed),
         })
+    }
+
+    /// The configured request-line length bound in bytes.
+    pub fn max_line_len(&self) -> usize {
+        self.max_line_len
+    }
+
+    /// Appends a freshly computed result to the durable log (best-effort:
+    /// an I/O failure is counted, not propagated — the in-memory result
+    /// already answered the request) and compacts when enough appends have
+    /// accumulated.
+    fn persist(&self, fp: Fingerprint, outcome: &EvalOutcome) {
+        let Some(disk) = &self.disk else { return };
+        let payload = match serde_json::to_string(&outcome.to_value()) {
+            Ok(json) => json,
+            Err(_) => {
+                disk.append_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let mut log = disk
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match log.append(fp.0, payload.as_bytes()) {
+            Ok(()) => {
+                disk.appends.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                disk.append_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if log.appended_since_compact() >= COMPACT_EVERY {
+            let entries = encode_snapshot(&self.cache);
+            if log.compact(&entries).is_ok() {
+                disk.compactions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Forces a log compaction down to the current in-memory snapshot.
+    /// No-op (returning `Ok`) when memory-only.
+    pub fn compact_cache_log(&self) -> Result<(), UlmError> {
+        let Some(disk) = &self.disk else {
+            return Ok(());
+        };
+        let entries = encode_snapshot(&self.cache);
+        let mut log = disk
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        log.compact(&entries)?;
+        disk.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Cumulative search-effort counters over executed (non-cached)
@@ -644,7 +863,7 @@ impl EvalService {
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(elapsed_ms);
                 let (outcome, cached) = result?;
-                Ok(vec![
+                let mut fields = vec![
                     (
                         "kind".to_string(),
                         Value::String(
@@ -666,8 +885,11 @@ impl EvalService {
                     ("latency".to_string(), outcome.latency.to_value()),
                     ("energy".to_string(), outcome.energy.to_value()),
                     ("search".to_string(), outcome.search.to_value()),
-                    ("elapsed_ms".to_string(), Value::F64(elapsed_ms)),
-                ])
+                ];
+                if self.include_timing {
+                    fields.push(("elapsed_ms".to_string(), Value::F64(elapsed_ms)));
+                }
+                Ok(fields)
             }
         }
     }
@@ -721,6 +943,7 @@ impl EvalService {
                             totals.cache_hits += meta.cache_hits;
                         }
                         self.cache.insert(fp, out.clone());
+                        self.persist(fp, out);
                     }
                     self.inflight
                         .lock()
@@ -767,19 +990,64 @@ impl EvalService {
             _ => Vec::new(),
         };
         cache_value.push(("hit_rate".to_string(), Value::F64(cache.hit_rate())));
-        vec![
+        let mut fields = vec![
             ("kind".to_string(), Value::String("stats".into())),
             ("cache".to_string(), Value::Object(cache_value)),
             ("pool".to_string(), pool.to_value()),
             ("latency_ms".to_string(), latency.to_value()),
             ("search".to_string(), self.search_totals().to_value()),
-        ]
+        ];
+        if let Some(disk) = self.disk_stats() {
+            fields.push(("disk".to_string(), disk.to_value()));
+        }
+        fields
     }
 }
 
 // ---------------------------------------------------------------------------
 // Transports
 // ---------------------------------------------------------------------------
+
+/// One step of bounded line reading from a `BufRead`.
+enum BoundedLine {
+    /// A complete line within the bound.
+    Line(String),
+    /// A line over the bound was dropped (resync handled internally).
+    Oversized,
+    /// Input exhausted.
+    Eof,
+}
+
+/// Reads the next newline-terminated line from `input`, enforcing
+/// `max_len` via the same framing state machine the reactor uses. A
+/// trailing unterminated line at EOF still comes out as a line.
+fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    buf: &mut Vec<u8>,
+    discarding: &mut bool,
+    max_len: usize,
+) -> std::io::Result<BoundedLine> {
+    loop {
+        match extract_line(buf, discarding, max_len) {
+            Extracted::Line(line) => return Ok(BoundedLine::Line(line)),
+            Extracted::Oversized => return Ok(BoundedLine::Oversized),
+            Extracted::Incomplete => {
+                let chunk = input.fill_buf()?;
+                if chunk.is_empty() {
+                    if buf.is_empty() || *discarding {
+                        return Ok(BoundedLine::Eof);
+                    }
+                    // Terminate the final partial line so it parses.
+                    buf.push(b'\n');
+                    continue;
+                }
+                let n = chunk.len();
+                buf.extend_from_slice(chunk);
+                input.consume(n);
+            }
+        }
+    }
+}
 
 /// Totals from one [`run_batch`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -800,7 +1068,7 @@ pub struct BatchSummary {
 /// Propagates I/O errors from reading `input` or writing `output`.
 pub fn run_batch<R: BufRead, W: Write>(
     service: &Arc<EvalService>,
-    input: R,
+    mut input: R,
     output: &mut W,
 ) -> std::io::Result<BatchSummary> {
     let mut summary = BatchSummary::default();
@@ -824,12 +1092,25 @@ pub fn run_batch<R: BufRead, W: Write>(
         Ok(())
     };
 
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut buf = Vec::new();
+    let mut discarding = false;
+    loop {
+        let limit = service.max_line_len;
+        match read_bounded_line(&mut input, &mut buf, &mut discarding, limit)? {
+            BoundedLine::Eof => break,
+            BoundedLine::Oversized => {
+                // Answered in order like any other request, through the
+                // pool so the pipeline's ordering invariant holds.
+                let response = error_response(&UlmError::TooLarge { limit });
+                pending.push_back(service.pool.submit(move || Some(response)));
+            }
+            BoundedLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                pending.push_back(service.submit_line(line));
+            }
         }
-        pending.push_back(service.submit_line(line));
         while pending.len() >= window {
             flush_one(&mut pending, output, &mut summary)?;
         }
@@ -846,15 +1127,62 @@ pub fn run_batch<R: BufRead, W: Write>(
     Ok(summary)
 }
 
+/// True for `accept` failures that condemn one connection attempt, not
+/// the listener: aborted handshakes, and resource exhaustion (`EMFILE`,
+/// `ENFILE`, `ENOBUFS`, `ENOMEM`) that draining existing connections will
+/// relieve.
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+    ) || matches!(e.raw_os_error(), Some(23 | 24 | 12 | 105 | 71))
+}
+
+/// How long the accept loop sleeps after a transient failure before
+/// retrying, giving existing connections time to release descriptors.
+const ACCEPT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(100);
+
+fn serve_connection(service: &Arc<EvalService>, stream: &std::net::TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    let mut discarding = false;
+    let limit = service.max_line_len;
+    loop {
+        let response = match read_bounded_line(&mut reader, &mut buf, &mut discarding, limit) {
+            Err(_) | Ok(BoundedLine::Eof) => break,
+            Ok(BoundedLine::Oversized) => error_response(&UlmError::TooLarge { limit }),
+            Ok(BoundedLine::Line(line)) => match service.submit_line(line).wait() {
+                Some(response) => response,
+                None => continue, // blank line
+            },
+        };
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+}
+
 /// Serves NDJSON over TCP: one connection per client thread, one response
 /// line per request line, until the client closes. `max_connections` bounds
 /// how many connections are accepted before returning (`None` = serve
 /// forever); malformed requests produce error responses, not disconnects.
 ///
+/// Transient `accept` failures (aborted handshakes, descriptor
+/// exhaustion) are logged and retried after a short backoff instead of
+/// killing the server; request lines beyond the service's length bound are
+/// answered with `request/too-large` and discarded.
+///
 /// # Errors
 ///
-/// Propagates `accept` failures. Per-connection I/O errors terminate only
-/// that connection.
+/// Propagates non-transient `accept` failures. Per-connection I/O errors
+/// terminate only that connection.
 pub fn run_tcp(
     service: &Arc<EvalService>,
     listener: TcpListener,
@@ -868,28 +1196,85 @@ pub fn run_tcp(
                     break;
                 }
             }
-            let (stream, _peer) = listener.accept()?;
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if is_transient_accept_error(&e) => {
+                    eprintln!("ulm serve: transient accept failure ({e}); retrying");
+                    std::thread::sleep(ACCEPT_BACKOFF);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             accepted += 1;
             let service = Arc::clone(service);
-            scope.spawn(move || {
-                let reader = BufReader::new(&stream);
-                let mut writer = &stream;
-                for line in reader.lines() {
-                    let Ok(line) = line else { break };
-                    let Some(response) = service.submit_line(line).wait() else {
-                        continue;
-                    };
-                    if writer.write_all(response.as_bytes()).is_err()
-                        || writer.write_all(b"\n").is_err()
-                        || writer.flush().is_err()
-                    {
-                        break;
-                    }
-                }
-            });
+            scope.spawn(move || serve_connection(&service, &stream));
         }
         Ok(())
     })
+}
+
+// ---------------------------------------------------------------------------
+// The event-driven transport
+// ---------------------------------------------------------------------------
+
+/// Adapter letting the epoll reactor drive the evaluation engine: request
+/// lines are dispatched to the worker pool and answered through the
+/// completion channel, never blocking the event-loop thread (the reactor
+/// keeps in-flight submissions below [`WorkerPool::queue_capacity`], the
+/// point where [`WorkerPool::submit`] would block).
+pub struct ReactorService(Arc<EvalService>);
+
+impl ReactorService {
+    /// Wraps a service for [`ulm_reactor::Reactor::run`].
+    pub fn new(service: Arc<EvalService>) -> Self {
+        ReactorService(service)
+    }
+}
+
+impl ulm_reactor::LineService for ReactorService {
+    fn submit(&self, line: String, done: ulm_reactor::Completion) {
+        let service = Arc::clone(&self.0);
+        // The handle is dropped: the response travels through `done`.
+        let _ = self
+            .0
+            .pool
+            .submit(move || done.send(service.handle_line(&line)));
+    }
+
+    fn oversized(&self, limit: usize) -> Option<String> {
+        Some(error_response(&UlmError::TooLarge { limit }))
+    }
+
+    fn over_capacity(&self, active: usize) -> Option<String> {
+        Some(error_response(&UlmError::OverCapacity { active }))
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.0.pool.queue_capacity()
+    }
+}
+
+/// Serves NDJSON over TCP on the single-threaded epoll reactor: one event
+/// loop multiplexes every connection while evaluations run on the
+/// service's worker pool. The reactor's line-length bound is overridden by
+/// the service's own, so both transports enforce the same limit.
+///
+/// Returns the run summary once the reactor shuts down (via
+/// `opts.shutdown_on_stdin_close` or a `ShutdownHandle` taken from a
+/// directly constructed [`ulm_reactor::Reactor`]).
+///
+/// # Errors
+///
+/// Fails with `reactor/unsupported` off Linux and `reactor/io` for
+/// event-loop-level failures.
+pub fn run_reactor(
+    service: &Arc<EvalService>,
+    listener: TcpListener,
+    mut opts: ulm_reactor::ReactorOptions,
+) -> Result<ulm_reactor::ReactorSummary, UlmError> {
+    opts.max_line_len = service.max_line_len;
+    let reactor = ulm_reactor::Reactor::new(listener, opts)?;
+    Ok(reactor.run(&ReactorService::new(Arc::clone(service)))?)
 }
 
 #[cfg(test)]
@@ -900,7 +1285,7 @@ mod tests {
         EvalService::new(ServeOptions {
             parallelism: Some(2),
             cache_capacity: 64,
-            queue_capacity: None,
+            ..ServeOptions::default()
         })
     }
 
@@ -1065,7 +1450,7 @@ mod tests {
         let svc = EvalService::new(ServeOptions {
             parallelism: Some(4),
             cache_capacity: 64,
-            queue_capacity: None,
+            ..ServeOptions::default()
         });
         let line = r#"{"kind":"search","arch":"toy","layer":"4x8x8","mapper":{"max_exhaustive":200,"samples":20}}"#;
         let handles: Vec<_> = (0..8).map(|_| svc.submit_line(line.to_string())).collect();

@@ -1,0 +1,160 @@
+//! Differential test: the thread-per-connection transport and the epoll
+//! reactor transport are two implementations of the *same* protocol, so an
+//! identical batch of requests must produce byte-identical NDJSON responses
+//! (order-normalized by request id; timing fields disabled).
+//!
+//! The threaded path doubles as the oracle here — it is the older, simpler
+//! implementation the reactor must agree with.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use ulm_reactor::{Reactor, ReactorOptions};
+use ulm_serve::{run_tcp, EvalService, ReactorService, ServeOptions};
+
+const MAX_LINE: usize = 4096;
+
+fn service() -> Arc<EvalService> {
+    EvalService::new(ServeOptions {
+        parallelism: Some(2),
+        cache_capacity: 256,
+        include_timing: false,
+        max_line_len: MAX_LINE,
+        ..ServeOptions::default()
+    })
+}
+
+/// The shared request batch: searches (one repeated under a new id, which
+/// must hit the cache identically on both paths), a protocol error, a parse
+/// error, a blank line, and an oversized line.
+fn requests() -> Vec<String> {
+    vec![
+        r#"{"id":1,"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#.into(),
+        r#"{"id":2,"kind":"search","arch":"toy","layer":"8x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#.into(),
+        r#"{"id":3,"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#.into(),
+        r#"{"id":4,"kind":"frobnicate"}"#.into(),
+        "this is not json".into(),
+        String::new(),
+        "x".repeat(MAX_LINE + 1),
+    ]
+}
+
+/// Writes every request line, half-closes, and reads responses until EOF.
+fn exchange(addr: std::net::SocketAddr, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("write request");
+        stream.write_all(b"\n").expect("write newline");
+    }
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    BufReader::new(stream)
+        .lines()
+        .map(|l| l.expect("read response"))
+        .collect()
+}
+
+/// Order-normalization per the protocol: sort by request id, with id-less
+/// (null) responses after, tie-broken by content. Per-connection order is
+/// already deterministic on both paths, so this is belt and braces.
+fn normalize(mut responses: Vec<String>) -> Vec<String> {
+    fn id_of(line: &str) -> u64 {
+        line.split_once("\"id\":")
+            .and_then(|(_, rest)| {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse().ok()
+            })
+            .unwrap_or(u64::MAX)
+    }
+    responses.sort_by(|a, b| id_of(a).cmp(&id_of(b)).then_with(|| a.cmp(b)));
+    responses
+}
+
+fn run_threaded(lines: &[String]) -> Vec<String> {
+    let svc = service();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let join = thread::spawn(move || run_tcp(&svc, listener, Some(1)).expect("threaded serve"));
+    let responses = exchange(addr, lines);
+    join.join()
+        .expect("threaded path exits after its one connection");
+    responses
+}
+
+fn run_reactor_path(lines: &[String]) -> (Vec<String>, ulm_reactor::ReactorSummary) {
+    let svc = service();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let reactor = Reactor::new(
+        listener,
+        ReactorOptions {
+            max_line_len: svc.max_line_len(),
+            ..ReactorOptions::default()
+        },
+    )
+    .expect("reactor setup");
+    let addr = reactor.local_addr().expect("local addr");
+    let handle = reactor.shutdown_handle();
+    let adapter = ReactorService::new(Arc::clone(&svc));
+    let join = thread::spawn(move || reactor.run(&adapter).expect("reactor run"));
+    let responses = exchange(addr, lines);
+    handle.shutdown();
+    let summary = join.join().expect("reactor thread");
+    (responses, summary)
+}
+
+#[test]
+fn reactor_and_threaded_paths_are_byte_identical() {
+    let lines = requests();
+    let threaded = run_threaded(&lines);
+    let (reactor, summary) = run_reactor_path(&lines);
+
+    // 5 answerable requests (3 searches, 1 bad kind, 1 parse error) plus
+    // the oversized rejection; the blank line produces nothing.
+    assert_eq!(threaded.len(), 6, "{threaded:#?}");
+    assert_eq!(normalize(threaded), normalize(reactor));
+
+    assert_eq!(summary.accepted, 1);
+    assert_eq!(summary.oversized_lines, 1);
+    // 6 submitted lines (the blank one included), 5 of which answer; the
+    // oversized rejection is written but never reaches the service.
+    assert_eq!(summary.requests, 6);
+    assert_eq!(summary.responses, 5);
+    assert!(summary.drained_cleanly);
+}
+
+#[test]
+fn pipelined_bursts_agree_across_transports() {
+    // A single burst mixing fresh and repeat queries stresses ordering:
+    // every response must come back in request order on both paths.
+    let mut lines = Vec::new();
+    for (i, (b, k, c)) in [
+        (4u64, 4u64, 8u64),
+        (8, 4, 8),
+        (4, 8, 8),
+        (4, 4, 8),
+        (8, 4, 8),
+    ]
+    .iter()
+    .enumerate()
+    {
+        lines.push(format!(
+            r#"{{"id":{},"kind":"search","arch":"toy","layer":"{b}x{k}x{c}","mapper":{{"max_exhaustive":60,"samples":8}}}}"#,
+            i + 10
+        ));
+    }
+    let threaded = run_threaded(&lines);
+    let (reactor, summary) = run_reactor_path(&lines);
+    assert_eq!(threaded.len(), lines.len());
+    assert_eq!(
+        threaded, reactor,
+        "responses must match in order, not just as sets"
+    );
+    assert_eq!(summary.requests, lines.len() as u64);
+
+    // The repeats must be served from cache on both paths.
+    for repeat in &threaded[3..] {
+        assert!(repeat.contains("\"cached\":true"), "{repeat}");
+    }
+}

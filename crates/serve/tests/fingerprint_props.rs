@@ -107,6 +107,7 @@ proptest! {
             parallelism: Some(1),
             cache_capacity: 64,
             queue_capacity: None,
+            ..ServeOptions::default()
         });
         let line = format!(
             "{{\"kind\":\"search\",\"arch\":\"toy\",\"layer\":\"{b}x{k}x{c}\",\

@@ -40,6 +40,7 @@ pub use ulm_mapping as mapping;
 pub use ulm_model as model;
 pub use ulm_network as network;
 pub use ulm_periodic as periodic;
+pub use ulm_reactor as reactor;
 pub use ulm_serve as serve;
 pub use ulm_sim as sim;
 pub use ulm_workload as workload;

@@ -21,6 +21,7 @@ fn main() -> Result<(), ulm::error::UlmError> {
         parallelism: Some(4),
         cache_capacity: 1024,
         queue_capacity: None,
+        ..ServeOptions::default()
     });
 
     let requests = concat!(

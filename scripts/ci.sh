@@ -33,4 +33,58 @@ cargo bench --workspace --no-run
 echo "==> search-equivalence + allocation-free gates (release)"
 cargo test --release -q -p ulm-mapper --test search_equivalence --test alloc_free
 
+echo "==> reactor serve smoke (epoll transport + durable cache)"
+if [[ "$(uname -s)" == "Linux" ]]; then
+    cargo build --release -q -p ulm --example reactor_smoke
+    SMOKE_TMP="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_TMP"' EXIT
+    serve_log="$SMOKE_TMP/serve.log"
+
+    # Starts `ulm serve --reactor` on an ephemeral port with its stdin on a
+    # fifo we hold open (closing it is the graceful-shutdown signal) and
+    # parses the bound address off stderr. Sets SERVE_PID and ADDR.
+    start_reactor() {
+        local tag="$1"
+        shift
+        mkfifo "$SMOKE_TMP/stdin.$tag"
+        timeout 300 target/release/ulm serve --reactor --port 0 --no-timing \
+            --shutdown-on-stdin-close --cache-dir "$SMOKE_TMP/cache" "$@" \
+            <"$SMOKE_TMP/stdin.$tag" 2>"$serve_log" &
+        SERVE_PID=$!
+        exec {SERVE_STDIN}>"$SMOKE_TMP/stdin.$tag"
+        ADDR=""
+        for _ in $(seq 1 100); do
+            ADDR="$(sed -nE 's/.*serving NDJSON evaluation requests on (127\.0\.0\.1:[0-9]+).*/\1/p' "$serve_log" | head -n1)"
+            [[ -n "$ADDR" ]] && return 0
+            sleep 0.1
+        done
+        echo "error: reactor server never reported its address" >&2
+        cat "$serve_log" >&2
+        return 1
+    }
+
+    # Closes the server's stdin and requires a clean (drained) exit.
+    stop_reactor() {
+        exec {SERVE_STDIN}>&-
+        wait "$SERVE_PID"
+        grep -q "drained=true" "$serve_log"
+    }
+
+    # Run 1: cold cache — 10k idle connections held open around a working
+    # pipelined batch that must be answered fresh (cached:false).
+    start_reactor run1
+    target/release/examples/reactor_smoke "$ADDR" --idle 10000 --expect-cached false
+    stop_reactor
+
+    # Run 2: restart on the same cache dir — the same request must now be
+    # answered from the warmed disk cache without re-evaluation — plus a
+    # slow client that the idle timeout has to reap.
+    start_reactor run2 --idle-timeout-ms 300
+    grep -q "warmed 1 entries" "$serve_log"
+    target/release/examples/reactor_smoke "$ADDR" --expect-cached true --slow-client-ms 2000
+    stop_reactor
+else
+    echo "    (skipped: the epoll reactor needs Linux)"
+fi
+
 echo "CI OK"
