@@ -43,28 +43,48 @@ pub enum StallIntegration {
 pub struct MemoryHierarchy {
     mems: Vec<Memory>,
     chains: PerOperand<Vec<MemoryId>>,
-    /// (memory index, operand index, 0=read-out/1=write-in) -> port.
-    /// Serialized as an entry list: JSON map keys must be strings.
+    /// Port assignment lookup table: one row per memory, slot
+    /// `operand.index() * 2 + (usage == WriteIn)`. A flat array instead
+    /// of a hash map because [`port`](Self::port) sits on the model's
+    /// per-evaluation hot path (DTL build, bandwidth refresh, phases).
+    /// Serialized as the sorted `((mem, op, dir), port)` entry list the
+    /// map representation used, so the wire format is unchanged.
     #[serde(with = "port_map_serde")]
-    port_map: HashMap<(usize, usize, u8), PortId>,
+    port_map: Vec<[Option<PortId>; 6]>,
 }
 
 mod port_map_serde {
     use super::PortId;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
 
     type Key = (usize, usize, u8);
+    type Lut = Vec<[Option<PortId>; 6]>;
 
-    pub fn serialize<S: Serializer>(map: &HashMap<Key, PortId>, ser: S) -> Result<S::Ok, S::Error> {
-        let mut entries: Vec<(Key, PortId)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    pub fn serialize<S: Serializer>(lut: &Lut, ser: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(Key, PortId)> = Vec::new();
+        for (mem, row) in lut.iter().enumerate() {
+            for (slot, pid) in row.iter().enumerate() {
+                if let Some(pid) = *pid {
+                    entries.push(((mem, slot / 2, (slot % 2) as u8), pid));
+                }
+            }
+        }
         entries.sort_unstable();
         entries.serialize(ser)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<HashMap<Key, PortId>, D::Error> {
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Lut, D::Error> {
         let entries: Vec<(Key, PortId)> = Vec::deserialize(de)?;
-        Ok(entries.into_iter().collect())
+        let rows = entries
+            .iter()
+            .map(|&((m, _, _), _)| m + 1)
+            .max()
+            .unwrap_or(0);
+        let mut lut: Lut = vec![[None; 6]; rows];
+        for ((mem, op, dir), pid) in entries {
+            lut[mem][op * 2 + dir as usize] = Some(pid);
+        }
+        Ok(lut)
     }
 }
 
@@ -86,6 +106,20 @@ impl MemoryHierarchy {
     /// Panics if the id is out of range (ids come from this hierarchy).
     pub fn mem(&self, id: MemoryId) -> &Memory {
         &self.mems[id.0]
+    }
+
+    /// Mutable access to the memory with the given id, for in-place knob
+    /// overrides ([`Memory::set_capacity_bits`],
+    /// [`Memory::set_port_bandwidth`]). Structural invariants (chains,
+    /// port assignments) cannot be broken through a `&mut Memory`: ports
+    /// keep their directions and capacity/bandwidth setters re-check
+    /// positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids come from this hierarchy).
+    pub fn mem_mut(&mut self, id: MemoryId) -> &mut Memory {
+        &mut self.mems[id.0]
     }
 
     /// The memory ids of `op`'s chain, innermost level first.
@@ -124,10 +158,11 @@ impl MemoryHierarchy {
     /// hierarchies with missing assignments, so ids obtained from this
     /// hierarchy are always covered.
     pub fn port(&self, id: MemoryId, op: Operand, usage: PortUse) -> (PortId, u64) {
-        let key = (id.0, op.index(), matches!(usage, PortUse::WriteIn) as u8);
-        let pid = *self
+        let slot = op.index() * 2 + matches!(usage, PortUse::WriteIn) as usize;
+        let pid = self
             .port_map
-            .get(&key)
+            .get(id.0)
+            .and_then(|row| row[slot])
             .unwrap_or_else(|| panic!("no port for {} {} {}", self.mem(id).name(), op, usage));
         (pid, self.mem(id).ports()[pid].bw_bits)
     }
@@ -243,7 +278,7 @@ impl HierarchyBuilder {
         }
         // Port map: explicit assignments validated, defaults filled in for
         // every (memory, operand, direction) the chains can exercise.
-        let mut port_map = HashMap::new();
+        let mut port_map: Vec<[Option<PortId>; 6]> = vec![[None; 6]; self.mems.len()];
         for (op, chain) in chains.iter() {
             for id in chain {
                 let mem = &self.mems[id.0];
@@ -269,7 +304,7 @@ impl HierarchyBuilder {
                             operand: op,
                         })?,
                     };
-                    port_map.insert(key, pid);
+                    port_map[id.0][op.index() * 2 + key.2 as usize] = Some(pid);
                 }
             }
         }
@@ -322,6 +357,12 @@ impl Architecture {
     /// The memory hierarchy.
     pub fn hierarchy(&self) -> &MemoryHierarchy {
         &self.hierarchy
+    }
+
+    /// Mutable access to the hierarchy for in-place knob overrides (see
+    /// [`MemoryHierarchy::mem_mut`]).
+    pub fn hierarchy_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.hierarchy
     }
 
     /// The stall-integration policy.

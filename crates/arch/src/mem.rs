@@ -245,6 +245,30 @@ impl Memory {
         &self.ports
     }
 
+    /// Replaces the physical capacity in place — the knob-override path
+    /// for `mem.<name>.size` what-if edits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero (same invariant as [`Memory::new`]).
+    pub fn set_capacity_bits(&mut self, bits: u64) {
+        assert!(bits > 0, "memory capacity must be positive");
+        self.capacity_bits = bits;
+    }
+
+    /// Replaces one port's bandwidth in place — the knob-override path
+    /// for `mem.<name>.bw` what-if edits. The port keeps its direction,
+    /// so link structure is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `bw_bits` is zero (same
+    /// invariant as [`Memory::with_ports`]).
+    pub fn set_port_bandwidth(&mut self, port: PortId, bw_bits: u64) {
+        assert!(bw_bits > 0, "port bandwidth must be positive");
+        self.ports[port].bw_bits = bw_bits;
+    }
+
     /// Default port for `usage`: the first port supporting the direction,
     /// preferring dedicated (single-direction) ports over shared ones.
     pub fn default_port(&self, usage: PortUse) -> Option<PortId> {

@@ -75,6 +75,12 @@ struct Snapshot {
     model_eval_secs: f64,
     model_eval_fast_secs: f64,
     model_bits_identical: bool,
+    delta_iters: u64,
+    delta_full_secs: f64,
+    delta_incr_secs: f64,
+    delta_stages_rebuilt: u32,
+    delta_stages_skipped: u32,
+    delta_bits_identical: bool,
 }
 
 /// One-shot wall-clock measurement of the three search flavors over the
@@ -166,6 +172,37 @@ fn measure() -> Snapshot {
     }
     let model_eval_fast_secs = t4.elapsed().as_secs_f64();
 
+    // Delta evaluation: re-evaluating a one-knob GB-bandwidth neighbor
+    // of the design, as `explore_bw_sweep` does per sweep point. Full =
+    // from-scratch lowering + Steps 1-3 per point; incremental = only
+    // the bandwidth-dirty stages (phase inputs + DTL stall refresh) on
+    // the cached lowering.
+    let (neighbor, delta) =
+        apply_overrides(&arch, &["mem.GB.bw=2x"]).expect("GB bandwidth knob applies");
+    let neighbor_view = MappedLayer::new(&layer, &neighbor, &fast.best.mapping)
+        .expect("bandwidth does not affect capacity legality");
+    let delta_iters: u64 = 2_000;
+    let t5 = Instant::now();
+    let mut full_bits = 0u64;
+    for _ in 0..delta_iters {
+        full_bits = black_box(model.evaluate_fast(&neighbor_view, &mut scratch))
+            .cc_total
+            .to_bits();
+    }
+    let delta_full_secs = t5.elapsed().as_secs_f64();
+    // Prime the scratch on the base design, then hit the neighbor with
+    // only the bandwidth delta, steady-state.
+    model.evaluate_delta_fast(&view, InputDelta::ALL, &mut scratch);
+    let mut rebuild = RebuildStats::default();
+    let t6 = Instant::now();
+    let mut incr_bits = 0u64;
+    for _ in 0..delta_iters {
+        let (f, stats) = model.evaluate_delta_fast(black_box(&neighbor_view), delta, &mut scratch);
+        incr_bits = black_box(f).cc_total.to_bits();
+        rebuild = stats;
+    }
+    let delta_incr_secs = t6.elapsed().as_secs_f64();
+
     Snapshot {
         space,
         baseline_secs,
@@ -183,6 +220,12 @@ fn measure() -> Snapshot {
         model_eval_secs,
         model_eval_fast_secs,
         model_bits_identical: slow_bits == fast_bits,
+        delta_iters,
+        delta_full_secs,
+        delta_incr_secs,
+        delta_stages_rebuilt: rebuild.stages_rebuilt,
+        delta_stages_skipped: rebuild.stages_skipped,
+        delta_bits_identical: full_bits == incr_bits,
     }
 }
 
@@ -221,7 +264,14 @@ fn write_snapshot(s: &Snapshot) {
          \"model_evaluate_per_sec\": {:.1},\n  \
          \"model_evaluate_fast_per_sec\": {:.1},\n  \
          \"model_fast_speedup\": {:.2},\n  \
-         \"model_bits_identical\": {}\n}}\n",
+         \"model_bits_identical\": {},\n  \
+         \"delta_workload\": \"one-knob neighbor mem.GB.bw=2x of the best Fig. 8 mapping\",\n  \
+         \"delta_full_points_per_sec\": {:.1},\n  \
+         \"delta_incremental_points_per_sec\": {:.1},\n  \
+         \"delta_eval_speedup\": {:.2},\n  \
+         \"delta_stages_rebuilt\": {},\n  \
+         \"delta_stages_skipped\": {},\n  \
+         \"delta_bits_identical\": {}\n}}\n",
         s.space,
         s.baseline_secs,
         baseline_ops,
@@ -241,6 +291,12 @@ fn write_snapshot(s: &Snapshot) {
         s.model_iters as f64 / s.model_eval_fast_secs,
         s.model_eval_secs / s.model_eval_fast_secs,
         s.model_bits_identical,
+        s.delta_iters as f64 / s.delta_full_secs,
+        s.delta_iters as f64 / s.delta_incr_secs,
+        s.delta_full_secs / s.delta_incr_secs,
+        s.delta_stages_rebuilt,
+        s.delta_stages_skipped,
+        s.delta_bits_identical,
     );
     let path = json_path();
     fs::write(&path, json).expect("write BENCH_mapper.json");
@@ -259,6 +315,16 @@ fn write_snapshot(s: &Snapshot) {
         s.model_iters as f64 / s.model_eval_secs,
         s.model_iters as f64 / s.model_eval_fast_secs,
         s.model_eval_secs / s.model_eval_fast_secs,
+    );
+    println!(
+        "[bench] delta eval (mem.GB.bw=2x neighbor): full {:.0}/s vs incremental {:.0}/s \
+         ({:.1}x, {} stages rebuilt / {} skipped, identical: {})",
+        s.delta_iters as f64 / s.delta_full_secs,
+        s.delta_iters as f64 / s.delta_incr_secs,
+        s.delta_full_secs / s.delta_incr_secs,
+        s.delta_stages_rebuilt,
+        s.delta_stages_skipped,
+        s.delta_bits_identical,
     );
     println!("[json] {}", path.display());
 }

@@ -13,6 +13,9 @@ pub struct Args {
     /// one (`ulm cache export|import|info`).
     pub subcommand: Option<String>,
     options: HashMap<String, String>,
+    /// Every `--key value` occurrence in order, for options that may
+    /// repeat (`ulm whatif --set … --set …`).
+    occurrences: Vec<(String, String)>,
     flags: Vec<String>,
 }
 
@@ -72,6 +75,7 @@ const FLAGS: &[&str] = &[
     "reactor",
     "no-timing",
     "shutdown-on-stdin-close",
+    "verify",
 ];
 
 /// Commands that take a second positional argument (a nested action).
@@ -89,19 +93,22 @@ impl Args {
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         let mut subcommand = None;
         let mut options = HashMap::new();
+        let mut occurrences = Vec::new();
         let mut flags = Vec::new();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
                 // `--key=value` or `--key value` or bare flag.
                 if let Some((k, v)) = key.split_once('=') {
                     options.insert(k.to_string(), v.to_string());
+                    occurrences.push((k.to_string(), v.to_string()));
                 } else if FLAGS.contains(&key) {
                     flags.push(key.to_string());
                 } else {
                     let v = it
                         .next()
                         .ok_or_else(|| ArgError::MissingValue(key.into()))?;
-                    options.insert(key.to_string(), v);
+                    options.insert(key.to_string(), v.clone());
+                    occurrences.push((key.to_string(), v));
                 }
             } else if WITH_SUBCOMMAND.contains(&command.as_str()) && subcommand.is_none() {
                 subcommand = Some(tok);
@@ -113,6 +120,7 @@ impl Args {
             command,
             subcommand,
             options,
+            occurrences,
             flags,
         })
     }
@@ -125,6 +133,16 @@ impl Args {
     /// The raw value of `--key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Every value given for `--key`, in command-line order (for options
+    /// that may repeat, like `--set`).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.occurrences
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// Parses `--key` as `u64`, with a default.
@@ -222,6 +240,23 @@ mod tests {
             parse(&["x", "stray"]).unwrap_err(),
             ArgError::UnexpectedPositional(_)
         ));
+    }
+
+    #[test]
+    fn repeated_options_keep_every_occurrence() {
+        let a = parse(&[
+            "whatif",
+            "--set",
+            "mem.GB.bw=2x",
+            "--set=mem.W-LB.size=2x",
+            "--verify",
+        ])
+        .unwrap();
+        assert_eq!(a.get_all("set"), vec!["mem.GB.bw=2x", "mem.W-LB.size=2x"]);
+        // `get` keeps last-wins semantics for single-valued options.
+        assert_eq!(a.get("set"), Some("mem.W-LB.size=2x"));
+        assert!(a.flag("verify"));
+        assert!(a.get_all("missing").is_empty());
     }
 
     #[test]

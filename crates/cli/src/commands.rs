@@ -102,6 +102,134 @@ pub fn evaluate(args: &Args) -> Result<(), UlmError> {
     Ok(())
 }
 
+/// `ulm whatif`: evaluate a base design, apply `--set
+/// mem.<name>.<knob>=<value>` architecture overrides (`size`, `bw`,
+/// `read_bw`, `write_bw`; values like `2x` or absolute bits), and report
+/// the latency/energy deltas. The base's best mapping is searched once
+/// and re-evaluated on the modified architecture through the dirty-stage
+/// delta path — only the lowering stages the overrides invalidate are
+/// recomputed. With `--verify`, the incremental result is additionally
+/// checked bit for bit against a cold evaluation of the modified design.
+pub fn whatif(args: &Args) -> Result<(), UlmError> {
+    let overrides: Vec<String> = args.get_all("set").iter().map(|s| s.to_string()).collect();
+    if overrides.is_empty() {
+        return Err(UlmError::config(
+            "ulm whatif needs at least one --set mem.<name>.<knob>=<value>",
+        ));
+    }
+    let (arch, spatial) = resolve_arch(args)?;
+    let layer = resolve_layer(args)?;
+    let mopts = mapper_options(args)?;
+    let result = Mapper::new(&arch, &layer, spatial)
+        .with_options(mopts)
+        .with_parallelism(thread_option(args, "threads")?)
+        .search(Objective::Latency)?;
+    let mapping = result.best.mapping;
+    let (modified, delta) = apply_overrides(&arch, &overrides)?;
+
+    let model = if mopts.bw_aware {
+        LatencyModel::new()
+    } else {
+        LatencyModel::bw_unaware()
+    };
+    let mut scratch = ModelScratch::default();
+    // Prime the stage pipeline on the base design, then rebuild only what
+    // the overrides dirtied.
+    let base_view = MappedLayer::new(&layer, &arch, &mapping)?;
+    let (base, _) = model.evaluate_delta_fast(&base_view, InputDelta::ALL, &mut scratch);
+    let view = MappedLayer::new(&layer, &modified, &mapping)?;
+    let (fast, rebuild) = model.evaluate_delta_fast(&view, delta, &mut scratch);
+    let energy = EnergyModel::new().evaluate_lowered(&view, scratch.lowered());
+    let base_energy = result.best.energy;
+
+    let verified = if args.flag("verify") {
+        let cold = model.evaluate_fast(&view, &mut ModelScratch::default());
+        if cold.cc_total.to_bits() != fast.cc_total.to_bits()
+            || cold.ss_overall.to_bits() != fast.ss_overall.to_bits()
+            || cold.utilization.to_bits() != fast.utilization.to_bits()
+            || cold.preload != fast.preload
+            || cold.offload != fast.offload
+        {
+            return Err(UlmError::config(format!(
+                "whatif verification failed: incremental cc_total {} != cold {}",
+                fast.cc_total, cold.cc_total
+            )));
+        }
+        true
+    } else {
+        false
+    };
+
+    if args.flag("json") {
+        let mut out = serde_json::json!({
+            "arch": arch.name(),
+            "layer": layer.name(),
+            "mapping": format!("{mapping}"),
+            "set": overrides,
+            "base": {
+                "cc_total": base.cc_total,
+                "ss_overall": base.ss_overall,
+                "utilization": base.utilization,
+                "energy_fj": base_energy.total_fj,
+            },
+            "modified": {
+                "cc_total": fast.cc_total,
+                "ss_overall": fast.ss_overall,
+                "utilization": fast.utilization,
+                "energy_fj": energy.total_fj,
+            },
+            "delta": {
+                "cc_total": fast.cc_total - base.cc_total,
+                "energy_fj": energy.total_fj - base_energy.total_fj,
+                "speedup": base.cc_total / fast.cc_total,
+            },
+            "rebuild": {
+                "stages_rebuilt": rebuild.stages_rebuilt,
+                "stages_skipped": rebuild.stages_skipped,
+            },
+        });
+        if verified {
+            if let serde_json::Value::Object(fields) = &mut out {
+                fields.push(("verified".to_string(), serde_json::Value::Bool(true)));
+            }
+        }
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!("architecture: {arch}");
+        println!("layer: {layer} ({} MACs)", layer.total_macs());
+        println!("mapping: {mapping}");
+        for over in &overrides {
+            println!("override: {over}");
+        }
+        println!(
+            "base:     {:>12.0} cc  U {:>5.1}%  {:>10.1} nJ",
+            base.cc_total,
+            base.utilization * 100.0,
+            base_energy.total_pj() / 1000.0
+        );
+        println!(
+            "modified: {:>12.0} cc  U {:>5.1}%  {:>10.1} nJ",
+            fast.cc_total,
+            fast.utilization * 100.0,
+            energy.total_pj() / 1000.0
+        );
+        println!(
+            "delta:    {:>+12.0} cc ({:.2}x speedup)  {:>+10.1} nJ",
+            fast.cc_total - base.cc_total,
+            base.cc_total / fast.cc_total,
+            (energy.total_fj - base_energy.total_fj) / 1e6
+        );
+        println!(
+            "rebuild: {} stages recomputed, {} reused",
+            rebuild.stages_rebuilt, rebuild.stages_skipped
+        );
+        if verified {
+            println!("verified: incremental result bit-identical to cold evaluation");
+        }
+    }
+    Ok(())
+}
+
 /// `ulm search`: explore the mapping space under an objective and print
 /// the best mapping (or the `--all` top list).
 pub fn search(args: &Args) -> Result<(), UlmError> {
@@ -514,6 +642,8 @@ USAGE: ulm <command> [options]
 
 COMMANDS
   evaluate   map one layer for lowest latency and print the full report
+  whatif     re-evaluate the best mapping under --set knob overrides,
+             incrementally, and report latency/energy deltas
   search     explore the mapping space (--objective latency|energy|edp, --all)
   validate   model vs discrete-event simulator on the hand-tracking layers
   dse        architecture design-space exploration with a Pareto front
@@ -537,6 +667,10 @@ COMMON OPTIONS
   --layers <n>          (validate: limit layer count)
   --net handtracking|mobilenet|resnet18|alexnet   (network)
   --file <path.json>    (network: load a JSON network description)
+  --set mem.<name>.<knob>=<value>   whatif: override size|bw|read_bw|write_bw
+                        (value `2x`-style scale or absolute; repeatable)
+  --verify              whatif: check the incremental result against a
+                        cold evaluation of the modified design
   --json                machine-readable output
   --bw-unaware          use the stall-ignoring baseline model
   --overlap             weight-prefetch overlap (network)
@@ -557,4 +691,48 @@ COMMON OPTIONS
   --out <file>          cache export: snapshot destination
   --from <file>         cache import: snapshot to merge in"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn whatif_rejects_bad_knobs_with_namespaced_codes() {
+        for (over, code) in [
+            ("gb.bw=2x", "knob/unknown-path"),
+            ("mem.NOPE.bw=2x", "knob/unknown-memory"),
+            ("mem.GB.bw=fast", "knob/bad-value"),
+            ("mem.GB.bw=0x", "knob/invalid-value"),
+        ] {
+            let args = parse(&["whatif", "--layer", "4x4x8", "--set", over]);
+            let err = whatif(&args).expect_err(over);
+            assert_eq!(err.code(), code, "{over}");
+        }
+        // No --set at all is a config error, not a knob error.
+        let err = whatif(&parse(&["whatif", "--layer", "4x4x8"])).unwrap_err();
+        assert_eq!(err.code(), "config/invalid");
+    }
+
+    #[test]
+    fn whatif_verify_passes_on_a_real_override() {
+        let args = parse(&[
+            "whatif",
+            "--layer",
+            "8x16x32",
+            "--max-exhaustive",
+            "100",
+            "--samples",
+            "10",
+            "--set",
+            "mem.GB.bw=2x",
+            "--verify",
+            "--json",
+        ]);
+        whatif(&args).expect("incremental result must match cold evaluation");
+    }
 }

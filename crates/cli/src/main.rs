@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! ulm evaluate --arch case16 --layer 64x96x640
+//! ulm whatif   --set mem.GB.bw=2x --verify
 //! ulm search   --objective energy --all
 //! ulm validate --json
 //! ulm dse      --gb-bw 1024 --sides 16,64
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
     }
     let result = match args.command.as_str() {
         "evaluate" => commands::evaluate(&args),
+        "whatif" => commands::whatif(&args),
         "search" => commands::search(&args),
         "validate" => commands::validate(&args),
         "dse" => commands::dse(&args),

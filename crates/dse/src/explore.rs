@@ -1,9 +1,11 @@
 //! Per-design mapping optimization, latency-area evaluation and Pareto
 //! extraction.
 
-use crate::pool::{DesignParams, DesignPoint};
+use crate::pool::{build_design, DesignParams, DesignPoint};
 use ulm_arch::AreaModel;
 use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
+use ulm_mapping::MappedLayer;
+use ulm_model::{InputDelta, LatencyModel, ModelScratch, RebuildStats};
 use ulm_workload::Layer;
 
 /// One evaluated hardware design.
@@ -185,6 +187,157 @@ pub fn explore_with_stats(
     (points, stats)
 }
 
+/// Incremental-evaluation counters for one [`explore_bw_sweep`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepStats {
+    /// Distinct (non-bandwidth) designs in the sweep.
+    pub designs: usize,
+    /// Designs with at least one legal mapping.
+    pub feasible: usize,
+    /// Sweep points produced (`feasible × bandwidths`).
+    pub points: usize,
+    /// Full evaluations: one mapping search + from-scratch lowering per
+    /// feasible design, at its first bandwidth.
+    pub full_evals: usize,
+    /// Incremental re-evaluations of bandwidth neighbors.
+    pub delta_evals: usize,
+    /// Lowering stages recomputed across all points.
+    pub stages_rebuilt: u64,
+    /// Lowering stages reused from the previous point.
+    pub stages_skipped: u64,
+    /// Wall-clock sweep time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One design's sweep output: its points plus local counters.
+type DesignSweep = (Vec<DsePoint>, RebuildStats, usize);
+
+/// Sweeps every design across `gb_bws`, evaluating bandwidth neighbors
+/// incrementally.
+///
+/// Points are ordered to maximize reuse: all bandwidth variants of one
+/// design are evaluated consecutively. The mapping is searched once per
+/// design (at `gb_bws[0]`) and the resulting incumbent mapping is then
+/// re-evaluated at each remaining bandwidth through
+/// [`LatencyModel::evaluate_delta_fast`] — a pure-`BANDWIDTH`
+/// [`InputDelta`], since bandwidth variants of a design differ only in
+/// the GB port rates. Delta evaluation is bit-identical to a cold
+/// evaluation of the same mapping on the variant architecture, so the
+/// returned points are exactly what a per-point from-scratch sweep of
+/// the incumbent mapping would produce. Designs with no legal mapping
+/// are silently skipped, as in [`explore`].
+///
+/// `gb_bws` must be non-empty; each design's `gb_bw_bits` field is
+/// overridden by the swept values. With `opts.parallelism = Some(n)` the
+/// designs are split across `n` threads and merged in design order, so
+/// the output is identical for every thread count.
+pub fn explore_bw_sweep(
+    designs: &[DesignPoint],
+    gb_bws: &[u64],
+    layer: &Layer,
+    opts: &ExploreOptions,
+) -> (Vec<DsePoint>, SweepStats) {
+    assert!(
+        !gb_bws.is_empty(),
+        "bandwidth sweep needs at least one value"
+    );
+    let t0 = std::time::Instant::now();
+    let threads = opts.parallelism.unwrap_or(1).clamp(1, designs.len().max(1));
+    let mut slots: Vec<Option<DesignSweep>> = vec![None; designs.len()];
+    if threads <= 1 {
+        for (d, slot) in designs.iter().zip(slots.iter_mut()) {
+            *slot = sweep_design(d, gb_bws, layer, opts).ok();
+        }
+    } else {
+        let chunk = designs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (d_chunk, s_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (d, slot) in d_chunk.iter().zip(s_chunk.iter_mut()) {
+                        *slot = sweep_design(d, gb_bws, layer, opts).ok();
+                    }
+                });
+            }
+        });
+    }
+    let mut stats = SweepStats {
+        designs: designs.len(),
+        ..SweepStats::default()
+    };
+    let mut points = Vec::with_capacity(designs.len() * gb_bws.len());
+    for (design_points, rebuilds, delta_evals) in slots.into_iter().flatten() {
+        stats.feasible += 1;
+        stats.points += design_points.len();
+        stats.full_evals += 1;
+        stats.delta_evals += delta_evals;
+        stats.stages_rebuilt += u64::from(rebuilds.stages_rebuilt);
+        stats.stages_skipped += u64::from(rebuilds.stages_skipped);
+        points.extend(design_points);
+    }
+    stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (points, stats)
+}
+
+/// Searches the mapping once at `gb_bws[0]`, then walks the remaining
+/// bandwidths with delta evaluations of the incumbent mapping.
+fn sweep_design(
+    design: &DesignPoint,
+    gb_bws: &[u64],
+    layer: &Layer,
+    opts: &ExploreOptions,
+) -> Result<DesignSweep, MapperError> {
+    let base_params = DesignParams {
+        gb_bw_bits: gb_bws[0],
+        ..design.params
+    };
+    let base = build_design(base_params);
+    let mapper = Mapper::new(&base.arch, layer, base.spatial.clone())
+        .with_options(opts.mapper)
+        .with_parallelism(opts.mapping_parallelism);
+    let mapping = mapper.search(Objective::Latency)?.best.mapping;
+    // Area excludes GB and the swept knob is a GB port rate, so one
+    // number covers every point of this design.
+    let exclude: Vec<_> = base.arch.hierarchy().find("GB").into_iter().collect();
+    let area_mm2 = opts.area.total_mm2(&base.arch, &exclude);
+
+    let model = if opts.mapper.bw_aware {
+        LatencyModel::new()
+    } else {
+        LatencyModel::bw_unaware()
+    };
+    let mut scratch = ModelScratch::default();
+    let mut rebuilds = RebuildStats::default();
+    let mut points = Vec::with_capacity(gb_bws.len());
+    let mut prev = base;
+    let mut delta = InputDelta::ALL; // first point: nothing cached yet
+    for &bw in gb_bws {
+        let variant = if bw == prev.params.gb_bw_bits {
+            prev
+        } else {
+            let next = build_design(DesignParams {
+                gb_bw_bits: bw,
+                ..design.params
+            });
+            delta = delta.union(InputDelta::between(&prev.arch, &next.arch));
+            next
+        };
+        let view = MappedLayer::new(layer, &variant.arch, &mapping)
+            .expect("incumbent mapping stays legal: bandwidth does not affect capacity");
+        let (fast, stats) = model.evaluate_delta_fast(&view, delta, &mut scratch);
+        rebuilds.accumulate(stats);
+        points.push(DsePoint {
+            params: variant.params,
+            latency: fast.cc_total,
+            area_mm2,
+            utilization: fast.utilization,
+            ss_overall: fast.ss_overall,
+        });
+        delta = InputDelta::NONE;
+        prev = variant;
+    }
+    Ok((points, rebuilds, gb_bws.len() - 1))
+}
+
 /// Indices of the latency-area Pareto front (minimizing both), sorted by
 /// increasing area.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<usize> {
@@ -334,6 +487,97 @@ mod tests {
                 },
             );
             assert_eq!(serial, par, "mapping_parallelism={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn bw_sweep_matches_cold_evaluation_of_incumbent() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 64);
+        let bws = [64u64, 128, 256, 512];
+        let layer = small_layer();
+        let opts = quick_opts();
+        let (points, stats) = explore_bw_sweep(&designs, &bws, &layer, &opts);
+
+        assert_eq!(stats.designs, designs.len());
+        assert_eq!(stats.points, points.len());
+        assert_eq!(stats.points, stats.feasible * bws.len());
+        assert_eq!(stats.full_evals, stats.feasible);
+        assert_eq!(stats.delta_evals, stats.feasible * (bws.len() - 1));
+        // Each delta point reuses the residency and feed-rate stages.
+        assert!(stats.stages_skipped >= 2 * stats.delta_evals as u64);
+
+        // Cold re-derivation: the same search at bws[0], then a
+        // from-scratch evaluation of that mapping at every bandwidth.
+        let mut cold = Vec::new();
+        for d in &designs {
+            let base = build_design(DesignParams {
+                gb_bw_bits: bws[0],
+                ..d.params
+            });
+            let mapper =
+                Mapper::new(&base.arch, &layer, base.spatial.clone()).with_options(opts.mapper);
+            let Ok(result) = mapper.search(Objective::Latency) else {
+                continue;
+            };
+            let mapping = result.best.mapping;
+            let exclude: Vec<_> = base.arch.hierarchy().find("GB").into_iter().collect();
+            let area_mm2 = opts.area.total_mm2(&base.arch, &exclude);
+            for &bw in &bws {
+                let v = build_design(DesignParams {
+                    gb_bw_bits: bw,
+                    ..d.params
+                });
+                let view = MappedLayer::new(&layer, &v.arch, &mapping).unwrap();
+                let fast = LatencyModel::new().evaluate_fast(&view, &mut ModelScratch::default());
+                cold.push(DsePoint {
+                    params: v.params,
+                    latency: fast.cc_total,
+                    area_mm2,
+                    utilization: fast.utilization,
+                    ss_overall: fast.ss_overall,
+                });
+            }
+        }
+        assert_eq!(points.len(), cold.len());
+        for (a, b) in points.iter().zip(&cold) {
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.latency.to_bits(), b.latency.to_bits(), "{:?}", a.params);
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.ss_overall.to_bits(), b.ss_overall.to_bits());
+            assert_eq!(a.area_mm2.to_bits(), b.area_mm2.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_bw_sweep_matches_serial_exactly() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1, 2],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 64);
+        let bws = [64u64, 256];
+        let (serial, _) = explore_bw_sweep(&designs, &bws, &small_layer(), &quick_opts());
+        for threads in [2usize, 3] {
+            let (par, _) = explore_bw_sweep(
+                &designs,
+                &bws,
+                &small_layer(),
+                &ExploreOptions {
+                    parallelism: Some(threads),
+                    ..quick_opts()
+                },
+            );
+            assert_eq!(serial, par, "parallelism={threads} diverged from serial");
         }
     }
 

@@ -30,6 +30,7 @@ pub mod explore;
 pub mod pool;
 
 pub use explore::{
-    evaluate_design, explore, explore_with_stats, pareto_front, DsePoint, DseStats, ExploreOptions,
+    evaluate_design, explore, explore_bw_sweep, explore_with_stats, pareto_front, DsePoint,
+    DseStats, ExploreOptions, SweepStats,
 };
 pub use pool::{build_design, enumerate_designs, DesignParams, DesignPoint, MemoryPool};

@@ -25,6 +25,7 @@ use std::fmt;
 use ulm_arch::archdesc::ArchDescError;
 use ulm_mapper::MapperError;
 use ulm_mapping::MappingError;
+use ulm_model::KnobError;
 use ulm_network::NetworkError;
 use ulm_periodic::WindowError;
 use ulm_reactor::ReactorError;
@@ -88,6 +89,9 @@ pub enum UlmError {
         /// What exactly failed.
         kind: CacheCorruptKind,
     },
+    /// A knob override (`--set mem.gb.bw=2x` / serve `whatif`) named an
+    /// unknown path or memory, or carried an unusable value.
+    Knob(KnobError),
     /// Invalid configuration outside the request path: unknown presets,
     /// bad command-line values, unusable option combinations.
     Config(String),
@@ -151,6 +155,12 @@ impl UlmError {
                 CacheCorruptKind::Truncated => "cache/truncated",
                 CacheCorruptKind::BadPayload => "cache/bad-payload",
             },
+            UlmError::Knob(e) => match e {
+                KnobError::UnknownPath { .. } => "knob/unknown-path",
+                KnobError::UnknownMemory { .. } => "knob/unknown-memory",
+                KnobError::BadValue { .. } => "knob/bad-value",
+                KnobError::InvalidValue { .. } => "knob/invalid-value",
+            },
             UlmError::Config(_) => "config/invalid",
             UlmError::Io(_) => "io/error",
             UlmError::Json(_) => "json/error",
@@ -185,6 +195,7 @@ impl fmt::Display for UlmError {
                 };
                 write!(f, "cache log corrupt at byte {offset}: {what}")
             }
+            UlmError::Knob(e) => write!(f, "invalid knob override: {e}"),
             UlmError::Config(msg) => f.write_str(msg),
             UlmError::Io(e) => e.fmt(f),
             UlmError::Json(e) => e.fmt(f),
@@ -205,6 +216,7 @@ impl std::error::Error for UlmError {
             UlmError::Io(e) => Some(e),
             UlmError::Json(e) => Some(e),
             UlmError::Reactor(e) => Some(e),
+            UlmError::Knob(e) => Some(e),
             UlmError::InvalidRequest(_)
             | UlmError::Config(_)
             | UlmError::TooLarge { .. }
@@ -274,6 +286,12 @@ impl From<serde_json::Error> for UlmError {
     }
 }
 
+impl From<KnobError> for UlmError {
+    fn from(e: KnobError) -> Self {
+        UlmError::Knob(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +356,35 @@ mod tests {
                     kind: CacheCorruptKind::Truncated,
                 },
                 "cache/truncated",
+            ),
+            (
+                KnobError::UnknownPath {
+                    path: "mem.gb.volume".into(),
+                }
+                .into(),
+                "knob/unknown-path",
+            ),
+            (
+                KnobError::UnknownMemory {
+                    name: "gbx".into(),
+                    known: vec!["GB".into()],
+                }
+                .into(),
+                "knob/unknown-memory",
+            ),
+            (
+                KnobError::BadValue {
+                    over: "mem.gb.bw=huge".into(),
+                }
+                .into(),
+                "knob/bad-value",
+            ),
+            (
+                KnobError::InvalidValue {
+                    over: "mem.gb.bw=0".into(),
+                }
+                .into(),
+                "knob/invalid-value",
             ),
         ];
         for (e, code) in &cases {

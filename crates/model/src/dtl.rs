@@ -460,6 +460,38 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
     *lw.dtls_mut() = out;
 }
 
+/// Refreshes the bandwidth-dependent columns of an existing DTL list in
+/// place: `RealBW` (re-read from the architecture's ports with the same
+/// lookups as [`build_dtls_lowered`]), `X_REAL = data_bits / RealBW`
+/// and `SS_u = (X_REAL − X_REQ) × z_stall` (the same arithmetic as the
+/// full build, so the floats come out bit-identical). Everything else —
+/// periods, windows, `ReqBW_u`, endpoints — is bandwidth-independent
+/// and untouched.
+///
+/// Only valid when the structure is clean: same workload, mapping and
+/// architecture structure as the lowering that built the list (the
+/// [`rebuild_dirty`](crate::LoweredLayer::rebuild_dirty) precondition).
+pub(crate) fn refresh_bandwidth(view: &MappedLayer<'_>, lw: &mut crate::LoweredLayer) {
+    let h = view.arch().hierarchy();
+    let mut dtls = std::mem::take(lw.dtls_mut());
+    for d in &mut dtls {
+        // The endpoints recorded at build time name exactly the ports the
+        // link occupies, so `RealBW` is the narrower of their current
+        // bandwidths — the same `u64` min the full build takes through
+        // its chain-and-port lookups, read without them.
+        let real_bw = d
+            .endpoints
+            .iter()
+            .map(|e| h.mem(e.mem).ports()[e.port].bw_bits)
+            .min()
+            .expect("every DTL occupies at least one port") as f64;
+        d.real_bw = real_bw;
+        d.x_real = d.data_bits as f64 / real_bw;
+        d.ss_u = (d.x_real - d.x_req) * d.z_stall as f64;
+    }
+    *lw.dtls_mut() = dtls;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

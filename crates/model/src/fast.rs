@@ -10,6 +10,7 @@
 //! path performs zero heap allocations. The numbers are bit-identical by
 //! construction — they come out of one code path, not two kept in sync.
 
+use crate::delta::{InputDelta, RebuildStats};
 use crate::lower::LoweredLayer;
 use crate::phases;
 use crate::stall::StallScratch;
@@ -102,6 +103,54 @@ impl LatencyModel {
     pub fn evaluate_fast(&self, view: &MappedLayer<'_>, scratch: &mut ModelScratch) -> FastLatency {
         LoweredLayer::build_into(view, self.dtl_options(), &mut scratch.lowered);
         self.core(view.arch(), &scratch.lowered, &mut scratch.stall, false)
+    }
+
+    /// Incremental [`evaluate_fast`](Self::evaluate_fast): rebuilds
+    /// only the IR stages invalidated by `delta` and, when only
+    /// bandwidths moved, reuses the cached per-port window unions from
+    /// the scratch's previous Step 2. Bit-identical to a from-scratch
+    /// `evaluate_fast` on the same view — the reused pieces are exactly
+    /// the ones the changed inputs cannot reach.
+    ///
+    /// `scratch` must hold the previous evaluation of the *same* layer
+    /// and mapping (a fresh scratch degrades gracefully to a full
+    /// rebuild); `delta` describes what changed since then — typically
+    /// [`InputDelta::between`] the two architectures.
+    pub fn evaluate_delta_fast(
+        &self,
+        view: &MappedLayer<'_>,
+        delta: InputDelta,
+        scratch: &mut ModelScratch,
+    ) -> (FastLatency, RebuildStats) {
+        let stats = scratch
+            .lowered
+            .rebuild_dirty(view, self.dtl_options(), delta);
+        let opts = self.options();
+        let ss_overall = if opts.bw_aware {
+            let (lowered, stall) = scratch.parts();
+            let recombined = if stats.was_full_rebuild() {
+                None
+            } else {
+                stall.recombine_and_integrate(
+                    view.arch(),
+                    lowered.dtls(),
+                    opts.eq2_oversubscription_bound,
+                )
+            };
+            let raw = match recombined {
+                Some(v) => v,
+                None => stall.combine_and_integrate(
+                    view.arch(),
+                    lowered.dtls(),
+                    opts.union,
+                    opts.eq2_oversubscription_bound,
+                ),
+            };
+            raw.max(0.0)
+        } else {
+            0.0
+        };
+        (scratch.lowered.totals(ss_overall), stats)
     }
 
     /// [`evaluate_fast`](Self::evaluate_fast) over an already-lowered
@@ -235,6 +284,67 @@ mod tests {
             let via_ir = model.evaluate_lowered_fast(&arch, &lowered, &mut stall);
             assert_eq!(fast.cc_total.to_bits(), via_ir.cc_total.to_bits());
             assert_eq!(fast.ss_overall.to_bits(), via_ir.ss_overall.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_fast_matches_cold_eval_on_knob_neighbors() {
+        use crate::whatif::apply_overrides;
+        for model in [LatencyModel::new(), LatencyModel::bw_unaware()] {
+            let mut scratch = ModelScratch::default();
+            for (arch, layer, mapping) in views() {
+                let overrides: Vec<String> = arch
+                    .hierarchy()
+                    .memories()
+                    .iter()
+                    .flat_map(|m| {
+                        ["bw=2x", "bw=0.5x", "size=2x", "read_bw=3x"]
+                            .iter()
+                            .map(|s| format!("mem.{}.{}", m.name(), s))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                for over in overrides {
+                    // Establish the base lowering in the scratch.
+                    let view = MappedLayer::new(&layer, &arch, &mapping).unwrap();
+                    model.evaluate_fast(&view, &mut scratch);
+                    let Ok((modified, delta)) = apply_overrides(&arch, &[over.as_str()]) else {
+                        continue; // e.g. read_bw on a write-only memory
+                    };
+                    let mview = MappedLayer::new(&layer, &modified, &mapping).unwrap();
+                    let (fast, stats) = model.evaluate_delta_fast(&mview, delta, &mut scratch);
+                    let mut cold_scratch = ModelScratch::default();
+                    let cold = model.evaluate_fast(&mview, &mut cold_scratch);
+                    assert_eq!(
+                        cold.cc_total.to_bits(),
+                        fast.cc_total.to_bits(),
+                        "{over}: delta vs cold diverged"
+                    );
+                    assert_eq!(cold.ss_overall.to_bits(), fast.ss_overall.to_bits());
+                    assert_eq!(cold.utilization.to_bits(), fast.utilization.to_bits());
+                    assert_eq!(cold.preload, fast.preload);
+                    assert_eq!(cold.offload, fast.offload);
+                    // Knob deltas never force a full rebuild.
+                    assert!(
+                        !stats.was_full_rebuild(),
+                        "{over}: knob delta rebuilt everything"
+                    );
+                    if over.contains("size") {
+                        assert_eq!(stats.stages_rebuilt, 0, "{over}: capacity is eval-free");
+                    }
+                    // The retained diagnostics must match a cold Step 2.
+                    if model.options().bw_aware {
+                        assert_eq!(
+                            scratch.stall.port_groups(),
+                            cold_scratch.stall.port_groups()
+                        );
+                        assert_eq!(
+                            scratch.stall.memory_stalls(),
+                            cold_scratch.stall.memory_stalls()
+                        );
+                    }
+                }
+            }
         }
     }
 

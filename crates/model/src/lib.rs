@@ -48,6 +48,7 @@
 //! # Ok::<(), ulm_mapping::MappingError>(())
 //! ```
 
+pub mod delta;
 pub mod dtl;
 pub mod fast;
 pub mod lower;
@@ -55,13 +56,16 @@ pub mod phases;
 pub mod report;
 pub mod roofline;
 pub mod stall;
+pub mod whatif;
 
+pub use delta::{InputDelta, RebuildStats, Stage};
 pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
 pub use fast::{FastLatency, ModelScratch};
 pub use lower::{LevelLowering, LoweredLayer};
 pub use report::{BandwidthFix, DtlReport, LatencyReport, MemReport, PortReport, Scenario};
 pub use roofline::{roofline, roofline_bound, Roof, Roofline};
 pub use stall::{MemStall, PortGroup, PortGroupCore, StallScratch};
+pub use whatif::{apply_overrides, parse_override, KnobError, KnobOverride, KnobValue};
 
 use ulm_mapping::MappedLayer;
 use ulm_periodic::UnionOptions;

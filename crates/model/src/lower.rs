@@ -30,6 +30,7 @@
 //! allocation-free (the IR lives inside
 //! [`ModelScratch`](crate::ModelScratch)).
 
+use crate::delta::{InputDelta, RebuildStats, Stage};
 use crate::dtl::{self, Dtl, DtlOptions};
 use crate::fast::FastLatency;
 use crate::phases;
@@ -100,39 +101,45 @@ impl LoweredLayer {
 
     /// Lowers `view` into `out`, reusing its buffers — the steady-state
     /// path allocates nothing once the buffers have grown to size.
+    ///
+    /// Runs the four pipeline stages in build order (see
+    /// [`Stage`]); [`rebuild_dirty`](Self::rebuild_dirty) re-runs the
+    /// same stage functions selectively.
     pub fn build_into(view: &MappedLayer<'_>, opts: DtlOptions, out: &mut LoweredLayer) {
-        let h = view.arch().hierarchy();
         out.opts = opts;
-        out.levels.clear();
-        out.loops.clear();
+        out.stage_residency(view);
+        out.stage_feed_rates(view);
+        out.stage_phases(view);
+        out.stage_dtl_graph(view);
+    }
 
-        out.cc_ideal = view.cc_ideal();
-        out.cc_spatial = view.cc_spatial();
-        out.spatial_stall = view.spatial_stall();
-        out.preload = phases::preload_cycles(view);
-        out.offload = phases::offload_cycles(view);
+    /// [`Stage::Residency`]: the per-`(operand, level)` tables, the
+    /// loops-above arena and the layer scalars. Reads workload, mapping
+    /// and architecture structure (chain shapes) — never bandwidths or
+    /// capacities.
+    fn stage_residency(&mut self, view: &MappedLayer<'_>) {
+        let h = view.arch().hierarchy();
+        self.levels.clear();
+        self.loops.clear();
+
+        self.cc_ideal = view.cc_ideal();
+        self.cc_spatial = view.cc_spatial();
+        self.spatial_stall = view.spatial_stall();
 
         let stack = view.mapping().stack();
-        let spatial = view.mapping().spatial();
         for op in Operand::all() {
-            out.offsets[op.index()] = out.levels.len();
+            self.offsets[op.index()] = self.levels.len();
             let rel = view.layer().operand_relevance(op);
-            out.words_per_cycle[op.index()] = spatial
-                .factors()
-                .iter()
-                .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
-                .map(|&(_, f)| f)
-                .product();
             let chain = h.chain(op);
             for level in 0..chain.len() {
-                let lo = out.loops.len() as u32;
+                let lo = self.loops.len() as u32;
                 let from = view.mapping().alloc(op).upper(level);
-                out.loops.extend(
+                self.loops.extend(
                     stack.loops()[from..]
                         .iter()
                         .map(|l| (l.size, rel.get(l.dim).is_relevant())),
                 );
-                out.levels.push(LevelLowering {
+                self.levels.push(LevelLowering {
                     words: view.mem_data_words(op, level),
                     period: view.mem_cc(op, level),
                     z: view.z(op, level),
@@ -140,14 +147,91 @@ impl LoweredLayer {
                     refills: view.refill_count(op, level),
                     distinct_above: view.distinct_blocks_above(op, level),
                     final_above: !view.has_ir_above(op, level),
-                    loops: (lo, out.loops.len() as u32),
+                    loops: (lo, self.loops.len() as u32),
                 });
             }
         }
-        out.offsets[3] = out.levels.len();
+        self.offsets[3] = self.levels.len();
+    }
 
-        // Step 1: the DTL graph, read off the tables just built.
-        dtl::build_dtls_lowered(view, out);
+    /// [`Stage::FeedRates`]: per-operand distinct words per cycle. Reads
+    /// workload relevance and the spatial unroll only.
+    fn stage_feed_rates(&mut self, view: &MappedLayer<'_>) {
+        let spatial = view.mapping().spatial();
+        for op in Operand::all() {
+            let rel = view.layer().operand_relevance(op);
+            self.words_per_cycle[op.index()] = spatial
+                .factors()
+                .iter()
+                .filter(|(d, _)| rel.get(*d) != Relevance::Irrelevant)
+                .map(|&(_, f)| f)
+                .product();
+        }
+    }
+
+    /// [`Stage::Phases`]: pre-load / off-load cycle counts. Reads port
+    /// bandwidths, so a bandwidth delta re-runs it; block sizes come from
+    /// the (clean) residency tables built by the stage before it.
+    fn stage_phases(&mut self, view: &MappedLayer<'_>) {
+        let preload = phases::preload_cycles_lowered(view, self);
+        let offload = phases::offload_cycles_lowered(view, self);
+        self.preload = preload;
+        self.offload = offload;
+    }
+
+    /// [`Stage::DtlGraph`]: Step 1 proper, read off the tables the
+    /// earlier stages built.
+    fn stage_dtl_graph(&mut self, view: &MappedLayer<'_>) {
+        dtl::build_dtls_lowered(view, self);
+    }
+
+    /// Recomputes only the stages invalidated by `delta`, bit-identical
+    /// to [`build_into`](Self::build_into) on the same view.
+    ///
+    /// The dirty decision per stage is `delta.intersects(stage.reads())`
+    /// (see [`Stage::reads`]). Because the residency tables and feed
+    /// rates feed every later stage, a delta touching them degrades to a
+    /// full rebuild; a pure-bandwidth delta re-runs the phase stage and
+    /// refreshes the bandwidth-dependent DTL columns (`RealBW`,
+    /// `X_REAL`, `SS_u`) in place; a capacity-only or empty delta skips
+    /// all four stages.
+    ///
+    /// The caller is responsible for `view` matching the previous
+    /// lowering up to `delta`: pass the *same* layer and mapping with an
+    /// architecture whose difference is described by `delta` (use
+    /// [`InputDelta::between`](crate::InputDelta::between)). A never-built
+    /// or differently-optioned IR falls back to a full rebuild.
+    pub fn rebuild_dirty(
+        &mut self,
+        view: &MappedLayer<'_>,
+        opts: DtlOptions,
+        delta: InputDelta,
+    ) -> RebuildStats {
+        let dirty = |s: Stage| delta.intersects(s.reads());
+        let never_built = self.levels.is_empty();
+        if never_built || self.opts != opts || dirty(Stage::Residency) || dirty(Stage::FeedRates) {
+            Self::build_into(view, opts, self);
+            return RebuildStats::full();
+        }
+        let mut stats = RebuildStats {
+            stages_rebuilt: 0,
+            stages_skipped: 2, // residency + feed rates reused
+        };
+        if dirty(Stage::Phases) {
+            self.stage_phases(view);
+            stats.stages_rebuilt += 1;
+        } else {
+            stats.stages_skipped += 1;
+        }
+        if dirty(Stage::DtlGraph) {
+            // Structure (periods, windows, endpoints) is clean here —
+            // only the bandwidth columns can have moved.
+            dtl::refresh_bandwidth(view, self);
+            stats.stages_rebuilt += 1;
+        } else {
+            stats.stages_skipped += 1;
+        }
+        stats
     }
 
     /// The options the DTL list was built with.

@@ -7,6 +7,7 @@
 //! (Section III); W and I load in parallel, so the pre-load phase is their
 //! maximum.
 
+use crate::lower::LoweredLayer;
 use ulm_arch::PortUse;
 use ulm_mapping::MappedLayer;
 use ulm_workload::Operand;
@@ -41,6 +42,49 @@ pub fn offload_cycles(view: &MappedLayer<'_>) -> u64 {
         let is_final = view.outputs_final_above(level);
         let bits = view.layer().precision().output_bits(is_final);
         let block_bits = view.mem_data_words(Operand::O, level) * bits;
+        let (_, rbw) = h.port(chain[level], Operand::O, PortUse::ReadOut);
+        let (_, wbw) = h.port(chain[level + 1], Operand::O, PortUse::WriteIn);
+        let bw = rbw.min(wbw);
+        total += block_bits.div_ceil(bw);
+    }
+    total
+}
+
+/// [`preload_cycles`] reading block sizes from already-lowered residency
+/// tables instead of re-deriving them through the view — same integers,
+/// so the result is identical; only the per-level `Mem_DATA` recompute
+/// is skipped. The pipeline's phase stage runs through here (residency
+/// always precedes phases in build order, and stays clean under the
+/// bandwidth deltas that re-run phases alone).
+pub(crate) fn preload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) -> u64 {
+    let h = view.arch().hierarchy();
+    let mut worst = 0u64;
+    for op in [Operand::W, Operand::I] {
+        let chain = h.chain(op);
+        let bits = view.layer().precision().bits(op);
+        let mut total = 0u64;
+        for level in 0..chain.len().saturating_sub(1) {
+            let block_bits = lw.level(op, level).words * bits;
+            let (_, wbw) = h.port(chain[level], op, PortUse::WriteIn);
+            let (_, rbw) = h.port(chain[level + 1], op, PortUse::ReadOut);
+            let bw = wbw.min(rbw);
+            total += block_bits.div_ceil(bw);
+        }
+        worst = worst.max(total);
+    }
+    worst
+}
+
+/// [`offload_cycles`] from the lowered tables; see
+/// [`preload_cycles_lowered`].
+pub(crate) fn offload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) -> u64 {
+    let h = view.arch().hierarchy();
+    let chain = h.chain(Operand::O);
+    let mut total = 0u64;
+    for level in 0..chain.len().saturating_sub(1) {
+        let row = lw.level(Operand::O, level);
+        let bits = view.layer().precision().output_bits(row.final_above);
+        let block_bits = row.words * bits;
         let (_, rbw) = h.port(chain[level], Operand::O, PortUse::ReadOut);
         let (_, wbw) = h.port(chain[level + 1], Operand::O, PortUse::WriteIn);
         let bw = rbw.min(wbw);

@@ -128,61 +128,100 @@ fn for_each_port_group(
         windows.clear();
         windows.extend(group.iter().map(|k| member(k).window));
         let muw = union_measure_scratch(windows, union_opts, union);
-        let muw_comb = muw.value();
-        let sum_pos: f64 = group.iter().map(|k| member(k).ss_u.max(0.0)).sum();
-        let all_busy: f64 = group.iter().map(|k| member(k).busy()).sum();
-        let ss_comb = if sum_pos == 0.0 {
-            // Eq. (1): Σ (MUW_u + SS_u) − MUW_comb = Σ busy − MUW_comb.
-            all_busy - muw_comb
-        } else {
-            // Eq. (2): positive stalls survive; the rest combine as (1).
-            let neg_busy: f64 = group
-                .iter()
-                .map(member)
-                .filter(|d| d.ss_u <= 0.0)
-                .map(|d| d.busy())
-                .sum();
-            let eq2 = sum_pos + (neg_busy - muw_comb).max(0.0);
-            if oversubscription_bound {
-                // Refinement over the paper's literal Eq. (2): a link
-                // that stalls by itself still *occupies* the shared
-                // window, so the port can never beat the Eq. (1)
-                // oversubscription bound. Take the tighter (larger).
-                eq2.max(all_busy - muw_comb)
-            } else {
-                eq2
-            }
-        };
-        let req_bw_comb = group.iter().map(|k| member(k).req_bw).sum();
-        // Stall-free condition: every link individually non-positive
-        // (bw >= its ReqBW_u) and the port not oversubscribed
-        // (total bits through the window).
-        let per_link: f64 = group.iter().map(|k| member(k).req_bw).fold(0.0, f64::max);
-        let total_bits: f64 = group
-            .iter()
-            .map(|k| {
-                let d = member(k);
-                d.data_bits as f64 * d.z_stall as f64
-            })
-            .sum();
-        let min_stall_free_bw = if muw_comb > 0.0 {
-            per_link.max(total_bits / muw_comb)
-        } else {
-            per_link
-        };
-        f(
-            PortGroupCore {
-                mem,
-                port,
-                req_bw_comb,
-                muw_comb,
-                muw_exact: muw.is_exact(),
-                ss_comb,
-                min_stall_free_bw,
-            },
+        let core = group_scalars(
+            dtls,
             group,
+            mem,
+            port,
+            muw.value(),
+            muw.is_exact(),
+            oversubscription_bound,
         );
+        f(core, group);
         start = end;
+    }
+}
+
+/// The Eq. (1)/(2) scalar math of one port group, given its combined
+/// window measure. The window union (`MUW_comb`) is the expensive,
+/// bandwidth-*independent* half of Step 2; this function is the cheap,
+/// bandwidth-*dependent* half — the full combine and the delta
+/// recombine both run it, so their floats agree bit for bit.
+fn group_scalars(
+    dtls: &[Dtl],
+    group: &[(MemoryId, PortId, usize)],
+    mem: MemoryId,
+    port: PortId,
+    muw_comb: f64,
+    muw_exact: bool,
+    oversubscription_bound: bool,
+) -> PortGroupCore {
+    // One pass over the members; every accumulator folds in member order,
+    // so the floats match the per-quantity iterator sums they replace.
+    let (mut sum_pos, mut all_busy, mut neg_busy) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut req_bw_comb, mut per_link, mut total_bits) = (0.0f64, 0.0f64, 0.0f64);
+    for &(_, _, i) in group {
+        let d = &dtls[i];
+        let busy = d.busy();
+        all_busy += busy;
+        if d.ss_u <= 0.0 {
+            neg_busy += busy;
+        } else {
+            sum_pos += d.ss_u;
+        }
+        req_bw_comb += d.req_bw;
+        per_link = per_link.max(d.req_bw);
+        total_bits += d.data_bits as f64 * d.z_stall as f64;
+    }
+    let ss_comb = ss_comb_from(
+        sum_pos,
+        all_busy,
+        neg_busy,
+        muw_comb,
+        oversubscription_bound,
+    );
+    // Stall-free condition: every link individually non-positive
+    // (bw >= its ReqBW_u) and the port not oversubscribed
+    // (total bits through the window).
+    let min_stall_free_bw = if muw_comb > 0.0 {
+        per_link.max(total_bits / muw_comb)
+    } else {
+        per_link
+    };
+    PortGroupCore {
+        mem,
+        port,
+        req_bw_comb,
+        muw_comb,
+        muw_exact,
+        ss_comb,
+        min_stall_free_bw,
+    }
+}
+
+/// The Eq. (1)/(2) decision over a group's stall accumulators.
+fn ss_comb_from(
+    sum_pos: f64,
+    all_busy: f64,
+    neg_busy: f64,
+    muw_comb: f64,
+    oversubscription_bound: bool,
+) -> f64 {
+    if sum_pos == 0.0 {
+        // Eq. (1): Σ (MUW_u + SS_u) − MUW_comb = Σ busy − MUW_comb.
+        all_busy - muw_comb
+    } else {
+        // Eq. (2): positive stalls survive; the rest combine as (1).
+        let eq2 = sum_pos + (neg_busy - muw_comb).max(0.0);
+        if oversubscription_bound {
+            // Refinement over the paper's literal Eq. (2): a link
+            // that stalls by itself still *occupies* the shared
+            // window, so the port can never beat the Eq. (1)
+            // oversubscription bound. Take the tighter (larger).
+            eq2.max(all_busy - muw_comb)
+        } else {
+            eq2
+        }
     }
 }
 
@@ -227,6 +266,101 @@ impl StallScratch {
             },
         );
         integrate_with(arch, mem_stalls, grouped)
+    }
+
+    /// Bandwidth-delta Steps 2–3: reuse everything the last
+    /// [`combine_and_integrate`](Self::combine_and_integrate) computed
+    /// that bandwidth cannot reach — the sorted port grouping itself, the
+    /// per-port window unions (`MUW_comb`), `ReqBW_comb` and the
+    /// stall-free bandwidth — and recompute only the Eq. (1)/(2) stall
+    /// accumulators over the refreshed DTL columns.
+    ///
+    /// The cached grouping must still describe `dtls`; this is verified
+    /// key by key against the current endpoint lists, and on any mismatch
+    /// (or when nothing is cached) the call returns `None` so the caller
+    /// falls back to the full combine. On success the retained
+    /// [`port_groups`](Self::port_groups) and
+    /// [`memory_stalls`](Self::memory_stalls) are updated exactly as a
+    /// full combine would have left them.
+    pub fn recombine_and_integrate(
+        &mut self,
+        arch: &Architecture,
+        dtls: &[Dtl],
+        oversubscription_bound: bool,
+    ) -> Option<f64> {
+        let Self {
+            keys,
+            windows: _,
+            union: _,
+            groups,
+            mem_stalls,
+            grouped,
+        } = self;
+        if groups.is_empty() && !dtls.is_empty() {
+            return None;
+        }
+        // The cached sorted keys are reusable iff they are exactly the
+        // endpoint multiset of `dtls`: same total count, every entry
+        // present on its link. (Bandwidth refreshes never move endpoints,
+        // so in the delta pipeline this always holds.)
+        let total: usize = dtls.iter().map(|d| d.endpoints.len()).sum();
+        if keys.len() != total {
+            return None;
+        }
+        let covers = |&(mem, port, i): &(MemoryId, PortId, usize)| {
+            dtls.get(i)
+                .is_some_and(|d| d.endpoints.iter().any(|e| e.mem == mem && e.port == port))
+        };
+        if !keys.iter().all(covers) {
+            return None;
+        }
+        mem_stalls.clear();
+        let mut gi = 0;
+        let mut start = 0;
+        while start < keys.len() {
+            let (mem, port, _) = keys[start];
+            let mut end = start + 1;
+            while end < keys.len() && keys[end].0 == mem && keys[end].1 == port {
+                end += 1;
+            }
+            let cached = groups.get_mut(gi)?;
+            if cached.mem != mem || cached.port != port {
+                return None;
+            }
+            // Same accumulator order as `group_scalars`, restricted to
+            // the bandwidth-dependent quantities.
+            let (mut sum_pos, mut all_busy, mut neg_busy) = (0.0f64, 0.0f64, 0.0f64);
+            for &(_, _, i) in &keys[start..end] {
+                let d = &dtls[i];
+                let busy = d.busy();
+                all_busy += busy;
+                if d.ss_u <= 0.0 {
+                    neg_busy += busy;
+                } else {
+                    sum_pos += d.ss_u;
+                }
+            }
+            cached.ss_comb = ss_comb_from(
+                sum_pos,
+                all_busy,
+                neg_busy,
+                cached.muw_comb,
+                oversubscription_bound,
+            );
+            match mem_stalls.last_mut() {
+                Some(last) if last.mem == cached.mem => last.ss = last.ss.max(cached.ss_comb),
+                _ => mem_stalls.push(MemStall {
+                    mem: cached.mem,
+                    ss: cached.ss_comb,
+                }),
+            }
+            gi += 1;
+            start = end;
+        }
+        if gi != groups.len() {
+            return None;
+        }
+        Some(integrate_with(arch, mem_stalls, grouped))
     }
 }
 

@@ -1,12 +1,20 @@
 //! The NDJSON request/response protocol and the evaluation service.
 //!
-//! One JSON object per line in, one JSON object per line out. Three request
+//! One JSON object per line in, one JSON object per line out. Four request
 //! kinds:
 //!
 //! * `eval` — evaluate one explicit temporal mapping:
 //!   `{"kind":"eval","id":1,"arch":"case16","layer":"64x96x640","mapping":{…}}`
 //! * `search` — run a mapping-space search and return the best mapping:
 //!   `{"kind":"search","id":2,"arch":"case16","layer":{"b":64,"k":96,"c":640},"objective":"latency"}`
+//! * `whatif` — re-evaluate a base design's best mapping with overridden
+//!   architecture knobs, incrementally:
+//!   `{"kind":"whatif","id":3,"arch":"case16","layer":"64x96x640","set":["mem.GB.bw=2x"]}`.
+//!   The base query is resolved against the fingerprinted result cache
+//!   (computed and cached on a miss), the knob overrides become an
+//!   [`ulm_model::InputDelta`], and only the invalidated lowering stages
+//!   are recomputed for the modified architecture. The response reports
+//!   base and modified latency/energy plus their deltas.
 //! * `stats` — report cache hit rate, queue depth and request-latency
 //!   percentiles: `{"kind":"stats"}` (also accepted as `"/stats"`).
 //!
@@ -37,7 +45,9 @@ use ulm_energy::{EnergyModel, EnergyReport};
 use ulm_error::UlmError;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
-use ulm_model::{LatencyModel, LatencyReport, ModelOptions};
+use ulm_model::{
+    apply_overrides, InputDelta, LatencyModel, LatencyReport, ModelOptions, ModelScratch,
+};
 use ulm_reactor::{extract_line, Extracted};
 use ulm_workload::{Dim, Layer, Precision};
 
@@ -110,6 +120,19 @@ pub struct SearchMeta {
     pub cache_hits: u64,
 }
 
+/// Incremental-evaluation counters across `whatif` requests, reported by
+/// `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WhatifTotals {
+    /// `whatif` requests successfully evaluated.
+    pub requests: usize,
+    /// Requests whose fingerprinted base entry was already cached, so only
+    /// the incremental re-evaluation ran.
+    pub delta_hits: usize,
+    /// Requests that had to compute (and cache) the base design first.
+    pub full_rebuilds: usize,
+}
+
 /// Cumulative search effort across every *executed* (non-cached) search
 /// request, reported by `/stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -129,7 +152,7 @@ pub struct SearchTotals {
 /// Request-latency summary for `/stats`, in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LatencySummary {
-    /// Completed eval/search requests measured.
+    /// Completed eval/search/whatif requests measured.
     pub count: usize,
     /// Fastest request.
     pub min_ms: f64,
@@ -195,6 +218,7 @@ enum QueryMode {
 
 enum Request {
     Query(Box<Query>),
+    WhatIf { base: Box<Query>, set: Vec<String> },
     Stats,
 }
 
@@ -428,6 +452,61 @@ fn parse_objective(req: &Value) -> Result<Objective, UlmError> {
     }
 }
 
+/// The `set` field of a `whatif` request: a non-empty array of
+/// `mem.<name>.<knob>=<value>` override strings.
+fn parse_set(req: &Value) -> Result<Vec<String>, UlmError> {
+    let spec = field(req, "set")
+        .ok_or_else(|| UlmError::invalid_request("`whatif` needs a `set` array of overrides"))?;
+    let Value::Array(items) = spec else {
+        return Err(UlmError::invalid_request("`set` must be an array"));
+    };
+    let mut set = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Value::String(s) => set.push(s.clone()),
+            _ => {
+                return Err(UlmError::invalid_request(
+                    "`set` entries must be strings like `mem.GB.bw=2x`",
+                ))
+            }
+        }
+    }
+    if set.is_empty() {
+        return Err(UlmError::invalid_request("`set` must not be empty"));
+    }
+    Ok(set)
+}
+
+/// Parses the common eval/search query fields. `eval_mode` selects an
+/// explicit-mapping evaluation over a mapping search.
+fn parse_query(req: &Value, eval_mode: bool) -> Result<Query, UlmError> {
+    let (arch, default_spatial) = parse_arch(req)?;
+    let spatial = parse_spatial(req, default_spatial)?;
+    let layer = parse_layer(req)?;
+    let model = parse_model(req)?;
+    let mode = if eval_mode {
+        let spec = field(req, "mapping")
+            .ok_or_else(|| UlmError::invalid_request("`eval` needs a `mapping`"))?;
+        let mapping: Mapping = serde::Deserialize::from_value(spec)
+            .map_err(|e| UlmError::invalid_request(format!("invalid `mapping`: {e}")))?;
+        QueryMode::Eval(Box::new(mapping))
+    } else {
+        let (mapper, parallelism) = parse_mapper(req, &model)?;
+        QueryMode::Search {
+            objective: parse_objective(req)?,
+            mapper,
+            parallelism,
+        }
+    };
+    Ok(Query {
+        arch,
+        spatial,
+        layer,
+        model,
+        mode,
+    })
+}
+
 fn parse_request(req: &Value) -> Result<Request, UlmError> {
     if !matches!(req, Value::Object(_)) {
         return Err(UlmError::invalid_request("request must be a JSON object"));
@@ -447,35 +526,16 @@ fn parse_request(req: &Value) -> Result<Request, UlmError> {
     };
     match kind {
         "stats" | "/stats" => Ok(Request::Stats),
-        "eval" | "search" => {
-            let (arch, default_spatial) = parse_arch(req)?;
-            let spatial = parse_spatial(req, default_spatial)?;
-            let layer = parse_layer(req)?;
-            let model = parse_model(req)?;
-            let mode = if kind == "eval" {
-                let spec = field(req, "mapping")
-                    .ok_or_else(|| UlmError::invalid_request("`eval` needs a `mapping`"))?;
-                let mapping: Mapping = serde::Deserialize::from_value(spec)
-                    .map_err(|e| UlmError::invalid_request(format!("invalid `mapping`: {e}")))?;
-                QueryMode::Eval(Box::new(mapping))
-            } else {
-                let (mapper, parallelism) = parse_mapper(req, &model)?;
-                QueryMode::Search {
-                    objective: parse_objective(req)?,
-                    mapper,
-                    parallelism,
-                }
-            };
-            Ok(Request::Query(Box::new(Query {
-                arch,
-                spatial,
-                layer,
-                model,
-                mode,
-            })))
-        }
+        "eval" | "search" => Ok(Request::Query(Box::new(parse_query(req, kind == "eval")?))),
+        // The base of a `whatif` follows the same defaulting rule: an
+        // explicit `mapping` evaluates that mapping, otherwise the best
+        // mapping is searched (and cached) first.
+        "whatif" => Ok(Request::WhatIf {
+            set: parse_set(req)?,
+            base: Box::new(parse_query(req, field(req, "mapping").is_some())?),
+        }),
         other => Err(UlmError::invalid_request(format!(
-            "unknown kind `{other}` (eval|search|stats)"
+            "unknown kind `{other}` (eval|search|whatif|stats)"
         ))),
     }
 }
@@ -644,6 +704,7 @@ pub struct EvalService {
     inflight: Mutex<std::collections::HashMap<u128, Arc<Inflight>>>,
     latencies_ms: Mutex<Vec<f64>>,
     search_totals: Mutex<SearchTotals>,
+    whatif_totals: Mutex<WhatifTotals>,
     disk: Option<DiskState>,
     include_timing: bool,
     max_line_len: usize,
@@ -712,6 +773,7 @@ impl EvalService {
             inflight: Mutex::new(std::collections::HashMap::new()),
             latencies_ms: Mutex::new(Vec::new()),
             search_totals: Mutex::new(SearchTotals::default()),
+            whatif_totals: Mutex::new(WhatifTotals::default()),
             disk,
             include_timing: opts.include_timing,
             max_line_len: opts.max_line_len,
@@ -795,6 +857,14 @@ impl EvalService {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Cumulative incremental-evaluation counters over `whatif` requests.
+    pub fn whatif_totals(&self) -> WhatifTotals {
+        *self
+            .whatif_totals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// The result cache (exposed for benchmarks and tests).
     pub fn cache(&self) -> &ResultCache<EvalOutcome> {
         &self.cache
@@ -853,6 +923,20 @@ impl EvalService {
     fn respond(&self, req: &Value) -> Result<Vec<(String, Value)>, UlmError> {
         match parse_request(req)? {
             Request::Stats => Ok(self.stats_fields()),
+            Request::WhatIf { base, set } => {
+                let start = Instant::now();
+                let result = self.respond_whatif(&base, &set);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                self.latencies_ms
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(elapsed_ms);
+                let mut fields = result?;
+                if self.include_timing {
+                    fields.push(("elapsed_ms".to_string(), Value::F64(elapsed_ms)));
+                }
+                Ok(fields)
+            }
             Request::Query(query) => {
                 let start = Instant::now();
                 let fp = query.fingerprint();
@@ -892,6 +976,118 @@ impl EvalService {
                 Ok(fields)
             }
         }
+    }
+
+    /// Resolves the base query against the fingerprinted cache (computing
+    /// and caching it on a miss), applies the knob overrides, and
+    /// re-evaluates the base's mapping on the modified architecture
+    /// through the dirty-stage delta path — invalidated lowering stages
+    /// are recomputed, everything else is reused. The delta evaluation is
+    /// bit-identical to a cold evaluation of the modified design.
+    fn respond_whatif(
+        &self,
+        base: &Query,
+        set: &[String],
+    ) -> Result<Vec<(String, Value)>, UlmError> {
+        let fp = base.fingerprint();
+        let (outcome, cached) = self.lookup_or_execute(base, fp)?;
+        let (modified_arch, delta) = apply_overrides(&base.arch, set)?;
+
+        let model = LatencyModel::with_options(base.model);
+        let mut scratch = ModelScratch::default();
+        // Prime the pipeline on the base design, then rebuild only what
+        // the overrides invalidated. A pure-bandwidth override reuses the
+        // residency and feed-rate stages (and the energy model's access
+        // counts with them).
+        let base_view = MappedLayer::new(&base.layer, &base.arch, &outcome.mapping)?;
+        let (base_fast, _) = model.evaluate_delta_fast(&base_view, InputDelta::ALL, &mut scratch);
+        let view = MappedLayer::new(&base.layer, &modified_arch, &outcome.mapping)?;
+        let (fast, rebuild) = model.evaluate_delta_fast(&view, delta, &mut scratch);
+        let energy = EnergyModel::new().evaluate_lowered(&view, scratch.lowered());
+
+        {
+            let mut totals = self
+                .whatif_totals
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            totals.requests += 1;
+            if cached {
+                totals.delta_hits += 1;
+            } else {
+                totals.full_rebuilds += 1;
+            }
+        }
+
+        let summary = |cc_total: f64, ss_overall: f64, utilization: f64, energy_fj: f64| {
+            Value::Object(vec![
+                ("cc_total".to_string(), Value::F64(cc_total)),
+                ("ss_overall".to_string(), Value::F64(ss_overall)),
+                ("utilization".to_string(), Value::F64(utilization)),
+                ("energy_fj".to_string(), Value::F64(energy_fj)),
+            ])
+        };
+        Ok(vec![
+            ("kind".to_string(), Value::String("whatif".into())),
+            ("fingerprint".to_string(), Value::String(fp.to_string())),
+            ("cached".to_string(), Value::Bool(cached)),
+            (
+                "set".to_string(),
+                Value::Array(set.iter().map(|s| Value::String(s.clone())).collect()),
+            ),
+            (
+                "mapping_text".to_string(),
+                Value::String(outcome.mapping.to_string()),
+            ),
+            ("mapping".to_string(), outcome.mapping.to_value()),
+            (
+                "base".to_string(),
+                summary(
+                    base_fast.cc_total,
+                    base_fast.ss_overall,
+                    base_fast.utilization,
+                    outcome.energy.total_fj,
+                ),
+            ),
+            (
+                "modified".to_string(),
+                summary(
+                    fast.cc_total,
+                    fast.ss_overall,
+                    fast.utilization,
+                    energy.total_fj,
+                ),
+            ),
+            (
+                "delta".to_string(),
+                Value::Object(vec![
+                    (
+                        "cc_total".to_string(),
+                        Value::F64(fast.cc_total - base_fast.cc_total),
+                    ),
+                    (
+                        "energy_fj".to_string(),
+                        Value::F64(energy.total_fj - outcome.energy.total_fj),
+                    ),
+                    (
+                        "speedup".to_string(),
+                        Value::F64(base_fast.cc_total / fast.cc_total),
+                    ),
+                ]),
+            ),
+            (
+                "rebuild".to_string(),
+                Value::Object(vec![
+                    (
+                        "stages_rebuilt".to_string(),
+                        Value::U64(u64::from(rebuild.stages_rebuilt)),
+                    ),
+                    (
+                        "stages_skipped".to_string(),
+                        Value::U64(u64::from(rebuild.stages_skipped)),
+                    ),
+                ]),
+            ),
+        ])
     }
 
     /// Cache lookup with single-flight coalescing: concurrent identical
@@ -996,6 +1192,7 @@ impl EvalService {
             ("pool".to_string(), pool.to_value()),
             ("latency_ms".to_string(), latency.to_value()),
             ("search".to_string(), self.search_totals().to_value()),
+            ("whatif".to_string(), self.whatif_totals().to_value()),
         ];
         if let Some(disk) = self.disk_stats() {
             fields.push(("disk".to_string(), disk.to_value()));
@@ -1374,6 +1571,118 @@ mod tests {
             (
                 r#"{"kind":"search","arch":"toy","layer":"4x4x8","spatial":[["K",1024]]}"#,
                 "mapper/no-legal-mapping",
+            ),
+        ] {
+            let v = parse(&svc.handle_line(bad).unwrap());
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{bad}");
+            assert_eq!(
+                v.get("code"),
+                Some(&Value::String(code.to_string())),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn whatif_matches_cold_evaluation_of_modified_arch() {
+        let svc = service();
+        let base = r#"{"kind":"search","arch":"case16","gb_bw":128,"layer":"8x16x64","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let b = parse(&svc.handle_line(base).unwrap());
+        assert_eq!(b.get("ok"), Some(&Value::Bool(true)), "{b:?}");
+
+        // Same base fields + overrides: the cached entry is the base.
+        let whatif = parse(&svc.handle_line(
+            r#"{"kind":"whatif","arch":"case16","gb_bw":128,"layer":"8x16x64","mapper":{"max_exhaustive":200,"samples":20},"set":["mem.GB.bw=2x"]}"#,
+        ).unwrap());
+        assert_eq!(whatif.get("ok"), Some(&Value::Bool(true)), "{whatif:?}");
+        assert_eq!(whatif.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(whatif.get("fingerprint"), b.get("fingerprint"));
+        // The base half of the response is the cached result.
+        assert_eq!(
+            whatif.get("base").and_then(|v| v.get("cc_total")),
+            b.get("latency").and_then(|l| l.get("cc_total"))
+        );
+        // A bandwidth-only override reuses the residency and feed-rate
+        // stages.
+        let rebuild = whatif.get("rebuild").unwrap();
+        assert_eq!(
+            rebuild.get("stages_skipped").and_then(Value::as_u64),
+            Some(2),
+            "{whatif:?}"
+        );
+
+        // Cold re-evaluation of the incumbent mapping on the modified
+        // architecture (`case16` at twice the GB bandwidth) must agree
+        // bit for bit.
+        let mapping = serde_json::to_string(b.get("mapping").unwrap()).unwrap();
+        let cold_line = format!(
+            r#"{{"kind":"eval","arch":"case16","gb_bw":256,"layer":"8x16x64","mapping":{mapping}}}"#
+        );
+        let cold = parse(&svc.handle_line(&cold_line).unwrap());
+        assert_eq!(cold.get("ok"), Some(&Value::Bool(true)), "{cold:?}");
+        assert_eq!(
+            whatif.get("modified").and_then(|v| v.get("cc_total")),
+            cold.get("latency").and_then(|l| l.get("cc_total"))
+        );
+        assert_eq!(
+            whatif.get("modified").and_then(|v| v.get("energy_fj")),
+            cold.get("energy").and_then(|e| e.get("total_fj"))
+        );
+
+        // Counters: one whatif, served off the cached base.
+        let totals = svc.whatif_totals();
+        assert_eq!(totals.requests, 1);
+        assert_eq!(totals.delta_hits, 1);
+        assert_eq!(totals.full_rebuilds, 0);
+
+        // A whatif whose base is not cached computes it from scratch and
+        // shows up as a full rebuild (and caches the base for next time).
+        let fresh = parse(&svc.handle_line(
+            r#"{"kind":"whatif","arch":"case16","gb_bw":128,"layer":"16x16x64","mapper":{"max_exhaustive":200,"samples":20},"set":["mem.GB.bw=2x"]}"#,
+        ).unwrap());
+        assert_eq!(fresh.get("ok"), Some(&Value::Bool(true)), "{fresh:?}");
+        assert_eq!(fresh.get("cached"), Some(&Value::Bool(false)));
+        let totals = svc.whatif_totals();
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.delta_hits, 1);
+        assert_eq!(totals.full_rebuilds, 1);
+
+        // `/stats` surfaces the same counters.
+        let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let w = stats.get("whatif").unwrap();
+        assert_eq!(w.get("requests").and_then(Value::as_u64), Some(2));
+        assert_eq!(w.get("delta_hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(w.get("full_rebuilds").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn whatif_knob_errors_carry_stable_codes() {
+        let svc = service();
+        for (bad, code) in [
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8","set":["mem.NOPE.bw=2x"]}"#,
+                "knob/unknown-memory",
+            ),
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8","set":["gb.bw=2x"]}"#,
+                "knob/unknown-path",
+            ),
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8","set":["mem.LB.bw=fast"]}"#,
+                "knob/bad-value",
+            ),
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8","set":["mem.LB.bw=0x"]}"#,
+                "knob/invalid-value",
+            ),
+            // Malformed `set` shapes stay request-level errors.
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8","set":[]}"#,
+                "request/invalid",
+            ),
+            (
+                r#"{"kind":"whatif","arch":"toy","layer":"4x4x8"}"#,
+                "request/invalid",
             ),
         ] {
             let v = parse(&svc.handle_line(bad).unwrap());

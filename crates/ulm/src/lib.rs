@@ -52,8 +52,8 @@ pub mod prelude {
         Port, PortUse, StallIntegration,
     };
     pub use ulm_dse::{
-        enumerate_designs, explore, explore_with_stats, pareto_front, DesignParams, DsePoint,
-        DseStats, ExploreOptions, MemoryPool,
+        enumerate_designs, explore, explore_bw_sweep, explore_with_stats, pareto_front,
+        DesignParams, DsePoint, DseStats, ExploreOptions, MemoryPool, SweepStats,
     };
     pub use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
     pub use ulm_error::UlmError;
@@ -64,8 +64,8 @@ pub mod prelude {
         LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc, SpatialUnroll, TemporalLoop,
     };
     pub use ulm_model::{
-        roofline_bound, FastLatency, LatencyModel, LatencyReport, LoweredLayer, ModelOptions,
-        ModelScratch, Scenario,
+        apply_overrides, roofline_bound, FastLatency, InputDelta, KnobError, LatencyModel,
+        LatencyReport, LoweredLayer, ModelOptions, ModelScratch, RebuildStats, Scenario,
     };
     pub use ulm_network::{InterLayerOverlap, NetworkEvaluator, NetworkReport};
     pub use ulm_serve::{EvalService, Fingerprint, ResultCache, ServeOptions, WorkerPool};

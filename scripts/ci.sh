@@ -87,4 +87,20 @@ else
     echo "    (skipped: the epoll reactor needs Linux)"
 fi
 
+echo "==> whatif smoke (incremental delta path vs cold evaluation)"
+# --verify re-evaluates the modified design from scratch inside the CLI
+# and fails unless the incremental result is bit-identical.
+target/release/ulm whatif --arch case16 --layer 64x96x640 \
+    --max-exhaustive 2000 --samples 50 \
+    --set mem.GB.bw=2x --verify >/dev/null
+# A bogus knob path must exit non-zero with a namespaced knob/* code.
+whatif_err="$(mktemp)"
+if target/release/ulm whatif --arch case16 --layer 64x96x640 \
+    --set mem.NOPE.bw=2x >/dev/null 2>"$whatif_err"; then
+    echo "error: ulm whatif accepted an unknown memory" >&2
+    exit 1
+fi
+grep -q "error\[knob/unknown-memory\]" "$whatif_err"
+rm -f "$whatif_err"
+
 echo "CI OK"

@@ -8,9 +8,14 @@
 //! the energy traffic, and the same products summed over the scheduled
 //! transfers — from one shared lowering.
 
+//! A fourth property closes the loop on incremental lowering:
+//! [`LoweredLayer::rebuild_dirty`] over a random knob override must leave
+//! an IR that all three consumers read bit-identically to a from-scratch
+//! lowering of the modified design.
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use ulm::model::{DtlKind, DtlOptions};
+use ulm::model::{apply_overrides, DtlKind, DtlOptions};
 use ulm::prelude::*;
 use ulm::sim::{build_schedule_lowered, TransferKind};
 
@@ -211,6 +216,89 @@ proptest! {
             prop_assert_eq!(m.memory.as_str(), h.mem(MemoryId(mid)).name());
             prop_assert_eq!(m.read_bits, rd, "{} reads", m.memory);
             prop_assert_eq!(m.write_bits, wr, "{} writes", m.memory);
+        }
+    }
+
+    /// `rebuild_dirty` over a random knob override is bit-identical to a
+    /// from-scratch lowering of the modified design — for the latency
+    /// model, the energy model *and* the simulator's schedule.
+    #[test]
+    fn rebuild_dirty_matches_from_scratch_lowering(
+        (layer, stack) in arb_point(),
+        knob_seed in any::<u64>(),
+    ) {
+        let chip = presets::toy_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(base_view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+
+        // Derive one override from the seed: memory × knob × value. Size
+        // scales stay >= 1x so the incumbent mapping remains legal.
+        let mems = ["W-Reg", "I-Reg", "O-Reg", "LB"];
+        let knobs = ["size", "bw", "read_bw", "write_bw"];
+        let values = ["2x", "4x", "0.5x", "3x"];
+        let mem = mems[(knob_seed % mems.len() as u64) as usize];
+        let knob = knobs[((knob_seed >> 8) % knobs.len() as u64) as usize];
+        let value = if knob == "size" {
+            values[((knob_seed >> 16) % 2) as usize]
+        } else {
+            values[((knob_seed >> 16) % values.len() as u64) as usize]
+        };
+        let set = format!("mem.{mem}.{knob}={value}");
+        let (modified, delta) =
+            apply_overrides(&chip.arch, &[set.as_str()]).expect("grammar-valid knob");
+        let Ok(view) = MappedLayer::new(&layer, &modified, &mapping) else {
+            return Ok(());
+        };
+
+        let model = LatencyModel::new();
+        // Incremental: lower the base design, then patch only the stages
+        // the delta invalidates.
+        let mut incremental = LoweredLayer::build(&base_view, model.dtl_options());
+        let stats = incremental.rebuild_dirty(&view, model.dtl_options(), delta);
+        prop_assert_eq!(stats.stages_rebuilt + stats.stages_skipped, 4);
+        // Cold: lower the modified design from scratch.
+        let cold = LoweredLayer::build(&view, model.dtl_options());
+
+        // Latency: every composed field agrees bit for bit.
+        let inc = model.evaluate_lowered(&view, &incremental);
+        let ref_ = model.evaluate_lowered(&view, &cold);
+        prop_assert_eq!(inc.cc_total.to_bits(), ref_.cc_total.to_bits(), "{set}");
+        prop_assert_eq!(inc.ss_overall.to_bits(), ref_.ss_overall.to_bits(), "{set}");
+        prop_assert_eq!(inc.utilization.to_bits(), ref_.utilization.to_bits(), "{set}");
+
+        // Energy: total and per-memory traffic agree bit for bit.
+        let e_inc = EnergyModel::new().evaluate_lowered(&view, &incremental);
+        let e_ref = EnergyModel::new().evaluate_lowered(&view, &cold);
+        prop_assert_eq!(e_inc.total_fj.to_bits(), e_ref.total_fj.to_bits(), "{set}");
+        prop_assert_eq!(e_inc.memories.len(), e_ref.memories.len());
+        for (a, b) in e_inc.memories.iter().zip(e_ref.memories.iter()) {
+            prop_assert_eq!(&a.memory, &b.memory);
+            prop_assert_eq!(a.read_bits, b.read_bits, "{} reads after {set}", a.memory);
+            prop_assert_eq!(a.write_bits, b.write_bits, "{} writes after {set}", a.memory);
+        }
+
+        // Sim: the schedules are structurally identical, transfer by
+        // transfer (`Transfer` has no `PartialEq`, so compare fields).
+        let s_inc = build_schedule_lowered(&view, &incremental, u64::MAX).expect("uncapped");
+        let s_ref = build_schedule_lowered(&view, &cold, u64::MAX).expect("uncapped");
+        prop_assert_eq!(s_inc.total_cycles, s_ref.total_cycles, "{set}");
+        prop_assert_eq!(s_inc.transfers.len(), s_ref.transfers.len(), "{set}");
+        for (a, b) in s_inc.transfers.iter().zip(s_ref.transfers.iter()) {
+            prop_assert_eq!(a.operand, b.operand);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.level, b.level);
+            prop_assert_eq!(a.period, b.period);
+            prop_assert_eq!(a.ready_cycle, b.ready_cycle, "transfer {} after {set}", a.id);
+            prop_assert_eq!(a.need_cycle, b.need_cycle, "transfer {} after {set}", a.id);
+            prop_assert_eq!(a.bits, b.bits);
+            prop_assert_eq!(a.link_bw, b.link_bw, "transfer {} after {set}", a.id);
+            prop_assert_eq!(&a.ports, &b.ports);
+            prop_assert_eq!(&a.deps, &b.deps);
         }
     }
 }
