@@ -65,9 +65,13 @@ struct Snapshot {
     baseline_score_bits: u64,
     fast_secs: f64,
     fast_allocs_per_ordering: f64,
-    fast_pruned: usize,
-    fast_cache_hits: u64,
     fast_score_bits: u64,
+    batch_lanes: usize,
+    batched_secs: f64,
+    batched_allocs_per_ordering: f64,
+    batched_pruned: usize,
+    batched_cache_hits: u64,
+    batched_score_bits: u64,
     par_secs: f64,
     par_threads: usize,
     par_score_bits: u64,
@@ -120,35 +124,52 @@ fn measure() -> Snapshot {
     let best = best.expect("baseline finds a legal mapping");
     assert_eq!(generated as u128, space);
 
-    // Optimized serial search over the same space.
+    // Optimized serial search over the same space, scalar lanes: the
+    // pre-batching fast path kept as the differential oracle.
     let a1 = allocs();
     let t1 = Instant::now();
     let fast = Mapper::new(&arch, &layer, spatial.clone())
         .with_options(opts)
+        .with_batch_lanes(Some(1))
         .search(Objective::Latency)
         .expect("fast search finds a legal mapping");
     let fast_secs = t1.elapsed().as_secs_f64();
     let fast_allocs = allocs() - a1;
 
-    // Optimized search with intra-design work-stealing parallelism.
+    // Batched SoA kernel at the default lane count, serial.
+    let a2 = allocs();
+    let t2 = Instant::now();
+    let batched = Mapper::new(&arch, &layer, spatial.clone())
+        .with_options(opts)
+        .search(Objective::Latency)
+        .expect("batched search finds a legal mapping");
+    let batched_secs = t2.elapsed().as_secs_f64();
+    let batched_allocs = allocs() - a2;
+
+    // Batched search with intra-design work-stealing parallelism at the
+    // detected core count.
     let par_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let t2 = Instant::now();
+    let t3 = Instant::now();
     let par = Mapper::new(&arch, &layer, spatial)
         .with_options(opts)
         .with_parallelism(Some(par_threads))
         .search(Objective::Latency)
         .expect("parallel search finds a legal mapping");
-    let par_secs = t2.elapsed().as_secs_f64();
+    let par_secs = t3.elapsed().as_secs_f64();
 
-    // All three must agree bit-for-bit (the equivalence property tests
+    // All four must agree bit-for-bit (the equivalence property tests
     // check this exhaustively; the bench double-checks its own run).
     let baseline_bits = best.latency.cc_total.to_bits();
     assert_eq!(baseline_bits, fast.best.latency.cc_total.to_bits());
+    assert_eq!(baseline_bits, batched.best.latency.cc_total.to_bits());
     assert_eq!(baseline_bits, par.best.latency.cc_total.to_bits());
     assert_eq!(best.mapping, fast.best.mapping);
+    assert_eq!(best.mapping, batched.best.mapping);
     assert_eq!(best.mapping, par.best.mapping);
+    assert_eq!(fast.stats.evaluated, batched.stats.evaluated);
+    assert_eq!(fast.stats.pruned, batched.stats.pruned);
 
     // Report-assembling vs scratch-based latency evaluation on the best
     // mapping: both run the same lowering + Steps 2-3 core, so the only
@@ -210,9 +231,13 @@ fn measure() -> Snapshot {
         baseline_score_bits: baseline_bits,
         fast_secs,
         fast_allocs_per_ordering: fast_allocs as f64 / generated as f64,
-        fast_pruned: fast.pruned,
-        fast_cache_hits: fast.cache_hits,
         fast_score_bits: fast.best.latency.cc_total.to_bits(),
+        batch_lanes: batched.stats.batch_lanes,
+        batched_secs,
+        batched_allocs_per_ordering: batched_allocs as f64 / generated as f64,
+        batched_pruned: batched.stats.pruned,
+        batched_cache_hits: batched.stats.cache_hits,
+        batched_score_bits: batched.best.latency.cc_total.to_bits(),
         par_secs,
         par_threads,
         par_score_bits: par.best.latency.cc_total.to_bits(),
@@ -243,6 +268,7 @@ fn write_snapshot(s: &Snapshot) {
     let n = s.space as f64;
     let baseline_ops = n / s.baseline_secs;
     let fast_ops = n / s.fast_secs;
+    let batched_ops = n / s.batched_secs;
     let par_ops = n / s.par_secs;
     let json = format!(
         "{{\n  \"workload\": \"fig8-dse case_study_chip(128) matmul 64x96x640, spatial K16 B8 C2\",\n  \
@@ -254,10 +280,17 @@ fn write_snapshot(s: &Snapshot) {
          \"fast_serial_orderings_per_sec\": {:.1},\n  \
          \"fast_serial_allocs_per_ordering\": {:.4},\n  \
          \"fast_serial_speedup\": {:.2},\n  \
+         \"batch_lanes\": {},\n  \
+         \"batched_secs\": {:.6},\n  \
+         \"batched_orderings_per_sec\": {:.1},\n  \
+         \"batched_allocs_per_ordering\": {:.4},\n  \
+         \"batched_speedup\": {:.2},\n  \
+         \"batched_vs_scalar\": {:.2},\n  \
          \"fast_parallel_threads\": {},\n  \
          \"fast_parallel_secs\": {:.6},\n  \
          \"fast_parallel_orderings_per_sec\": {:.1},\n  \
          \"fast_parallel_speedup\": {:.2},\n  \
+         \"fast_parallel_scaling_per_thread\": {:.2},\n  \
          \"pruned\": {},\n  \
          \"prefix_reuses\": {},\n  \
          \"results_bit_identical\": {},\n  \
@@ -280,13 +313,22 @@ fn write_snapshot(s: &Snapshot) {
         fast_ops,
         s.fast_allocs_per_ordering,
         s.baseline_secs / s.fast_secs,
+        s.batch_lanes,
+        s.batched_secs,
+        batched_ops,
+        s.batched_allocs_per_ordering,
+        s.baseline_secs / s.batched_secs,
+        s.fast_secs / s.batched_secs,
         s.par_threads,
         s.par_secs,
         par_ops,
         s.baseline_secs / s.par_secs,
-        s.fast_pruned,
-        s.fast_cache_hits,
-        s.baseline_score_bits == s.fast_score_bits && s.baseline_score_bits == s.par_score_bits,
+        (s.batched_secs / s.par_secs) / s.par_threads as f64,
+        s.batched_pruned,
+        s.batched_cache_hits,
+        s.baseline_score_bits == s.fast_score_bits
+            && s.baseline_score_bits == s.batched_score_bits
+            && s.baseline_score_bits == s.par_score_bits,
         s.model_iters as f64 / s.model_eval_secs,
         s.model_iters as f64 / s.model_eval_fast_secs,
         s.model_eval_secs / s.model_eval_fast_secs,
@@ -301,11 +343,16 @@ fn write_snapshot(s: &Snapshot) {
     let path = json_path();
     fs::write(&path, json).expect("write BENCH_mapper.json");
     println!(
-        "[bench] {} orderings: baseline {:.0}/s, fast {:.0}/s ({:.1}x), parallel({}) {:.0}/s ({:.1}x)",
+        "[bench] {} orderings: baseline {:.0}/s, scalar {:.0}/s ({:.1}x), batched({} lanes) \
+         {:.0}/s ({:.1}x, {:.1}x vs scalar), parallel({}) {:.0}/s ({:.1}x)",
         s.space,
         baseline_ops,
         fast_ops,
         s.baseline_secs / s.fast_secs,
+        s.batch_lanes,
+        batched_ops,
+        s.baseline_secs / s.batched_secs,
+        s.fast_secs / s.batched_secs,
         s.par_threads,
         par_ops,
         s.baseline_secs / s.par_secs,

@@ -3,6 +3,7 @@
 
 use crate::pool::{build_design, DesignParams, DesignPoint};
 use ulm_arch::AreaModel;
+pub use ulm_mapper::SearchStats;
 use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
 use ulm_mapping::MappedLayer;
 use ulm_model::{InputDelta, LatencyModel, ModelScratch, RebuildStats};
@@ -40,6 +41,10 @@ pub struct ExploreOptions {
     /// short but each mapping space is large; the per-design result is
     /// identical at every setting.
     pub mapping_parallelism: Option<usize>,
+    /// SoA lane count for each design's ordering search (routed to
+    /// [`Mapper::with_batch_lanes`]). `None` uses the mapper default; the
+    /// per-design result is bit-identical at every lane count.
+    pub batch_lanes: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -55,6 +60,7 @@ impl Default for ExploreOptions {
             area: AreaModel::default(),
             parallelism: None,
             mapping_parallelism: None,
+            batch_lanes: None,
         }
     }
 }
@@ -66,14 +72,9 @@ pub struct DseStats {
     pub designs: usize,
     /// Designs with at least one legal mapping.
     pub feasible: usize,
-    /// Orderings generated across all designs.
-    pub generated: usize,
-    /// Orderings fully evaluated.
-    pub evaluated: usize,
-    /// Legal orderings skipped by branch-and-bound lower bounds.
-    pub pruned: usize,
-    /// Prefix quantities reused between consecutive orderings.
-    pub cache_hits: u64,
+    /// Ordering-search counters summed across all designs (the shared
+    /// [`SearchStats`] from `ulm-mapper`).
+    pub search: SearchStats,
     /// Wall-clock exploration time in milliseconds.
     pub wall_ms: f64,
 }
@@ -93,24 +94,15 @@ pub fn evaluate_design(
     evaluate_design_counted(design, layer, opts).map(|(p, _)| p)
 }
 
-/// Per-design search-effort counters (a [`DseStats`] slice without the
-/// design counts or wall time).
-#[derive(Debug, Clone, Copy, Default)]
-struct SearchCounters {
-    generated: usize,
-    evaluated: usize,
-    pruned: usize,
-    cache_hits: u64,
-}
-
 fn evaluate_design_counted(
     design: &DesignPoint,
     layer: &Layer,
     opts: &ExploreOptions,
-) -> Result<(DsePoint, SearchCounters), MapperError> {
+) -> Result<(DsePoint, SearchStats), MapperError> {
     let mapper = Mapper::new(&design.arch, layer, design.spatial.clone())
         .with_options(opts.mapper)
-        .with_parallelism(opts.mapping_parallelism);
+        .with_parallelism(opts.mapping_parallelism)
+        .with_batch_lanes(opts.batch_lanes);
     let result = mapper.search(Objective::Latency)?;
     let h = design.arch.hierarchy();
     let exclude: Vec<_> = h.find("GB").into_iter().collect();
@@ -123,12 +115,7 @@ fn evaluate_design_counted(
             utilization: result.best.latency.utilization,
             ss_overall: result.best.latency.ss_overall,
         },
-        SearchCounters {
-            generated: result.generated,
-            evaluated: result.evaluated,
-            pruned: result.pruned,
-            cache_hits: result.cache_hits,
-        },
+        result.stats,
     ))
 }
 
@@ -153,7 +140,7 @@ pub fn explore_with_stats(
 ) -> (Vec<DsePoint>, DseStats) {
     let t0 = std::time::Instant::now();
     let threads = opts.parallelism.unwrap_or(1).clamp(1, designs.len().max(1));
-    let mut slots: Vec<Option<(DsePoint, SearchCounters)>> = vec![None; designs.len()];
+    let mut slots: Vec<Option<(DsePoint, SearchStats)>> = vec![None; designs.len()];
     if threads <= 1 {
         for (d, slot) in designs.iter().zip(slots.iter_mut()) {
             *slot = evaluate_design_counted(d, layer, opts).ok();
@@ -177,10 +164,7 @@ pub fn explore_with_stats(
     let mut points = Vec::with_capacity(designs.len());
     for (point, counters) in slots.into_iter().flatten() {
         stats.feasible += 1;
-        stats.generated += counters.generated;
-        stats.evaluated += counters.evaluated;
-        stats.pruned += counters.pruned;
-        stats.cache_hits += counters.cache_hits;
+        stats.search.absorb(&counters);
         points.push(point);
     }
     stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -293,7 +277,8 @@ fn sweep_design(
     let base = build_design(base_params);
     let mapper = Mapper::new(&base.arch, layer, base.spatial.clone())
         .with_options(opts.mapper)
-        .with_parallelism(opts.mapping_parallelism);
+        .with_parallelism(opts.mapping_parallelism)
+        .with_batch_lanes(opts.batch_lanes);
     let mapping = mapper.search(Objective::Latency)?.best.mapping;
     // Area excludes GB and the swept knob is a GB port rate, so one
     // number covers every point of this design.
@@ -447,6 +432,40 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_scalar_explore_match_exactly() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let scalar = explore(
+            &designs,
+            &small_layer(),
+            &ExploreOptions {
+                batch_lanes: Some(1),
+                ..quick_opts()
+            },
+        );
+        for lanes in [None, Some(8)] {
+            let batched = explore(
+                &designs,
+                &small_layer(),
+                &ExploreOptions {
+                    batch_lanes: lanes,
+                    ..quick_opts()
+                },
+            );
+            assert_eq!(
+                scalar, batched,
+                "batch_lanes={lanes:?} diverged from scalar"
+            );
+        }
+    }
+
+    #[test]
     fn stats_account_for_every_design() {
         let pool = MemoryPool {
             w_reg_words_per_mac: vec![1, 2],
@@ -459,8 +478,9 @@ mod tests {
         let (points, stats) = explore_with_stats(&designs, &small_layer(), &quick_opts());
         assert_eq!(stats.designs, designs.len());
         assert_eq!(stats.feasible, points.len());
-        assert!(stats.generated >= stats.evaluated + stats.pruned);
-        assert!(stats.evaluated > 0);
+        assert!(stats.search.generated >= stats.search.evaluated + stats.search.pruned);
+        assert!(stats.search.evaluated > 0);
+        assert!(stats.search.batch_lanes >= 1);
         assert!(stats.wall_ms > 0.0);
         // The point list is exactly what `explore` returns.
         assert_eq!(points, explore(&designs, &small_layer(), &quick_opts()));

@@ -79,6 +79,36 @@ pub fn for_each_ordering_in_range(
     let total = crate::factorize::ordering_count(factors);
     let mut current = Vec::with_capacity(factors.len());
     let mut visited = 0u64;
+    // Whole subtree inside the window: plain enumeration with no index
+    // arithmetic. The per-node `sub * c_i / n` u128 division in `rec` is
+    // what makes range bookkeeping expensive; once a subtree is known to
+    // lie entirely in `[start, end)` none of it is needed.
+    fn rec_all(
+        items: &mut [(Factor, usize)],
+        current: &mut Vec<Factor>,
+        remaining: usize,
+        visited: &mut u64,
+        visit: &mut impl FnMut(&[Factor]) -> bool,
+    ) -> bool {
+        if remaining == 0 {
+            *visited += 1;
+            return visit(current);
+        }
+        for i in 0..items.len() {
+            if items[i].1 == 0 {
+                continue;
+            }
+            items[i].1 -= 1;
+            current.push(items[i].0);
+            let keep_going = rec_all(items, current, remaining - 1, visited, visit);
+            current.pop();
+            items[i].1 += 1;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
     #[allow(clippy::too_many_arguments)]
     fn rec(
         items: &mut [(Factor, usize)],
@@ -93,6 +123,11 @@ pub fn for_each_ordering_in_range(
         visited: &mut u64,
         visit: &mut impl FnMut(&[Factor]) -> bool,
     ) -> bool {
+        if *pos >= start && *pos + sub <= end {
+            let keep_going = rec_all(items, current, remaining, visited, visit);
+            *pos += sub;
+            return keep_going;
+        }
         if remaining == 0 {
             debug_assert!(*pos >= start && *pos < end);
             *pos += 1;

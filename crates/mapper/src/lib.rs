@@ -21,7 +21,7 @@
 //! let spatial = SpatialUnroll::new(chip.spatial.clone());
 //! let result = Mapper::new(&chip.arch, &layer, spatial)
 //!     .search(Objective::Latency)?;
-//! assert!(result.evaluated > 0);
+//! assert!(result.stats.evaluated > 0);
 //! assert!(result.best.latency.cc_total > 0.0);
 //! # Ok::<(), ulm_mapper::MapperError>(())
 //! ```
@@ -32,7 +32,7 @@ pub mod factorize;
 pub mod spatial_search;
 
 pub use anneal::AnnealOptions;
-pub use spatial_search::{search_spatial, spatial_candidates, SpatialOptions};
+pub use spatial_search::{search_spatial, search_spatial_with, spatial_candidates, SpatialOptions};
 
 use factorize::{ordering_count, temporal_factors, Factor};
 use std::error::Error;
@@ -41,7 +41,10 @@ use std::time::Instant;
 use ulm_arch::Architecture;
 use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
 use ulm_mapping::{LoopStack, MappedLayer, Mapping, OperandAlloc, SpatialUnroll};
-use ulm_model::{roofline_bound, LatencyModel, LatencyReport, LoweredLayer, ModelScratch};
+use ulm_model::{
+    roofline_bound, BatchKernel, LaneOutcome, LatencyModel, LatencyReport, LoweredLayer,
+    ModelScratch,
+};
 use ulm_workload::{DimSizes, Layer, PerOperand};
 
 /// What the search minimizes.
@@ -102,19 +105,14 @@ impl EvaluatedMapping {
     }
 }
 
-/// Outcome of a mapping search.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct SearchResult {
-    /// The best legal mapping found.
-    pub best: EvaluatedMapping,
-    /// Orderings whose mapping was legal and fully evaluated.
-    pub evaluated: usize,
+/// Counters shared by every ordering-search surface (mapper, DSE,
+/// serve): one definition of what the numbers mean, one serialization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchStats {
     /// Orderings generated (legal or not).
     pub generated: usize,
-    /// Size of the full ordering space.
-    pub space_size: u128,
-    /// True when the space was enumerated exhaustively.
-    pub exhaustive: bool,
+    /// Orderings whose mapping was legal and fully evaluated.
+    pub evaluated: usize,
     /// Legal orderings skipped because a cheap lower bound already
     /// matched or exceeded the incumbent (never the eventual best —
     /// pruning preserves the argmin and its tie-break exactly).
@@ -122,6 +120,35 @@ pub struct SearchResult {
     /// Per-ordering prefix quantities reused from the previous ordering
     /// instead of recomputed (one per shared inner-prefix factor).
     pub cache_hits: u64,
+    /// SoA evaluation lanes per batch on the latency hot path (1 =
+    /// scalar path).
+    pub batch_lanes: usize,
+}
+
+impl SearchStats {
+    /// Accumulates `other` into `self`: counters add, `batch_lanes`
+    /// keeps the widest batch seen.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.generated += other.generated;
+        self.evaluated += other.evaluated;
+        self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.batch_lanes = self.batch_lanes.max(other.batch_lanes);
+    }
+}
+
+/// Outcome of a mapping search.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SearchResult {
+    /// The best legal mapping found.
+    pub best: EvaluatedMapping,
+    /// Search counters (orderings generated/evaluated/pruned, prefix
+    /// reuse, batch width).
+    pub stats: SearchStats,
+    /// Size of the full ordering space.
+    pub space_size: u128,
+    /// True when the space was enumerated exhaustively.
+    pub exhaustive: bool,
     /// Wall-clock search time in milliseconds.
     pub wall_ms: f64,
 }
@@ -240,6 +267,11 @@ impl ChunkOutcome {
     }
 }
 
+/// Default SoA lane count for the batched latency hot path; chosen so a
+/// batch's lane arrays stay L1-resident while amortizing per-batch
+/// overhead. Override with [`Mapper::with_batch_lanes`].
+pub const DEFAULT_BATCH_LANES: usize = 64;
+
 /// The mapping-space search driver.
 pub struct Mapper<'a> {
     arch: &'a Architecture,
@@ -247,6 +279,7 @@ pub struct Mapper<'a> {
     spatial: SpatialUnroll,
     opts: MapperOptions,
     parallelism: Option<usize>,
+    batch_lanes: Option<usize>,
     latency_model: LatencyModel,
     energy_model: EnergyModel,
 }
@@ -260,6 +293,7 @@ impl<'a> Mapper<'a> {
             spatial,
             opts: MapperOptions::default(),
             parallelism: None,
+            batch_lanes: None,
             latency_model: LatencyModel::new(),
             energy_model: EnergyModel::new(),
         }
@@ -283,6 +317,25 @@ impl<'a> Mapper<'a> {
     pub fn with_parallelism(mut self, threads: Option<usize>) -> Self {
         self.parallelism = threads;
         self
+    }
+
+    /// SoA lanes per batch on the latency hot path: `None` uses
+    /// [`DEFAULT_BATCH_LANES`], `Some(1)` forces the scalar path (the
+    /// differential oracle the batched kernel is pinned against). The
+    /// result is identical at every lane count — batching changes only
+    /// throughput, never the argmin, score bits, or statistics.
+    pub fn with_batch_lanes(mut self, lanes: Option<usize>) -> Self {
+        self.batch_lanes = lanes;
+        self
+    }
+
+    /// The lane count the latency hot path will actually use for `obj`
+    /// (energy-bearing objectives evaluate scalar, lane count 1).
+    pub fn effective_batch_lanes(&self, obj: Objective) -> usize {
+        match obj {
+            Objective::Latency => self.batch_lanes.unwrap_or(DEFAULT_BATCH_LANES).max(1),
+            Objective::Energy | Objective::Edp => 1,
+        }
     }
 
     /// The temporal factor multiset for this layer/spatial pair.
@@ -409,15 +462,39 @@ impl<'a> Mapper<'a> {
 
     /// Runs the fast evaluator over orderings `[start, end)` of the full
     /// enumeration, keeping the chunk-local first-strictly-better best.
+    /// Latency searches with more than one lane run the batched SoA
+    /// kernel; the outcome sequence is identical either way.
     fn run_enumerated_chunk(
         &self,
         factors: &[Factor],
         obj: Objective,
         start: u128,
         end: u128,
+        lanes: usize,
     ) -> ChunkOutcome {
-        let mut scratch = EvalScratch::new(&self.spatial);
         let mut out = ChunkOutcome::default();
+        if lanes > 1 {
+            let mut kernel = BatchKernel::new(
+                self.arch,
+                self.layer,
+                &self.spatial,
+                self.latency_model,
+                factors,
+                lanes,
+            );
+            enumerate::for_each_ordering_in_range(factors, start, end, |ordering| {
+                if kernel.is_full() {
+                    Self::drain_batch(&mut kernel, &mut out);
+                }
+                out.generated += 1;
+                kernel.push(ordering);
+                true
+            });
+            Self::drain_batch(&mut kernel, &mut out);
+            out.cache_hits = kernel.cache_hits();
+            return out;
+        }
+        let mut scratch = EvalScratch::new(&self.spatial);
         enumerate::for_each_ordering_in_range(factors, start, end, |ordering| {
             out.generated += 1;
             let incumbent = out.best.as_ref().map(|b| b.0);
@@ -434,9 +511,35 @@ impl<'a> Mapper<'a> {
 
     /// Same as [`run_enumerated_chunk`](Self::run_enumerated_chunk) over
     /// a slice of an explicit candidate list.
-    fn run_candidate_chunk(&self, candidates: &[Vec<Factor>], obj: Objective) -> ChunkOutcome {
-        let mut scratch = EvalScratch::new(&self.spatial);
+    fn run_candidate_chunk(
+        &self,
+        candidates: &[Vec<Factor>],
+        obj: Objective,
+        lanes: usize,
+    ) -> ChunkOutcome {
         let mut out = ChunkOutcome::default();
+        if lanes > 1 {
+            let factors = self.factors();
+            let mut kernel = BatchKernel::new(
+                self.arch,
+                self.layer,
+                &self.spatial,
+                self.latency_model,
+                &factors,
+                lanes,
+            );
+            for ordering in candidates {
+                if kernel.is_full() {
+                    Self::drain_batch(&mut kernel, &mut out);
+                }
+                out.generated += 1;
+                kernel.push(ordering);
+            }
+            Self::drain_batch(&mut kernel, &mut out);
+            out.cache_hits = kernel.cache_hits();
+            return out;
+        }
+        let mut scratch = EvalScratch::new(&self.spatial);
         for ordering in candidates {
             out.generated += 1;
             let incumbent = out.best.as_ref().map(|b| b.0);
@@ -448,6 +551,21 @@ impl<'a> Mapper<'a> {
         }
         out.cache_hits = scratch.cache_hits;
         out
+    }
+
+    /// Flushes the kernel's filled lanes into the chunk outcome. The
+    /// visit callback threads the chunk-local incumbent through every
+    /// lane, so prune decisions match the scalar walk exactly.
+    fn drain_batch(kernel: &mut BatchKernel<'_>, out: &mut ChunkOutcome) {
+        let incumbent = out.best.as_ref().map(|b| b.0);
+        kernel.drain(incumbent, |ordering, outcome| {
+            match outcome {
+                LaneOutcome::Illegal => {}
+                LaneOutcome::Pruned => out.pruned += 1,
+                LaneOutcome::Scored(score) => out.consider(score, ordering),
+            }
+            out.best.as_ref().map(|b| b.0)
+        });
     }
 
     /// Searches the mapping space for the minimum-`obj` mapping:
@@ -471,12 +589,13 @@ impl<'a> Mapper<'a> {
         let space_size = ordering_count(&factors);
         let exhaustive = space_size <= self.opts.max_exhaustive;
         let threads = self.parallelism.unwrap_or(1).max(1);
+        let lanes = self.effective_batch_lanes(obj);
 
         let outcomes: Vec<ChunkOutcome> = if exhaustive {
             // Don't bother spawning for trivially small spaces.
             let threads = if space_size < 256 { 1 } else { threads as u128 };
             if threads <= 1 {
-                vec![self.run_enumerated_chunk(&factors, obj, 0, space_size)]
+                vec![self.run_enumerated_chunk(&factors, obj, 0, space_size, lanes)]
             } else {
                 let per = space_size.div_ceil(threads);
                 let ranges: Vec<(u128, u128)> = (0..threads)
@@ -488,7 +607,7 @@ impl<'a> Mapper<'a> {
                     let handles: Vec<_> = ranges
                         .iter()
                         .map(|&(a, b)| {
-                            s.spawn(move || self.run_enumerated_chunk(factors, obj, a, b))
+                            s.spawn(move || self.run_enumerated_chunk(factors, obj, a, b, lanes))
                         })
                         .collect();
                     handles
@@ -506,13 +625,13 @@ impl<'a> Mapper<'a> {
                 self.opts.seed,
             ));
             if threads <= 1 || candidates.len() < 32 {
-                vec![self.run_candidate_chunk(&candidates, obj)]
+                vec![self.run_candidate_chunk(&candidates, obj, lanes)]
             } else {
                 let per = candidates.len().div_ceil(threads);
                 std::thread::scope(|s| {
                     let handles: Vec<_> = candidates
                         .chunks(per)
-                        .map(|chunk| s.spawn(move || self.run_candidate_chunk(chunk, obj)))
+                        .map(|chunk| s.spawn(move || self.run_candidate_chunk(chunk, obj, lanes)))
                         .collect();
                     handles
                         .into_iter()
@@ -525,16 +644,16 @@ impl<'a> Mapper<'a> {
         // Deterministic merge: chunks cover contiguous, increasing index
         // ranges, so folding them in order with a strict `<` reproduces
         // the serial first-strictly-better argmin exactly.
-        let mut evaluated = 0usize;
-        let mut generated = 0usize;
-        let mut pruned = 0usize;
-        let mut cache_hits = 0u64;
+        let mut stats = SearchStats {
+            batch_lanes: lanes,
+            ..SearchStats::default()
+        };
         let mut winner: Option<(f64, Vec<Factor>)> = None;
         for out in outcomes {
-            evaluated += out.evaluated;
-            generated += out.generated;
-            pruned += out.pruned;
-            cache_hits += out.cache_hits;
+            stats.generated += out.generated;
+            stats.evaluated += out.evaluated;
+            stats.pruned += out.pruned;
+            stats.cache_hits += out.cache_hits;
             if let Some(b) = out.best {
                 let better = winner.as_ref().map(|w| b.0 < w.0).unwrap_or(true);
                 if better {
@@ -550,16 +669,15 @@ impl<'a> Mapper<'a> {
                     .expect("winning ordering was legal on the fast path");
                 Ok(SearchResult {
                     best,
-                    evaluated,
-                    generated,
+                    stats,
                     space_size,
                     exhaustive,
-                    pruned,
-                    cache_hits,
                     wall_ms: t0.elapsed().as_secs_f64() * 1e3,
                 })
             }
-            None => Err(MapperError::NoLegalMapping { tried: generated }),
+            None => Err(MapperError::NoLegalMapping {
+                tried: stats.generated,
+            }),
         }
     }
 
@@ -639,8 +757,8 @@ mod tests {
         assert_eq!(mapper.space_size(), 20);
         let r = mapper.search(Objective::Latency).unwrap();
         assert!(r.exhaustive);
-        assert_eq!(r.generated, 20);
-        assert!(r.evaluated > 0);
+        assert_eq!(r.stats.generated, 20);
+        assert!(r.stats.evaluated > 0);
         // The best must beat (or tie) every enumerated mapping.
         let all = mapper.enumerate_all().unwrap();
         let min = all
@@ -681,7 +799,7 @@ mod tests {
         let r = mapper.search(Objective::Latency).unwrap();
         assert!(!r.exhaustive);
         // Seeds (dim permutations) + 50 samples.
-        assert!(r.generated <= 50 + 6);
+        assert!(r.stats.generated <= 50 + 6);
     }
 
     #[test]

@@ -67,43 +67,48 @@ fn check_case(b: u64, k: u64, c: u64, obj: Objective, bw_aware: bool) -> Result<
     let reference = reference_search(&mapper, &opts, obj);
 
     for threads in [None, Some(2), Some(4)] {
-        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()))
-            .with_options(opts)
-            .with_parallelism(threads);
-        let result = mapper.search(obj);
-        match (&reference, result) {
-            (None, Err(_)) => {}
-            (Some(want), Ok(got)) => {
-                prop_assert_eq!(
-                    &want.mapping,
-                    &got.best.mapping,
-                    "threads {:?}: different best mapping",
-                    threads
-                );
-                prop_assert_eq!(
-                    want.score(obj).to_bits(),
-                    got.best.score(obj).to_bits(),
-                    "threads {:?}: score bits diverged",
-                    threads
-                );
-                prop_assert_eq!(
-                    want.latency.cc_total.to_bits(),
-                    got.best.latency.cc_total.to_bits()
-                );
-                // Every candidate is accounted for: scored, pruned, or
-                // illegal.
-                prop_assert!(got.evaluated + got.pruned <= got.generated);
-            }
-            (want, got) => {
-                return Err(TestCaseError::fail(format!(
-                    "threads {threads:?}: reference {} but search {}",
-                    if want.is_some() {
-                        "found a mapping"
-                    } else {
-                        "found nothing"
-                    },
-                    if got.is_ok() { "succeeded" } else { "failed" },
-                )));
+        for lanes in [Some(1), None] {
+            let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()))
+                .with_options(opts)
+                .with_parallelism(threads)
+                .with_batch_lanes(lanes);
+            let result = mapper.search(obj);
+            match (&reference, result) {
+                (None, Err(_)) => {}
+                (Some(want), Ok(got)) => {
+                    prop_assert_eq!(
+                        &want.mapping,
+                        &got.best.mapping,
+                        "threads {:?} lanes {:?}: different best mapping",
+                        threads,
+                        lanes
+                    );
+                    prop_assert_eq!(
+                        want.score(obj).to_bits(),
+                        got.best.score(obj).to_bits(),
+                        "threads {:?} lanes {:?}: score bits diverged",
+                        threads,
+                        lanes
+                    );
+                    prop_assert_eq!(
+                        want.latency.cc_total.to_bits(),
+                        got.best.latency.cc_total.to_bits()
+                    );
+                    // Every candidate is accounted for: scored, pruned, or
+                    // illegal.
+                    prop_assert!(got.stats.evaluated + got.stats.pruned <= got.stats.generated);
+                }
+                (want, got) => {
+                    return Err(TestCaseError::fail(format!(
+                        "threads {threads:?} lanes {lanes:?}: reference {} but search {}",
+                        if want.is_some() {
+                            "found a mapping"
+                        } else {
+                            "found nothing"
+                        },
+                        if got.is_ok() { "succeeded" } else { "failed" },
+                    )));
+                }
             }
         }
     }

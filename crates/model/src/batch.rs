@@ -1,0 +1,1061 @@
+//! Batched structure-of-arrays evaluation of candidate loop orderings.
+//!
+//! The mapper's scalar hot path walks one ordering at a time through
+//! pointer-rich `Mapping`/`MappedLayer`/`LoweredLayer` structs. For the
+//! ordering search all of that structure is invariant: the architecture,
+//! the layer, the spatial unrolling and the factor *multiset* are fixed,
+//! and only the factor *order* varies. [`BatchKernel`] exploits that by
+//! packing the per-(operand, level) scalars of up to `lanes` orderings —
+//! `Mem_DATA`, `Mem_CC`, `Z`, the `ReqBW` run, refill and distinct-block
+//! counts — into contiguous per-row lanes, then evaluating the phase
+//! floor and roofline bounds for all lanes in lockstep so the compiler
+//! can autovectorize. Only the (few) lanes that survive pruning pay for
+//! the Eq. (1)/(2) stall integration, which runs through the *same*
+//! [`finish`](crate::dtl) + [`StallScratch::combine_and_integrate`]
+//! code the scalar path uses — so surviving scores are bit-identical to
+//! [`LatencyModel::evaluate_fast`] by construction.
+//!
+//! Batch-constant work is hoisted into [`BatchKernel::new`]: the spatial
+//! fit and coverage checks (`CC_spatial` and every dimension extent are
+//! multiset invariants, independent of order), per-level capacity
+//! budgets for the greedy allocation, port bandwidths and DTL endpoint
+//! templates. Per pushed ordering the kernel extends prefix-memoized
+//! cycle counts and residency words (shared inner prefixes with the
+//! previously pushed ordering are reused, mirroring the scalar path's
+//! `cache_hits` accounting), replays the greedy level allocation with
+//! precomputed word budgets, and derives `Z`/refill/run scalars from
+//! closed-form suffix products instead of re-walking loop stacks.
+
+use crate::dtl::{finish, Dtl, DtlKind, Endpoint, Endpoints, WindowShape};
+use crate::fast::FastLatency;
+use crate::stall::StallScratch;
+use crate::LatencyModel;
+use ulm_arch::{Architecture, MemoryId, PortUse};
+use ulm_mapping::SpatialUnroll;
+use ulm_workload::{Dim, DimSizes, Layer, Operand, Relevance, ALL_DIMS};
+
+/// Outcome of one lane after a [`BatchKernel::drain`] pass, mirroring
+/// the scalar search's per-ordering outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LaneOutcome {
+    /// No legal greedy allocation for this ordering.
+    Illegal,
+    /// Legal, but a monotone lower bound proved the ordering cannot beat
+    /// the incumbent passed to `drain`.
+    Pruned,
+    /// Fully evaluated: `CC_total`, bit-identical to
+    /// [`LatencyModel::evaluate_fast`] on the same ordering.
+    Scored(f64),
+}
+
+/// Constant per-(operand, level<top) link data shared by every lane.
+#[derive(Debug, Clone, Copy)]
+struct LinkSpec {
+    /// The narrower of the two port bandwidths the main (refill/drain)
+    /// link occupies — also the preload/offload and roofline bandwidth.
+    link_bw: u64,
+    /// Whether the receiving/source (lower) memory double-buffers.
+    lower_db: bool,
+    /// Endpoints of the refill (W/I) or drain (O) link.
+    main_eps: Endpoints,
+    /// O only: psum-readback bandwidth and endpoints.
+    psum_bw: u64,
+    psum_eps: Endpoints,
+}
+
+/// Constant per-operand data shared by every lane.
+#[derive(Debug, Clone)]
+struct OpSpec {
+    op: Operand,
+    /// Resident precision in bits (partial-sum width for O).
+    bits: u64,
+    chain: Vec<MemoryId>,
+    /// Per dim: does a temporal factor of this dim grow the operand's
+    /// resident words multiplicatively (strictly relevant)?
+    step: [bool; 7],
+    /// Per dim: `is_relevant()` (partials included) — drives runs,
+    /// refill counts and output finality.
+    rel: [bool; 7],
+    /// All factor dims are strictly relevant or irrelevant to this
+    /// operand, so resident words grow by pure factor products.
+    words_mult: bool,
+    /// Per level < top: greedy capacity budget in *words*
+    /// (`mapper_capacity_bits / sharers / bits`, floored).
+    cap_words: Vec<u64>,
+    /// Per level < top: link constants.
+    links: Vec<LinkSpec>,
+    /// Compute-facing link: relevant spatial words per cycle.
+    words_per_cycle: u64,
+    /// Compute-facing link: port bandwidth and endpoint.
+    compute_bw: u64,
+    compute_eps: Endpoints,
+}
+
+/// A reusable batched evaluator for one (architecture, layer, spatial,
+/// factor-multiset) search context. See the module docs.
+pub struct BatchKernel<'a> {
+    arch: &'a Architecture,
+    layer: &'a Layer,
+    model: LatencyModel,
+    lanes: usize,
+    /// Factors per ordering.
+    n: usize,
+    /// Lanes currently filled.
+    count: usize,
+    /// Spatial fit + coverage verdict (order-independent).
+    const_legal: bool,
+    cc_ideal: f64,
+    cc_spatial: u64,
+    ops: [OpSpec; 3],
+    /// Per physical memory: capacity in bits, `None` for backing stores
+    /// (exempt from the residency check).
+    mem_caps: Vec<Option<u64>>,
+    compute_links: bool,
+
+    // --- prefix memoization (persists across drains) ---
+    prev: Vec<(Dim, u64)>,
+    /// `prefix_cycles[p]` = product of the innermost `p` factor sizes.
+    prefix_cycles: Vec<u64>,
+    /// `words_at[op][p]` = operand words resident under the innermost
+    /// `p` factors (entry 0 = spatial extents alone).
+    words_at: [Vec<u64>; 3],
+    /// `prefix_ext[p]`: full extents, maintained only when some operand
+    /// is non-multiplicative (conv inputs).
+    prefix_ext: Vec<DimSizes>,
+    /// `rel_at[op][p]` = product of the operand-*relevant* sizes among
+    /// the innermost `p` factors (so `rel_at[op][n] / rel_at[op][upper]`
+    /// is the exact distinct-block count above `upper`, and
+    /// `suffix_all[upper] == distinct` iff everything above is relevant).
+    rel_at: [Vec<u64>; 3],
+    need_ext: bool,
+    cache_hits: u64,
+
+    // --- per-push scratch ---
+    suffix_all: Vec<u64>,
+    bounds: [Vec<u32>; 3],
+    residency: Vec<u64>,
+
+    // --- SoA lane rows, stride = `lanes` ---
+    row_off: [usize; 3],
+    rows: usize,
+    r_words: Vec<u64>,
+    r_period: Vec<u64>,
+    r_z: Vec<u64>,
+    r_run: Vec<u64>,
+    r_refills: Vec<u64>,
+    r_distinct: Vec<u64>,
+    r_final: Vec<bool>,
+    lane_ord: Vec<(Dim, u64)>,
+    lane_illegal: Vec<bool>,
+    lane_pre: Vec<u64>,
+    lane_off: Vec<u64>,
+    lane_tmp: Vec<u64>,
+    lane_floor: Vec<f64>,
+    lane_roof: Vec<f64>,
+
+    // --- survivor evaluation ---
+    out_final_bits: u64,
+    out_partial_bits: u64,
+    psum_bits: u64,
+    dtls: Vec<Dtl>,
+    stall: StallScratch,
+    /// Survivor-score memo: a lane's score is a pure function of its SoA
+    /// row tuple (the constants are fixed per kernel), and the rows
+    /// depend only on level-boundary *multisets*, so many orderings
+    /// collapse onto one signature. A hit returns the exact `f64` the
+    /// full pipeline computed, so memoization preserves bit-identity.
+    score_sig: Vec<u64>,
+    score_cache: std::collections::HashMap<Vec<u64>, f64>,
+}
+
+impl<'a> BatchKernel<'a> {
+    /// Builds a kernel for `factors` (the temporal factor multiset every
+    /// pushed ordering permutes; sizes must all be > 1, as produced by
+    /// the mapper's factorizer) holding up to `lanes` orderings.
+    pub fn new(
+        arch: &'a Architecture,
+        layer: &'a Layer,
+        spatial: &SpatialUnroll,
+        model: LatencyModel,
+        factors: &[(Dim, u64)],
+        lanes: usize,
+    ) -> Self {
+        debug_assert!(factors.iter().all(|&(_, s)| s > 1));
+        let lanes = lanes.max(1);
+        let n = factors.len();
+        let h = arch.hierarchy();
+        let prec = layer.precision();
+
+        // Order-independent legality: spatial fit + dimension coverage.
+        let macs = arch.mac_array().num_macs();
+        let mut const_legal = spatial.product() <= macs;
+        if const_legal {
+            let mut temporal = DimSizes::new(1, 1, 1, 1, 1, 1, 1);
+            for &(d, s) in factors {
+                temporal.multiply(d, s);
+            }
+            for (dim, required) in layer.shape().dims().iter() {
+                if spatial.extent(dim) * temporal[dim] < required {
+                    const_legal = false;
+                    break;
+                }
+            }
+        }
+
+        let cc_ideal = layer.total_macs() as f64 / macs as f64;
+        let cc_spatial: u64 = factors.iter().map(|&(_, s)| s).product();
+
+        let spatial_ext = spatial.extents();
+        let mut need_ext = false;
+        let build_op = |op: Operand| {
+            let rel_table = layer.operand_relevance(op);
+            let bits = prec.bits(op);
+            let chain: Vec<MemoryId> = h.chain(op).to_vec();
+            let mut step = [false; 7];
+            let mut rel = [false; 7];
+            for d in ALL_DIMS {
+                let r = rel_table.get(d);
+                step[d.index()] = r == Relevance::Relevant;
+                rel[d.index()] = r.is_relevant();
+            }
+            let words_mult = factors.iter().all(|&(d, _)| {
+                matches!(
+                    rel_table.get(d),
+                    Relevance::Relevant | Relevance::Irrelevant
+                )
+            });
+            let mut cap_words = Vec::new();
+            let mut links = Vec::new();
+            for level in 0..chain.len().saturating_sub(1) {
+                let lower = chain[level];
+                let upper = chain[level + 1];
+                let mem = h.mem(lower);
+                let sharers = h.served_operand_count(lower) as u64;
+                cap_words.push(mem.mapper_capacity_bits() / sharers / bits);
+                let spec = match op {
+                    Operand::W | Operand::I => {
+                        let (wp, wbw) = h.port(lower, op, PortUse::WriteIn);
+                        let (rp, rbw) = h.port(upper, op, PortUse::ReadOut);
+                        let main_eps = Endpoints::two(
+                            Endpoint {
+                                mem: upper,
+                                port: rp,
+                                usage: PortUse::ReadOut,
+                            },
+                            Endpoint {
+                                mem: lower,
+                                port: wp,
+                                usage: PortUse::WriteIn,
+                            },
+                        );
+                        LinkSpec {
+                            link_bw: wbw.min(rbw),
+                            lower_db: mem.is_double_buffered(),
+                            main_eps,
+                            psum_bw: 0,
+                            psum_eps: main_eps,
+                        }
+                    }
+                    Operand::O => {
+                        let (rp, rbw) = h.port(lower, op, PortUse::ReadOut);
+                        let (wp, wbw) = h.port(upper, op, PortUse::WriteIn);
+                        let (rp2, rbw2) = h.port(upper, op, PortUse::ReadOut);
+                        let (wp2, wbw2) = h.port(lower, op, PortUse::WriteIn);
+                        LinkSpec {
+                            link_bw: rbw.min(wbw),
+                            lower_db: mem.is_double_buffered(),
+                            main_eps: Endpoints::two(
+                                Endpoint {
+                                    mem: lower,
+                                    port: rp,
+                                    usage: PortUse::ReadOut,
+                                },
+                                Endpoint {
+                                    mem: upper,
+                                    port: wp,
+                                    usage: PortUse::WriteIn,
+                                },
+                            ),
+                            psum_bw: rbw2.min(wbw2),
+                            psum_eps: Endpoints::two(
+                                Endpoint {
+                                    mem: upper,
+                                    port: rp2,
+                                    usage: PortUse::ReadOut,
+                                },
+                                Endpoint {
+                                    mem: lower,
+                                    port: wp2,
+                                    usage: PortUse::WriteIn,
+                                },
+                            ),
+                        }
+                    }
+                };
+                links.push(spec);
+            }
+            let words_per_cycle: u64 = spatial
+                .factors()
+                .iter()
+                .filter(|(d, _)| rel_table.get(*d) != Relevance::Irrelevant)
+                .map(|&(_, f)| f)
+                .product();
+            let usage = match op {
+                Operand::W | Operand::I => PortUse::ReadOut,
+                Operand::O => PortUse::WriteIn,
+            };
+            let innermost = chain[0];
+            let (p, bw) = h.port(innermost, op, usage);
+            OpSpec {
+                op,
+                bits,
+                chain,
+                step,
+                rel,
+                words_mult,
+                cap_words,
+                links,
+                words_per_cycle,
+                compute_bw: bw,
+                compute_eps: Endpoints::one(Endpoint {
+                    mem: innermost,
+                    port: p,
+                    usage,
+                }),
+            }
+        };
+        let ops = [
+            build_op(Operand::W),
+            build_op(Operand::I),
+            build_op(Operand::O),
+        ];
+        for spec in &ops {
+            need_ext |= !spec.words_mult;
+        }
+
+        let mem_caps: Vec<Option<u64>> = h
+            .memories()
+            .iter()
+            .map(|m| (!m.is_backing_store()).then(|| m.mapper_capacity_bits()))
+            .collect();
+
+        let row_off = [
+            0,
+            ops[0].chain.len(),
+            ops[0].chain.len() + ops[1].chain.len(),
+        ];
+        let rows = row_off[2] + ops[2].chain.len();
+
+        let words_at = [Operand::W, Operand::I, Operand::O].map(|op| {
+            let mut v = vec![0u64; n + 1];
+            v[0] = layer.data_words(op, &spatial_ext);
+            v
+        });
+
+        Self {
+            arch,
+            layer,
+            model,
+            lanes,
+            n,
+            count: 0,
+            const_legal,
+            cc_ideal,
+            cc_spatial,
+            ops,
+            mem_caps,
+            compute_links: model.dtl_options().compute_links,
+            prev: Vec::with_capacity(n),
+            prefix_cycles: {
+                let mut v = vec![0u64; n + 1];
+                v[0] = 1;
+                v
+            },
+            words_at,
+            prefix_ext: vec![spatial_ext; n + 1],
+            rel_at: [(); 3].map(|_| vec![1u64; n + 1]),
+            need_ext,
+            cache_hits: 0,
+            suffix_all: vec![1u64; n + 1],
+            bounds: [(); 3].map(|_| Vec::with_capacity(8)),
+            residency: vec![0u64; h.memories().len()],
+            row_off,
+            rows,
+            r_words: vec![0; rows * lanes],
+            r_period: vec![0; rows * lanes],
+            r_z: vec![0; rows * lanes],
+            r_run: vec![0; rows * lanes],
+            r_refills: vec![0; rows * lanes],
+            r_distinct: vec![0; rows * lanes],
+            r_final: vec![false; rows * lanes],
+            lane_ord: vec![(Dim::B, 0); n * lanes],
+            lane_illegal: vec![false; lanes],
+            lane_pre: vec![0; lanes],
+            lane_off: vec![0; lanes],
+            lane_tmp: vec![0; lanes],
+            lane_floor: vec![0.0; lanes],
+            lane_roof: vec![0.0; lanes],
+            out_final_bits: prec.output_bits(true),
+            out_partial_bits: prec.output_bits(false),
+            psum_bits: prec.partial_sum_bits(),
+            dtls: Vec::with_capacity(16),
+            stall: StallScratch::default(),
+            score_sig: Vec::with_capacity(rows * 7),
+            score_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The lane capacity this kernel was built with.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lanes currently filled (reset by [`drain`](Self::drain)).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no lanes are filled.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True when a [`drain`](Self::drain) is required before `push`.
+    pub fn is_full(&self) -> bool {
+        self.count == self.lanes
+    }
+
+    /// Prefix quantities reused from the previously pushed ordering —
+    /// the same accounting as the scalar `EvalScratch`.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Packs one ordering (innermost factor first, a permutation of the
+    /// constructor's factor multiset) into the next lane: extends the
+    /// prefix memos, replays the greedy level allocation and fills the
+    /// lane's SoA row scalars. Panics if the kernel [`is_full`](Self::is_full).
+    pub fn push(&mut self, ordering: &[(Dim, u64)]) {
+        assert!(self.count < self.lanes, "kernel is full; drain first");
+        debug_assert_eq!(ordering.len(), self.n);
+        let n = self.n;
+        let lane = self.count;
+        self.count += 1;
+        self.lane_ord[lane * n..(lane + 1) * n].copy_from_slice(ordering);
+
+        // Prefix sharing with the previously pushed ordering.
+        let shared = self
+            .prev
+            .iter()
+            .zip(ordering)
+            .take_while(|(a, b)| *a == *b)
+            .count();
+        self.cache_hits += shared as u64;
+        self.prev.clear();
+        self.prev.extend_from_slice(ordering);
+        for (p, &(d, s)) in ordering.iter().enumerate().skip(shared) {
+            self.prefix_cycles[p + 1] = self.prefix_cycles[p] * s;
+            if self.need_ext {
+                let mut ext = self.prefix_ext[p];
+                ext.multiply(d, s);
+                self.prefix_ext[p + 1] = ext;
+            }
+            for (oi, spec) in self.ops.iter().enumerate() {
+                self.words_at[oi][p + 1] = if spec.words_mult {
+                    let f = if spec.step[d.index()] { s } else { 1 };
+                    self.words_at[oi][p] * f
+                } else {
+                    self.layer.data_words(spec.op, &self.prefix_ext[p + 1])
+                };
+                self.rel_at[oi][p + 1] =
+                    self.rel_at[oi][p] * if spec.rel[d.index()] { s } else { 1 };
+            }
+        }
+
+        // Suffix products for Z / refills; the per-operand relevant
+        // suffixes come from the memoized `rel_at` prefix products
+        // (`distinct = rel_at[n] / rel_at[upper]`, exact), so this is the
+        // only whole-ordering pass left.
+        self.suffix_all[n] = 1;
+        for p in (0..n).rev() {
+            self.suffix_all[p] = self.suffix_all[p + 1] * ordering[p].1;
+        }
+
+        // Greedy level allocation with precomputed word budgets — the
+        // same bounds `Mapping::reassign_greedy` assigns, or Illegal.
+        let mut illegal = !self.const_legal;
+        if !illegal {
+            'ops: for (oi, spec) in self.ops.iter().enumerate() {
+                let bounds = &mut self.bounds[oi];
+                bounds.clear();
+                let mut prev = 0usize;
+                let levels = spec.chain.len();
+                for lvl in 0..levels {
+                    if lvl + 1 == levels {
+                        bounds.push(n as u32);
+                        break;
+                    }
+                    let cap = spec.cap_words[lvl];
+                    let words = &self.words_at[oi];
+                    if words[prev] > cap {
+                        illegal = true;
+                        break 'ops;
+                    }
+                    let mut p = prev;
+                    while p < n && words[p + 1] <= cap {
+                        p += 1;
+                    }
+                    bounds.push(p as u32);
+                    prev = p;
+                }
+            }
+        }
+
+        // Residency: per physical memory, summed over resident operands.
+        if !illegal {
+            self.residency.fill(0);
+            for (oi, spec) in self.ops.iter().enumerate() {
+                for (lvl, &mid) in spec.chain.iter().enumerate() {
+                    let upper = self.bounds[oi][lvl] as usize;
+                    self.residency[mid.0] += self.words_at[oi][upper] * spec.bits;
+                }
+            }
+            for (i, &needed) in self.residency.iter().enumerate() {
+                if let Some(cap) = self.mem_caps[i] {
+                    if needed > cap {
+                        illegal = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.lane_illegal[lane] = illegal;
+        if illegal {
+            return;
+        }
+
+        // Fill the lane's SoA rows from the memoized prefix/suffix data.
+        for (oi, spec) in self.ops.iter().enumerate() {
+            let rel_at = &self.rel_at[oi];
+            let rel_total = rel_at[n];
+            for lvl in 0..spec.chain.len() {
+                let upper = self.bounds[oi][lvl] as usize;
+                let lower = if lvl == 0 {
+                    0
+                } else {
+                    self.bounds[oi][lvl - 1] as usize
+                };
+                let idx = (self.row_off[oi] + lvl) * self.lanes + lane;
+                self.r_words[idx] = self.words_at[oi][upper];
+                self.r_period[idx] = self.prefix_cycles[upper];
+                self.r_z[idx] = self.suffix_all[upper];
+                let mut run = 1u64;
+                for p in (lower..upper).rev() {
+                    let (d, s) = ordering[p];
+                    if spec.rel[d.index()] {
+                        break;
+                    }
+                    run *= s;
+                }
+                self.r_run[idx] = run;
+                // First relevant position at or above `upper`; the scan
+                // only crosses the (short) irrelevant run above the split.
+                let mut fr = upper;
+                while fr < n && !spec.rel[ordering[fr].0.index()] {
+                    fr += 1;
+                }
+                self.r_refills[idx] = self.suffix_all[fr];
+                // Exact: `rel_at[upper]` divides `rel_total`, and (sizes
+                // being > 1) everything above is relevant iff the full and
+                // relevant-only suffix products agree.
+                let distinct = rel_total / rel_at[upper];
+                self.r_distinct[idx] = distinct;
+                self.r_final[idx] = self.suffix_all[upper] == distinct;
+            }
+        }
+    }
+
+    /// Evaluates every filled lane in push order and resets the kernel.
+    ///
+    /// The phase floor and (for bw-aware models) the roofline bound are
+    /// computed for all lanes in lockstep first; the per-lane walk then
+    /// prunes against the running `incumbent`, fully evaluating only the
+    /// survivors. `visit` receives each lane's ordering and outcome and
+    /// returns the updated incumbent (the chunk-local best so far), so
+    /// prune decisions replay the scalar search's sequence exactly.
+    /// Returns the final incumbent.
+    pub fn drain(
+        &mut self,
+        mut incumbent: Option<f64>,
+        mut visit: impl FnMut(&[(Dim, u64)], LaneOutcome) -> Option<f64>,
+    ) -> Option<f64> {
+        let cnt = self.count;
+        if cnt == 0 {
+            return incumbent;
+        }
+        self.compute_bounds(cnt);
+        let bw_aware = self.model.options().bw_aware;
+        for lane in 0..cnt {
+            let outcome = if self.lane_illegal[lane] {
+                LaneOutcome::Illegal
+            } else {
+                let pruned = match incumbent {
+                    Some(inc) => {
+                        self.lane_floor[lane] >= inc
+                            || (bw_aware && self.lane_roof[lane] - inc > 1e-6 + 1e-9 * inc.abs())
+                    }
+                    None => false,
+                };
+                if pruned {
+                    LaneOutcome::Pruned
+                } else {
+                    LaneOutcome::Scored(self.score_lane(lane))
+                }
+            };
+            let ordering = &self.lane_ord[lane * self.n..(lane + 1) * self.n];
+            incumbent = visit(ordering, outcome);
+        }
+        self.count = 0;
+        incumbent
+    }
+
+    /// Lockstep phase-floor and roofline bounds over lanes `0..cnt`.
+    /// Illegal lanes hold garbage rows; their bounds are never read.
+    fn compute_bounds(&mut self, cnt: usize) {
+        let lanes = self.lanes;
+        // Preload: max over W and I of the per-level refill sums.
+        self.lane_pre[..cnt].fill(0);
+        for (oi, spec) in self.ops.iter().enumerate().take(2) {
+            self.lane_tmp[..cnt].fill(0);
+            for lvl in 0..spec.chain.len().saturating_sub(1) {
+                let base = (self.row_off[oi] + lvl) * lanes;
+                let bw = spec.links[lvl].link_bw;
+                let bits = spec.bits;
+                let words = &self.r_words[base..base + cnt];
+                for (acc, &w) in self.lane_tmp[..cnt].iter_mut().zip(words) {
+                    *acc += (w * bits).div_ceil(bw);
+                }
+            }
+            for (pre, &t) in self.lane_pre[..cnt].iter_mut().zip(&self.lane_tmp[..cnt]) {
+                *pre = if oi == 0 { t } else { (*pre).max(t) };
+            }
+        }
+        // Offload: per-level drain sums of O at the crossing precision.
+        self.lane_off[..cnt].fill(0);
+        {
+            let spec = &self.ops[2];
+            for lvl in 0..spec.chain.len().saturating_sub(1) {
+                let base = (self.row_off[2] + lvl) * lanes;
+                let bw = spec.links[lvl].link_bw;
+                for lane in 0..cnt {
+                    let bits = if self.r_final[base + lane] {
+                        self.out_final_bits
+                    } else {
+                        self.out_partial_bits
+                    };
+                    self.lane_off[lane] += (self.r_words[base + lane] * bits).div_ceil(bw);
+                }
+            }
+        }
+        // Phase floor: the stall-free composition, through the same
+        // `FastLatency::compose` every other path uses.
+        for lane in 0..cnt {
+            self.lane_floor[lane] = FastLatency::compose(
+                self.lane_pre[lane],
+                self.lane_off[lane],
+                self.cc_ideal,
+                self.cc_spatial,
+                0.0,
+            )
+            .cc_total;
+        }
+        // Roofline bound, folded in the same (operand, level) order as
+        // the scalar `roofline_bound` so the float max chain matches.
+        if !self.model.options().bw_aware {
+            return;
+        }
+        self.lane_roof[..cnt].fill(self.cc_ideal);
+        for (oi, spec) in self.ops.iter().enumerate() {
+            for lvl in 0..spec.chain.len().saturating_sub(1) {
+                let base = (self.row_off[oi] + lvl) * lanes;
+                let bw = spec.links[lvl].link_bw as f64;
+                let bits = spec.bits;
+                for lane in 0..cnt {
+                    let idx = base + lane;
+                    let traffic = if oi < 2 {
+                        self.r_words[idx] * bits * self.r_refills[idx]
+                    } else {
+                        let drains = self.r_refills[idx];
+                        let revisits = drains - self.r_distinct[idx];
+                        let ob = if self.r_final[idx] {
+                            self.out_final_bits
+                        } else {
+                            self.out_partial_bits
+                        };
+                        self.r_words[idx] * ob * drains
+                            + self.r_words[idx] * self.psum_bits * revisits
+                    };
+                    self.lane_roof[lane] = self.lane_roof[lane].max(traffic as f64 / bw);
+                }
+            }
+        }
+    }
+
+    /// Full evaluation of one surviving lane: rebuild its DTL list from
+    /// the SoA rows and the precomputed link templates (the same order
+    /// and arithmetic as `build_dtls_lowered`), run Steps 2–3, compose.
+    fn score_lane(&mut self, lane: usize) -> f64 {
+        // Memo lookup: the score is fully determined by the lane's row
+        // tuple (everything else in the pipeline is a kernel constant).
+        self.score_sig.clear();
+        for r in 0..self.rows {
+            let idx = r * self.lanes + lane;
+            self.score_sig.extend_from_slice(&[
+                self.r_words[idx],
+                self.r_period[idx],
+                self.r_z[idx],
+                self.r_run[idx],
+                self.r_refills[idx],
+                self.r_distinct[idx],
+                self.r_final[idx] as u64,
+            ]);
+        }
+        if let Some(&score) = self.score_cache.get(self.score_sig.as_slice()) {
+            return score;
+        }
+        let opts = *self.model.options();
+        let ss_overall = if opts.bw_aware {
+            self.build_lane_dtls(lane);
+            let raw = self.stall.combine_and_integrate(
+                self.arch,
+                &self.dtls,
+                opts.union,
+                opts.eq2_oversubscription_bound,
+            );
+            raw.max(0.0)
+        } else {
+            0.0
+        };
+        let score = FastLatency::compose(
+            self.lane_pre[lane],
+            self.lane_off[lane],
+            self.cc_ideal,
+            self.cc_spatial,
+            ss_overall,
+        )
+        .cc_total;
+        // Bounded memo: stop inserting (lookups still work) rather than
+        // grow without limit on adversarial workloads.
+        if self.score_cache.len() < (1 << 16) {
+            self.score_cache.insert(self.score_sig.clone(), score);
+        }
+        score
+    }
+
+    fn build_lane_dtls(&mut self, lane: usize) {
+        let phase_aware_z = self.model.dtl_options().phase_aware_z;
+        self.dtls.clear();
+        for (oi, spec) in self.ops.iter().enumerate() {
+            for lvl in 0..spec.chain.len().saturating_sub(1) {
+                let idx = (self.row_off[oi] + lvl) * self.lanes + lane;
+                let link = &spec.links[lvl];
+                let words = self.r_words[idx];
+                let period = self.r_period[idx];
+                let z = self.r_z[idx];
+                let run = self.r_run[idx];
+                let full = link.lower_db || run == 1;
+                match spec.op {
+                    Operand::W | Operand::I => {
+                        let shape = if full {
+                            WindowShape::Full
+                        } else {
+                            WindowShape::Trailing(run)
+                        };
+                        self.dtls.push(finish(
+                            spec.op,
+                            DtlKind::RefillDown,
+                            lvl,
+                            words * spec.bits,
+                            period,
+                            z,
+                            shape,
+                            link.link_bw as f64,
+                            link.main_eps,
+                            phase_aware_z,
+                        ));
+                    }
+                    Operand::O => {
+                        let final_above = self.r_final[idx];
+                        let bits = if final_above {
+                            self.out_final_bits
+                        } else {
+                            self.out_partial_bits
+                        };
+                        let shape = if full {
+                            WindowShape::Full
+                        } else {
+                            WindowShape::Trailing(run)
+                        };
+                        self.dtls.push(finish(
+                            spec.op,
+                            DtlKind::DrainUp,
+                            lvl,
+                            words * bits,
+                            period,
+                            z,
+                            shape,
+                            link.link_bw as f64,
+                            link.main_eps,
+                            phase_aware_z,
+                        ));
+                        if !final_above {
+                            let shape = if full {
+                                WindowShape::Full
+                            } else {
+                                WindowShape::Leading(run)
+                            };
+                            self.dtls.push(finish(
+                                spec.op,
+                                DtlKind::PsumReadback,
+                                lvl,
+                                words * self.psum_bits,
+                                period,
+                                z,
+                                shape,
+                                link.psum_bw as f64,
+                                link.psum_eps,
+                                phase_aware_z,
+                            ));
+                        }
+                    }
+                }
+            }
+            if self.compute_links {
+                let idx = self.row_off[oi] * self.lanes + lane;
+                let kind = match spec.op {
+                    Operand::W | Operand::I => DtlKind::ComputeFeed,
+                    Operand::O => DtlKind::ComputeWriteback,
+                };
+                let period = self.r_period[idx];
+                self.dtls.push(finish(
+                    spec.op,
+                    kind,
+                    0,
+                    spec.words_per_cycle * spec.bits * period,
+                    period,
+                    self.r_z[idx],
+                    WindowShape::Full,
+                    spec.compute_bw as f64,
+                    spec.compute_eps,
+                    phase_aware_z,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelScratch;
+    use ulm_arch::presets;
+    use ulm_mapping::{LoopStack, MappedLayer, Mapping, OperandAlloc, SpatialUnroll};
+    use ulm_workload::{Layer, PerOperand, Precision};
+
+    /// Every permutation of the toy factor multiset, kernel vs scalar:
+    /// identical legality and bit-identical scores, for both models.
+    #[test]
+    fn kernel_matches_scalar_on_toy_permutations() {
+        let chip = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        // The toy factor multiset: B2, K2, C2, C2, C2.
+        let factors = vec![
+            (Dim::B, 2),
+            (Dim::K, 2),
+            (Dim::C, 2),
+            (Dim::C, 2),
+            (Dim::C, 2),
+        ];
+        let orderings = permutations(&factors);
+        for model in [LatencyModel::new(), LatencyModel::bw_unaware()] {
+            let mut kernel = BatchKernel::new(&chip.arch, &layer, &spatial, model, &factors, 8);
+            let mut scalar_scratch = ModelScratch::default();
+            let mut residency = Vec::new();
+            let mut results: Vec<LaneOutcome> = Vec::new();
+            for ord in &orderings {
+                if kernel.is_full() {
+                    kernel.drain(None, |_, o| {
+                        results.push(o);
+                        None
+                    });
+                }
+                kernel.push(ord);
+            }
+            kernel.drain(None, |_, o| {
+                results.push(o);
+                None
+            });
+            assert_eq!(results.len(), orderings.len());
+            for (ord, got) in orderings.iter().zip(&results) {
+                let scalar = scalar_eval(
+                    &chip.arch,
+                    &layer,
+                    &spatial,
+                    model,
+                    ord,
+                    &mut scalar_scratch,
+                    &mut residency,
+                );
+                match (scalar, got) {
+                    (None, LaneOutcome::Illegal) => {}
+                    (Some(want), LaneOutcome::Scored(s)) => {
+                        assert_eq!(want.to_bits(), s.to_bits(), "ordering {ord:?}");
+                    }
+                    other => panic!("mismatch for {ord:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn scalar_eval(
+        arch: &ulm_arch::Architecture,
+        layer: &Layer,
+        spatial: &SpatialUnroll,
+        model: LatencyModel,
+        ordering: &[(Dim, u64)],
+        scratch: &mut ModelScratch,
+        residency: &mut Vec<u64>,
+    ) -> Option<f64> {
+        let mut mapping = Mapping::new(
+            spatial.clone(),
+            LoopStack::empty(),
+            PerOperand::from_fn(|_| OperandAlloc::flat(0)),
+        );
+        let mut prefix_ext = vec![spatial.extents()];
+        for &(d, s) in ordering {
+            let mut e = *prefix_ext.last().unwrap();
+            e.multiply(d, s);
+            prefix_ext.push(e);
+        }
+        if !mapping.reassign_greedy(arch, layer, ordering, &prefix_ext) {
+            return None;
+        }
+        let view = MappedLayer::new_fast(layer, arch, &mapping, residency)?;
+        Some(model.evaluate_fast(&view, scratch).cc_total)
+    }
+
+    fn permutations(factors: &[(Dim, u64)]) -> Vec<Vec<(Dim, u64)>> {
+        let mut out = Vec::new();
+        let mut cur = Vec::new();
+        let mut used = vec![false; factors.len()];
+        fn rec(
+            factors: &[(Dim, u64)],
+            used: &mut [bool],
+            cur: &mut Vec<(Dim, u64)>,
+            out: &mut Vec<Vec<(Dim, u64)>>,
+        ) {
+            if cur.len() == factors.len() {
+                out.push(cur.clone());
+                return;
+            }
+            let mut seen = Vec::new();
+            for i in 0..factors.len() {
+                if used[i] || seen.contains(&factors[i]) {
+                    continue;
+                }
+                seen.push(factors[i]);
+                used[i] = true;
+                cur.push(factors[i]);
+                rec(factors, used, cur, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+        rec(factors, &mut used, &mut cur, &mut out);
+        out
+    }
+
+    /// Incumbent-driven pruning: outcomes must replay the scalar
+    /// bounded-search sequence (same pruned set, same survivor scores).
+    #[test]
+    fn pruning_replays_scalar_sequence() {
+        let chip = presets::toy_chip();
+        let layer = Layer::matmul("mm", 4, 4, 8, Precision::int8_acc24());
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let factors = vec![
+            (Dim::B, 2),
+            (Dim::K, 2),
+            (Dim::C, 2),
+            (Dim::C, 2),
+            (Dim::C, 2),
+        ];
+        let orderings = permutations(&factors);
+        let model = LatencyModel::new();
+
+        // Scalar reference sequence with floor-only-style incumbents:
+        // replicate the mapper's bounded walk using full scores.
+        let mut scalar_scratch = ModelScratch::default();
+        let mut residency = Vec::new();
+        let mut best: Option<f64> = None;
+        let mut want = Vec::new();
+        for ord in &orderings {
+            match scalar_eval(
+                &chip.arch,
+                &layer,
+                &spatial,
+                model,
+                ord,
+                &mut scalar_scratch,
+                &mut residency,
+            ) {
+                None => want.push(None),
+                Some(score) => {
+                    want.push(Some(score));
+                    if best.map(|b| score < b).unwrap_or(true) {
+                        best = Some(score);
+                    }
+                }
+            }
+        }
+
+        let mut kernel = BatchKernel::new(&chip.arch, &layer, &spatial, model, &factors, 7);
+        let mut running: Option<f64> = None;
+        let mut outcomes = Vec::new();
+        let drain = |k: &mut BatchKernel<'_>,
+                     running: &mut Option<f64>,
+                     outcomes: &mut Vec<LaneOutcome>| {
+            let r = k.drain(*running, |_, o| {
+                outcomes.push(o);
+                if let LaneOutcome::Scored(s) = o {
+                    if running.map(|b| s < b).unwrap_or(true) {
+                        *running = Some(s);
+                    }
+                }
+                *running
+            });
+            *running = r;
+        };
+        for ord in &orderings {
+            if kernel.is_full() {
+                drain(&mut kernel, &mut running, &mut outcomes);
+            }
+            kernel.push(ord);
+        }
+        drain(&mut kernel, &mut running, &mut outcomes);
+
+        assert_eq!(outcomes.len(), want.len());
+        // The final best must match the unpruned best exactly, and no
+        // scored lane may disagree with the scalar score.
+        assert_eq!(running.unwrap().to_bits(), best.unwrap().to_bits());
+        for (o, w) in outcomes.iter().zip(&want) {
+            match (o, w) {
+                (LaneOutcome::Illegal, None) => {}
+                (LaneOutcome::Scored(s), Some(w)) => assert_eq!(s.to_bits(), w.to_bits()),
+                (LaneOutcome::Pruned, Some(_)) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -183,7 +183,7 @@ impl Dtl {
 }
 
 /// Window shape selector for one link.
-enum WindowShape {
+pub(crate) enum WindowShape {
     /// Update may overlap compute for the whole period (double-buffered
     /// memory, or non-DB with a relevant top loop): `X_REQ = Mem_CC`.
     Full,
@@ -211,7 +211,7 @@ fn make_window(shape: WindowShape, period: u64, z: u64) -> (f64, PeriodicWindow)
 }
 
 #[allow(clippy::too_many_arguments)] // a DTL is genuinely 9-dimensional
-fn finish(
+pub(crate) fn finish(
     operand: Operand,
     kind: DtlKind,
     level: usize,

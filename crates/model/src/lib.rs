@@ -48,6 +48,7 @@
 //! # Ok::<(), ulm_mapping::MappingError>(())
 //! ```
 
+pub mod batch;
 pub mod delta;
 pub mod dtl;
 pub mod fast;
@@ -58,6 +59,7 @@ pub mod roofline;
 pub mod stall;
 pub mod whatif;
 
+pub use batch::{BatchKernel, LaneOutcome};
 pub use delta::{InputDelta, RebuildStats, Stage};
 pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
 pub use fast::{FastLatency, ModelScratch};

@@ -43,6 +43,7 @@ use std::time::Instant;
 use ulm_arch::{presets, ArchDesc, Architecture};
 use ulm_energy::{EnergyModel, EnergyReport};
 use ulm_error::UlmError;
+pub use ulm_mapper::SearchStats;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::{
@@ -108,16 +109,11 @@ pub struct EvalOutcome {
 /// How a `search` request covered the mapping space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SearchMeta {
-    /// Legal mappings evaluated.
-    pub evaluated: usize,
-    /// Orderings generated (legal or not).
-    pub generated: usize,
     /// True when the space was enumerated exhaustively.
     pub exhaustive: bool,
-    /// Legal orderings skipped by branch-and-bound lower bounds.
-    pub pruned: usize,
-    /// Prefix quantities reused between consecutive orderings.
-    pub cache_hits: u64,
+    /// The search's effort counters (the shared [`SearchStats`] from
+    /// `ulm-mapper`, including the SoA lane count used).
+    pub stats: SearchStats,
 }
 
 /// Incremental-evaluation counters across `whatif` requests, reported by
@@ -139,14 +135,9 @@ pub struct WhatifTotals {
 pub struct SearchTotals {
     /// Search requests actually executed (cache misses).
     pub searches: usize,
-    /// Orderings generated across them.
-    pub generated: usize,
-    /// Orderings fully evaluated.
-    pub evaluated: usize,
-    /// Legal orderings pruned by lower bounds.
-    pub pruned: usize,
-    /// Prefix quantities reused between consecutive orderings.
-    pub cache_hits: u64,
+    /// Effort counters summed across them (the shared [`SearchStats`];
+    /// `batch_lanes` reports the widest lane count used).
+    pub stats: SearchStats,
 }
 
 /// Request-latency summary for `/stats`, in milliseconds.
@@ -213,6 +204,10 @@ enum QueryMode {
         /// thread count, so requests differing only here must share a
         /// cache entry.
         parallelism: Option<usize>,
+        /// SoA lane count inside the ordering search. Like `parallelism`,
+        /// deliberately NOT part of the fingerprint: the batched kernel is
+        /// bit-identical to the scalar path at every lane count.
+        batch_lanes: Option<usize>,
     },
 }
 
@@ -397,14 +392,15 @@ fn parse_model(req: &Value) -> Result<ModelOptions, UlmError> {
 fn parse_mapper(
     req: &Value,
     model: &ModelOptions,
-) -> Result<(MapperOptions, Option<usize>), UlmError> {
+) -> Result<(MapperOptions, Option<usize>, Option<usize>), UlmError> {
     let mut opts = MapperOptions {
         bw_aware: model.bw_aware,
         ..MapperOptions::default()
     };
     let mut parallelism = None;
+    let mut batch_lanes = None;
     let Some(spec) = field(req, "mapper") else {
-        return Ok((opts, parallelism));
+        return Ok((opts, parallelism, batch_lanes));
     };
     let Value::Object(entries) = spec else {
         return Err(UlmError::invalid_request("`mapper` must be an object"));
@@ -427,6 +423,12 @@ fn parse_mapper(
                     n => Some(n as usize),
                 };
             }
+            "batch_lanes" => {
+                batch_lanes = match parse_u64(v, "mapper.batch_lanes")? {
+                    0 => None,
+                    n => Some(n as usize),
+                };
+            }
             other => {
                 return Err(UlmError::invalid_request(format!(
                     "unknown mapper option `{other}`"
@@ -434,7 +436,7 @@ fn parse_mapper(
             }
         }
     }
-    Ok((opts, parallelism))
+    Ok((opts, parallelism, batch_lanes))
 }
 
 fn parse_objective(req: &Value) -> Result<Objective, UlmError> {
@@ -491,11 +493,12 @@ fn parse_query(req: &Value, eval_mode: bool) -> Result<Query, UlmError> {
             .map_err(|e| UlmError::invalid_request(format!("invalid `mapping`: {e}")))?;
         QueryMode::Eval(Box::new(mapping))
     } else {
-        let (mapper, parallelism) = parse_mapper(req, &model)?;
+        let (mapper, parallelism, batch_lanes) = parse_mapper(req, &model)?;
         QueryMode::Search {
             objective: parse_objective(req)?,
             mapper,
             parallelism,
+            batch_lanes,
         }
     };
     Ok(Query {
@@ -590,21 +593,20 @@ impl Query {
                 objective,
                 mapper,
                 parallelism,
+                batch_lanes,
             } => {
                 let result = Mapper::new(&self.arch, &self.layer, self.spatial.clone())
                     .with_options(*mapper)
                     .with_parallelism(*parallelism)
+                    .with_batch_lanes(*batch_lanes)
                     .search(*objective)?;
                 Ok(EvalOutcome {
                     mapping: result.best.mapping,
                     latency: result.best.latency,
                     energy: result.best.energy,
                     search: Some(SearchMeta {
-                        evaluated: result.evaluated,
-                        generated: result.generated,
                         exhaustive: result.exhaustive,
-                        pruned: result.pruned,
-                        cache_hits: result.cache_hits,
+                        stats: result.stats,
                     }),
                 })
             }
@@ -1133,10 +1135,7 @@ impl EvalService {
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
                             totals.searches += 1;
-                            totals.generated += meta.generated;
-                            totals.evaluated += meta.evaluated;
-                            totals.pruned += meta.pruned;
-                            totals.cache_hits += meta.cache_hits;
+                            totals.stats.absorb(&meta.stats);
                         }
                         self.cache.insert(fp, out.clone());
                         self.persist(fp, out);
@@ -1736,6 +1735,24 @@ mod tests {
     }
 
     #[test]
+    fn batch_lanes_is_excluded_from_the_fingerprint() {
+        // The batched SoA kernel is bit-identical to the scalar path, so
+        // requests differing only in `mapper.batch_lanes` share a cache
+        // entry.
+        let svc = service();
+        let scalar = parse(&svc.handle_line(
+            r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10,"batch_lanes":1}}"#,
+        ).unwrap());
+        let batched = parse(&svc.handle_line(
+            r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10,"batch_lanes":8}}"#,
+        ).unwrap());
+        assert_eq!(scalar.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(scalar.get("fingerprint"), batched.get("fingerprint"));
+        assert_eq!(batched.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(scalar.get("latency"), batched.get("latency"));
+    }
+
+    #[test]
     fn stats_report_cumulative_search_totals() {
         let svc = service();
         let line = r#"{"kind":"search","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#;
@@ -1744,14 +1761,22 @@ mod tests {
         let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
         let search = stats.get("search").unwrap();
         assert_eq!(search.get("searches").and_then(Value::as_u64), Some(1));
-        let meta = first.get("search").unwrap();
-        for key in ["generated", "evaluated", "pruned", "cache_hits"] {
+        let totals = search.get("stats").unwrap();
+        let meta = first.get("search").unwrap().get("stats").unwrap();
+        for key in [
+            "generated",
+            "evaluated",
+            "pruned",
+            "cache_hits",
+            "batch_lanes",
+        ] {
             assert_eq!(
-                search.get(key).and_then(Value::as_u64),
+                totals.get(key).and_then(Value::as_u64),
                 meta.get(key).and_then(Value::as_u64),
                 "{key}"
             );
         }
+        assert!(meta.get("batch_lanes").and_then(Value::as_u64).unwrap() >= 1);
     }
 
     #[test]

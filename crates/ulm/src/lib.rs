@@ -58,7 +58,7 @@ pub mod prelude {
     pub use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
     pub use ulm_error::UlmError;
     pub use ulm_mapper::{
-        EvalScratch, EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult,
+        EvalScratch, EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult, SearchStats,
     };
     pub use ulm_mapping::{
         LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc, SpatialUnroll, TemporalLoop,

@@ -1,0 +1,84 @@
+//! CI perf smoke: the batched SoA kernel must not be slower than the
+//! scalar search on the Fig. 8 case-study workload, and the two must
+//! agree bit for bit. Exits nonzero on a regression, so `scripts/ci.sh`
+//! can gate on it; thresholds are deliberately loose (>= 1.5x) to stay
+//! robust on slow or loaded machines while still catching a batched
+//! path that has degraded to scalar speed.
+
+use std::time::Instant;
+use ulm::prelude::*;
+
+fn main() {
+    let arch = presets::case_study_chip(128);
+    let layer = Layer::matmul("fig8-dse", 64, 96, 640, Precision::int8_out24());
+    let spatial = SpatialUnroll::new(vec![(Dim::K, 16), (Dim::B, 8), (Dim::C, 2)]);
+    let opts = MapperOptions {
+        max_exhaustive: 1_000_000,
+        ..MapperOptions::default()
+    };
+    let run = |lanes: Option<usize>| {
+        let mapper = Mapper::new(&arch, &layer, spatial.clone())
+            .with_options(opts)
+            .with_batch_lanes(lanes);
+        // Best of two runs each, to shrink scheduler noise.
+        let mut best_secs = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..2 {
+            let t = Instant::now();
+            let r = mapper.search(Objective::Latency).expect("search succeeds");
+            best_secs = best_secs.min(t.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        (result.unwrap(), best_secs)
+    };
+
+    let (scalar, scalar_secs) = run(Some(1));
+    let (batched, batched_secs) = run(None);
+
+    let orderings = scalar.stats.generated as f64;
+    let speedup = scalar_secs / batched_secs;
+    println!(
+        "scalar: {:.3}s ({:.0}/s) | batched[{} lanes]: {:.3}s ({:.0}/s) | speedup {:.2}x",
+        scalar_secs,
+        orderings / scalar_secs,
+        batched.stats.batch_lanes,
+        batched_secs,
+        orderings / batched_secs,
+        speedup,
+    );
+
+    let mut failures = Vec::new();
+    if scalar.best.mapping != batched.best.mapping {
+        failures.push("best mapping diverged between scalar and batched".to_string());
+    }
+    if scalar.best.latency.cc_total.to_bits() != batched.best.latency.cc_total.to_bits() {
+        failures.push(format!(
+            "cc_total bits diverged: scalar {} vs batched {}",
+            scalar.best.latency.cc_total, batched.best.latency.cc_total
+        ));
+    }
+    if scalar.stats.evaluated != batched.stats.evaluated
+        || scalar.stats.pruned != batched.stats.pruned
+    {
+        failures.push(format!(
+            "counters diverged: scalar {}/{} vs batched {}/{} (evaluated/pruned)",
+            scalar.stats.evaluated,
+            scalar.stats.pruned,
+            batched.stats.evaluated,
+            batched.stats.pruned
+        ));
+    }
+    if speedup < 1.5 {
+        failures.push(format!(
+            "batched search only {speedup:.2}x the scalar path (want >= 1.5x)"
+        ));
+    }
+    if failures.is_empty() {
+        println!("batch perf smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("batch perf smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

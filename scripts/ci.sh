@@ -31,7 +31,13 @@ echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
 echo "==> search-equivalence + allocation-free gates (release)"
-cargo test --release -q -p ulm-mapper --test search_equivalence --test alloc_free
+cargo test --release -q -p ulm-mapper --test search_equivalence --test alloc_free --test batch_alloc_free
+
+echo "==> batch-vs-scalar equivalence gate (release)"
+cargo test --release -q -p ulm --test batch_equivalence
+
+echo "==> batch perf smoke (batched kernel must beat the scalar search)"
+cargo run --release -q -p ulm --example batch_perf_smoke
 
 echo "==> reactor serve smoke (epoll transport + durable cache)"
 if [[ "$(uname -s)" == "Linux" ]]; then
