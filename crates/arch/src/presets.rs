@@ -12,6 +12,9 @@
 //!   32x32 / 64x64 MAC arrays with proportionally scaled memories).
 //! * [`toy_chip`] — a deliberately tiny two-level design for worked
 //!   examples and hand-checked tests.
+//! * [`fusion_chip`] — the toy chip with a DRAM level above the (now
+//!   shared, non-backing) local buffer, so depth-first fusion and
+//!   KV-cache residency have a top interface worth eliding.
 
 use crate::mem::{Memory, MemoryKind, Port};
 use crate::{Architecture, MacArray, MemoryHierarchy, StallIntegration};
@@ -305,6 +308,49 @@ pub fn toy_chip() -> PresetChip {
     }
 }
 
+/// The toy chip with a DRAM level stacked above its local buffer.
+///
+/// Unlike every other preset, the shared "LB" here is *not* the backing
+/// store: all three operand chains run `reg -> LB -> DRAM`, so a fused
+/// segment (or a decode-resident KV cache) pinned at the LB has real
+/// `LB <-> DRAM` interfaces to elide. The DRAM link is kept deliberately
+/// narrow (8 b/cy) so elided round-trips show up clearly in latency.
+pub fn fusion_chip() -> PresetChip {
+    let array = MacArray::new(2, 2, 1);
+    let mut b = MemoryHierarchy::builder();
+    let w_reg = b.add_memory(
+        Memory::new("W-Reg", MemoryKind::RegisterFile, 4 * 8)
+            .with_ports(vec![Port::read(4 * 8), Port::write(8)])
+            .with_replication(2), // broadcast across the B-unrolled axis
+    );
+    let i_reg = b.add_memory(
+        Memory::new("I-Reg", MemoryKind::RegisterFile, 4 * 8)
+            .with_ports(vec![Port::read(4 * 8), Port::write(8)])
+            .with_replication(2), // broadcast across the K-unrolled axis
+    );
+    let o_reg = b.add_memory(
+        Memory::new("O-Reg", MemoryKind::RegisterFile, 4 * 24)
+            .with_ports(vec![Port::read(4 * 24), Port::write(4 * 24)]),
+    );
+    let lb = b.add_memory(
+        Memory::new("LB", MemoryKind::Sram, 16 * KB)
+            .with_ports(vec![Port::read(16), Port::write(16)]),
+    );
+    let dram = b.add_memory(
+        Memory::new("DRAM", MemoryKind::Sram, 64 * 1024 * KB)
+            .with_ports(vec![Port::read(8), Port::write(8)])
+            .as_backing_store(),
+    );
+    b.set_chain(Operand::W, vec![w_reg, lb, dram]);
+    b.set_chain(Operand::I, vec![i_reg, lb, dram]);
+    b.set_chain(Operand::O, vec![o_reg, lb, dram]);
+    let hierarchy = b.build().expect("preset hierarchy is well-formed");
+    PresetChip {
+        arch: Architecture::new("fusion-toy", array, hierarchy),
+        spatial: vec![(Dim::K, 2), (Dim::B, 2)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,5 +440,21 @@ mod tests {
         let chip = toy_chip();
         assert_eq!(chip.arch.mac_array().num_macs(), 4);
         assert_eq!(chip.arch.hierarchy().depth(), 2);
+    }
+
+    #[test]
+    fn fusion_chip_shares_a_non_backing_lb_below_dram() {
+        let chip = fusion_chip();
+        let h = chip.arch.hierarchy();
+        assert_eq!(h.depth(), 3);
+        let lb = h.find("LB").unwrap();
+        assert!(!h.mem(lb).is_backing_store());
+        let dram = h.find("DRAM").unwrap();
+        assert!(h.mem(dram).is_backing_store());
+        // The LB sits in all three chains: a pin there elides LB<->DRAM
+        // traffic for any operand.
+        for op in [Operand::W, Operand::I, Operand::O] {
+            assert_eq!(h.chain(op)[1], lb, "{op:?} chain must route via LB");
+        }
     }
 }

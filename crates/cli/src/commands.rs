@@ -21,9 +21,10 @@ fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), UlmError> 
         "case64" => presets::scaled_case_study_chip(64, gb_bw),
         "validation" => presets::validation_chip(),
         "toy" => presets::toy_chip(),
+        "fusion" => presets::fusion_chip(),
         other => {
             return Err(UlmError::config(format!(
-                "unknown --arch `{other}` (try case16|case32|case64|validation|toy)"
+                "unknown --arch `{other}` (try case16|case32|case64|validation|toy|fusion)"
             )))
         }
     };
@@ -414,12 +415,15 @@ fn resolve_network(args: &Args) -> Result<Vec<Layer>, UlmError> {
     } else {
         match args.get("net").unwrap_or("handtracking") {
             "handtracking" => return Ok(networks::handtracking_validation_layers()),
+            "attention-prefill" => return Ok(networks::attention_prefill()),
+            "attention-decode" => return Ok(networks::attention_decode()),
             "mobilenet" => networks::mobilenet_v1(224, 1),
             "resnet18" => networks::resnet18(224, 1),
             "alexnet" => networks::alexnet(1),
             other => {
                 return Err(UlmError::config(format!(
-                    "unknown --net `{other}` (handtracking|mobilenet|resnet18|alexnet)"
+                    "unknown --net `{other}` (handtracking|attention-prefill|\
+                     attention-decode|mobilenet|resnet18|alexnet)"
                 )))
             }
         }
@@ -434,21 +438,58 @@ fn resolve_network(args: &Args) -> Result<Vec<Layer>, UlmError> {
     Ok(layers)
 }
 
-/// `ulm network`: schedule a whole network end to end.
+/// Parses one repeatable `--fuse layerA+layerB[+…]@MEM` spec into a
+/// fused-segment descriptor; validation against the network and chip
+/// happens inside the evaluator.
+fn parse_fuse_spec(spec: &str) -> Result<FusedSegment, UlmError> {
+    let bad = || {
+        UlmError::config(format!(
+            "`--fuse` must be layerA+layerB[+…]@MEM, got `{spec}`"
+        ))
+    };
+    let (layers, pin) = spec.rsplit_once('@').ok_or_else(bad)?;
+    let names: Vec<String> = layers.split('+').map(str::to_string).collect();
+    if pin.is_empty() || names.iter().any(String::is_empty) {
+        return Err(bad());
+    }
+    Ok(FusedSegment::new(names, pin))
+}
+
+/// `ulm network`: schedule a whole network end to end. `--arch` selects
+/// the chip (default: the validation chip); repeatable
+/// `--fuse logit+attend@LB` pins fused intermediates on chip.
 pub fn network(args: &Args) -> Result<(), UlmError> {
-    let chip = presets::validation_chip();
-    let spatial = SpatialUnroll::new(chip.spatial.clone());
+    let (arch, spatial) = if args.get("arch").is_some() || args.get("arch-file").is_some() {
+        resolve_arch(args)?
+    } else {
+        let chip = presets::validation_chip();
+        (chip.arch, SpatialUnroll::new(chip.spatial))
+    };
     let overlap = if args.flag("overlap") {
         InterLayerOverlap::WeightPrefetch
     } else {
         InterLayerOverlap::None
     };
+    let fusion = args
+        .get_all("fuse")
+        .into_iter()
+        .map(parse_fuse_spec)
+        .collect::<Result<Vec<_>, _>>()?;
     let layers = resolve_network(args)?;
-    let report = NetworkEvaluator::new(&chip.arch, spatial)
+    let report = NetworkEvaluator::new(&arch, spatial)
         .with_overlap(overlap)
         .with_mapper_options(mapper_options(args)?)
+        .with_fusion(fusion)
         .evaluate(&layers)?;
     print!("{report}");
+    for seg in &report.segments {
+        println!(
+            "  fused @{}: {} edge(s), {} bits resident",
+            seg.pin_name,
+            seg.edges.len(),
+            seg.footprint_bits()
+        );
+    }
     Ok(())
 }
 
@@ -662,14 +703,14 @@ COMMANDS
   search     explore the mapping space (--objective latency|energy|edp, --all)
   validate   model vs discrete-event simulator on the hand-tracking layers
   dse        architecture design-space exploration with a Pareto front
-  network    schedule the hand-tracking network end to end (--overlap)
+  network    schedule a network end to end (--overlap, --fuse, --net)
   batch      answer NDJSON eval/search/stats requests from stdin on stdout
   serve      the same NDJSON protocol over TCP (--port, default 7878)
   cache      durable result log tools: cache export|import|info
   help       this text
 
 COMMON OPTIONS
-  --arch case16|case32|case64|validation|toy   (default case16)
+  --arch case16|case32|case64|validation|toy|fusion   (default case16)
   --arch-file <path.json>                      load a JSON architecture
   --gb-bw <bits/cycle>                         (default 128)
   --layer BxKxC                                (e.g. 64x96x640)
@@ -682,8 +723,11 @@ COMMON OPTIONS
   --stats               search/dse: print pruning/search statistics
   --sides 16,32,64      (dse)
   --layers <n>          (validate: limit layer count)
-  --net handtracking|mobilenet|resnet18|alexnet   (network)
+  --net handtracking|attention-prefill|attention-decode|mobilenet|
+        resnet18|alexnet                        (network)
   --file <path.json>    (network: load a JSON network description)
+  --fuse l1+l2[+…]@MEM  network: fuse consecutive layers depth-first,
+                        pinning intermediates in MEM (repeatable)
   --set mem.<name>.<knob>=<value>   whatif: override size|bw|read_bw|write_bw
                         (value `2x`-style scale or absolute; repeatable)
   --verify              whatif: check the incremental result against a

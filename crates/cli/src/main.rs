@@ -6,7 +6,7 @@
 //! ulm search   --objective energy --all
 //! ulm validate --json
 //! ulm dse      --gb-bw 1024 --sides 16,64
-//! ulm network  --overlap
+//! ulm network  --net attention-decode --arch fusion --fuse logit+attend@LB
 //! ulm batch    < requests.ndjson
 //! ulm serve    --port 7878
 //! ```

@@ -276,7 +276,9 @@ impl EnergyModel {
         let layer = view.layer();
         for op in Operand::all() {
             let chain = h.chain(op);
-            for level in 0..chain.len().saturating_sub(1) {
+            // Interfaces above a residency pin (KV-cache, fused
+            // intermediates) move no data, so they cost no energy.
+            for level in 0..lowered.active_interfaces(op) {
                 let lower = chain[level];
                 let upper = chain[level + 1];
                 let row = *lowered.level(op, level);

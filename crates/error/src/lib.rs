@@ -24,7 +24,7 @@ use std::fmt;
 
 use ulm_arch::archdesc::ArchDescError;
 use ulm_mapper::MapperError;
-use ulm_mapping::MappingError;
+use ulm_mapping::{FuseError, MappingError};
 use ulm_model::KnobError;
 use ulm_network::NetworkError;
 use ulm_periodic::WindowError;
@@ -53,6 +53,8 @@ pub enum CacheCorruptKind {
 pub enum UlmError {
     /// A mapping failed validation against layer + architecture.
     Mapping(MappingError),
+    /// A fused segment failed validation against network + architecture.
+    Fuse(FuseError),
     /// The mapping search exhausted its space without a legal mapping.
     Mapper(MapperError),
     /// A whole-network evaluation failed on one of its layers.
@@ -101,6 +103,21 @@ pub enum UlmError {
     Json(serde_json::Error),
 }
 
+/// The stable code of one fusion-validation failure. Shared between
+/// [`UlmError::Fuse`] and fusion errors surfacing through
+/// [`UlmError::Network`] so the code is boundary-independent.
+fn fuse_code(e: &FuseError) -> &'static str {
+    match e {
+        FuseError::TooShort { .. } => "fuse/too-short",
+        FuseError::UnknownLayer { .. } => "fuse/unknown-layer",
+        FuseError::NotConsecutive { .. } => "fuse/not-consecutive",
+        FuseError::UnknownMemory { .. } => "fuse/unknown-memory",
+        FuseError::ShapeMismatch { .. } => "fuse/shape-mismatch",
+        FuseError::NotInChain { .. } => "fuse/not-in-chain",
+        FuseError::DoesNotFit { .. } => "fuse/does-not-fit",
+    }
+}
+
 impl UlmError {
     /// Shorthand for [`UlmError::InvalidRequest`].
     pub fn invalid_request(msg: impl Into<String>) -> Self {
@@ -127,8 +144,19 @@ impl UlmError {
                 MappingError::CapacityExceeded { .. } => "mapping/capacity-exceeded",
                 MappingError::InfeasibleLevel { .. } => "mapping/infeasible-level",
             },
-            UlmError::Mapper(MapperError::NoLegalMapping { .. }) => "mapper/no-legal-mapping",
-            UlmError::Network(NetworkError::LayerUnmappable { .. }) => "network/layer-unmappable",
+            UlmError::Fuse(e) => fuse_code(e),
+            UlmError::Mapper(e) => match e {
+                MapperError::NoLegalMapping { .. } => "mapper/no-legal-mapping",
+                MapperError::BatchUnsupportedObjective { .. } => {
+                    "search/batch-unsupported-objective"
+                }
+            },
+            UlmError::Network(e) => match e {
+                NetworkError::LayerUnmappable { .. } => "network/layer-unmappable",
+                // Fusion rejections carry the fuse/* code no matter which
+                // boundary they crossed to get here.
+                NetworkError::BadFusion { source } => fuse_code(source),
+            },
             UlmError::Window(e) => match e {
                 WindowError::BadPeriod(..) => "window/bad-period",
                 WindowError::BadInterval { .. } => "window/bad-interval",
@@ -143,6 +171,7 @@ impl UlmError {
             UlmError::NetDesc(e) => match e {
                 NetDescError::Json(_) => "net/bad-json",
                 NetDescError::UnknownKind { .. } => "net/unknown-kind",
+                NetDescError::BadKvOperand { .. } => "net/bad-kv-operand",
             },
             UlmError::InvalidRequest(_) => "request/invalid",
             UlmError::TooLarge { .. } => "request/too-large",
@@ -160,6 +189,7 @@ impl UlmError {
                 KnobError::UnknownMemory { .. } => "knob/unknown-memory",
                 KnobError::BadValue { .. } => "knob/bad-value",
                 KnobError::InvalidValue { .. } => "knob/invalid-value",
+                KnobError::OutOfRange { .. } => "knob/out-of-range",
             },
             UlmError::Config(_) => "config/invalid",
             UlmError::Io(_) => "io/error",
@@ -172,6 +202,7 @@ impl fmt::Display for UlmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UlmError::Mapping(e) => write!(f, "illegal mapping: {e}"),
+            UlmError::Fuse(e) => write!(f, "invalid fused segment: {e}"),
             UlmError::Mapper(e) => e.fmt(f),
             UlmError::Network(e) => e.fmt(f),
             UlmError::Window(e) => e.fmt(f),
@@ -207,6 +238,7 @@ impl std::error::Error for UlmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             UlmError::Mapping(e) => Some(e),
+            UlmError::Fuse(e) => Some(e),
             UlmError::Mapper(e) => Some(e),
             UlmError::Network(e) => Some(e),
             UlmError::Window(e) => Some(e),
@@ -235,6 +267,12 @@ impl From<ReactorError> for UlmError {
 impl From<MappingError> for UlmError {
     fn from(e: MappingError) -> Self {
         UlmError::Mapping(e)
+    }
+}
+
+impl From<FuseError> for UlmError {
+    fn from(e: FuseError) -> Self {
+        UlmError::Fuse(e)
     }
 }
 
@@ -385,6 +423,73 @@ mod tests {
                 }
                 .into(),
                 "knob/invalid-value",
+            ),
+            (
+                KnobError::OutOfRange {
+                    over: "mem.gb.size=1e30x".into(),
+                }
+                .into(),
+                "knob/out-of-range",
+            ),
+            (
+                MapperError::BatchUnsupportedObjective {
+                    objective: "edp".into(),
+                    lanes: 64,
+                }
+                .into(),
+                "search/batch-unsupported-objective",
+            ),
+            (FuseError::TooShort { len: 1 }.into(), "fuse/too-short"),
+            (
+                NetworkError::BadFusion {
+                    source: FuseError::TooShort { len: 0 },
+                }
+                .into(),
+                "fuse/too-short",
+            ),
+            (
+                FuseError::UnknownLayer { layer: "qk".into() }.into(),
+                "fuse/unknown-layer",
+            ),
+            (
+                FuseError::NotConsecutive {
+                    producer: "a".into(),
+                    consumer: "c".into(),
+                }
+                .into(),
+                "fuse/not-consecutive",
+            ),
+            (
+                FuseError::UnknownMemory { mem: "HBM3".into() }.into(),
+                "fuse/unknown-memory",
+            ),
+            (
+                FuseError::ShapeMismatch {
+                    producer: "a".into(),
+                    consumer: "b".into(),
+                    produced: 32,
+                    consumed: 64,
+                }
+                .into(),
+                "fuse/shape-mismatch",
+            ),
+            (
+                FuseError::NotInChain {
+                    layer: "qk".into(),
+                    operand: ulm_workload::Operand::I,
+                    mem: "Acc".into(),
+                }
+                .into(),
+                "fuse/not-in-chain",
+            ),
+            (
+                FuseError::DoesNotFit {
+                    mem: "LB".into(),
+                    needed_bits: 2048,
+                    capacity_bits: 1024,
+                }
+                .into(),
+                "fuse/does-not-fit",
             ),
         ];
         for (e, code) in &cases {

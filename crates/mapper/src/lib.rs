@@ -161,6 +161,15 @@ pub enum MapperError {
         /// Orderings tried.
         tried: usize,
     },
+    /// A multi-lane batch was explicitly requested for an objective whose
+    /// hot path has no batched kernel (the SoA kernel scores latency
+    /// only), so honoring the request silently is impossible.
+    BatchUnsupportedObjective {
+        /// The requested objective, lowercase (`energy` / `edp`).
+        objective: String,
+        /// The explicitly requested lane count.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for MapperError {
@@ -169,6 +178,11 @@ impl fmt::Display for MapperError {
             MapperError::NoLegalMapping { tried } => {
                 write!(f, "no legal mapping found among {tried} orderings")
             }
+            MapperError::BatchUnsupportedObjective { objective, lanes } => write!(
+                f,
+                "batch lanes {lanes} requested, but the batched kernel only scores the \
+                 latency objective (not {objective}); drop --batch-lanes or set it to 1"
+            ),
         }
     }
 }
@@ -335,6 +349,25 @@ impl<'a> Mapper<'a> {
         match obj {
             Objective::Latency => self.batch_lanes.unwrap_or(DEFAULT_BATCH_LANES).max(1),
             Objective::Energy | Objective::Edp => 1,
+        }
+    }
+
+    /// Rejects lane requests the hot path cannot honor: an explicit
+    /// `--batch-lanes > 1` with an energy-bearing objective used to be
+    /// silently downgraded to the scalar path, making the knob a no-op.
+    /// The default (`None`) and an explicit `1` still evaluate scalar.
+    fn check_batch_lanes(&self, obj: Objective) -> Result<(), MapperError> {
+        match (obj, self.batch_lanes) {
+            (Objective::Energy | Objective::Edp, Some(lanes)) if lanes > 1 => {
+                Err(MapperError::BatchUnsupportedObjective {
+                    objective: match obj {
+                        Objective::Energy => "energy".into(),
+                        _ => "edp".into(),
+                    },
+                    lanes,
+                })
+            }
+            _ => Ok(()),
         }
     }
 
@@ -582,8 +615,12 @@ impl<'a> Mapper<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`MapperError::NoLegalMapping`] if nothing legal was found.
+    /// Returns [`MapperError::NoLegalMapping`] if nothing legal was
+    /// found, and [`MapperError::BatchUnsupportedObjective`] when an
+    /// explicit multi-lane batch was requested for an energy-bearing
+    /// objective (whose hot path has no batched kernel).
     pub fn search(&self, obj: Objective) -> Result<SearchResult, MapperError> {
+        self.check_batch_lanes(obj)?;
         let t0 = Instant::now();
         let factors = self.factors();
         let space_size = ordering_count(&factors);
@@ -840,6 +877,36 @@ mod tests {
         let a = mapper.search(Objective::Latency).unwrap();
         let b = mapper.search(Objective::Latency).unwrap();
         assert_eq!(a.best.mapping, b.best.mapping);
+    }
+
+    #[test]
+    fn explicit_batch_lanes_with_energy_objectives_is_a_typed_error() {
+        let (chip, layer) = toy();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        for obj in [Objective::Energy, Objective::Edp] {
+            let err = Mapper::new(&chip.arch, &layer, spatial.clone())
+                .with_batch_lanes(Some(8))
+                .search(obj)
+                .unwrap_err();
+            assert!(
+                matches!(err, MapperError::BatchUnsupportedObjective { lanes: 8, .. }),
+                "{obj:?} with explicit lanes must error, got {err:?}"
+            );
+        }
+        // The default (None) and an explicit 1 still evaluate scalar, and
+        // latency keeps batching.
+        for lanes in [None, Some(1)] {
+            let r = Mapper::new(&chip.arch, &layer, spatial.clone())
+                .with_batch_lanes(lanes)
+                .search(Objective::Edp)
+                .unwrap();
+            assert_eq!(r.stats.batch_lanes, 1);
+        }
+        let r = Mapper::new(&chip.arch, &layer, spatial.clone())
+            .with_batch_lanes(Some(8))
+            .search(Objective::Latency)
+            .unwrap();
+        assert_eq!(r.stats.batch_lanes, 8);
     }
 
     #[test]

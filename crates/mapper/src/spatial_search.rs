@@ -125,6 +125,8 @@ pub fn search_spatial_with(
                 }
             }
             Err(MapperError::NoLegalMapping { tried: t }) => tried += t,
+            // Lane/objective conflicts hold for every candidate: abort.
+            Err(e @ MapperError::BatchUnsupportedObjective { .. }) => return Err(e),
         }
     }
     best.ok_or(MapperError::NoLegalMapping { tried })

@@ -1,0 +1,456 @@
+//! Depth-first fusion: segment descriptors and residency tables.
+//!
+//! A [`FusedSegment`] names 2+ consecutive layers whose intermediate
+//! tensors stay pinned in a local buffer level instead of making the
+//! round trip through the backing store: the producer's output tiles are
+//! written into the pin memory and consumed in place by the next layer.
+//! [`FusedSegment::residency`] validates the segment against a network
+//! and an architecture and emits a [`SegmentResidency`] table — one
+//! [`EdgeResidency`] row per fused edge — from which every consumer
+//! (lowering, energy accumulation, simulator scheduling) derives the
+//! same residency pins, so they all price the elided transfers from one
+//! source of truth.
+
+use std::error::Error;
+use std::fmt;
+use ulm_arch::{Architecture, MemoryId};
+use ulm_workload::{Layer, Operand};
+
+/// A depth-first fused segment: an ordered chain of layer names plus the
+/// memory level the intermediate tensors are pinned in.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FusedSegment {
+    /// The fused layers, in execution order (2+ names).
+    layers: Vec<String>,
+    /// Name of the memory holding the intermediates.
+    pin: String,
+}
+
+impl FusedSegment {
+    /// A segment fusing `layers` (execution order) with intermediates
+    /// pinned in the memory named `pin`.
+    pub fn new(layers: Vec<String>, pin: impl Into<String>) -> Self {
+        Self {
+            layers,
+            pin: pin.into(),
+        }
+    }
+
+    /// The fused layer names, in execution order.
+    pub fn layers(&self) -> &[String] {
+        &self.layers
+    }
+
+    /// The pin memory's name.
+    pub fn pin(&self) -> &str {
+        &self.pin
+    }
+
+    /// Validates the segment against a network and an architecture and
+    /// builds its residency table.
+    ///
+    /// Checks, in order: the segment names 2+ layers; every name exists
+    /// in `layers`; the named layers are consecutive in network order;
+    /// the pin memory exists; each fused edge's tensors agree in element
+    /// count (reshapes are fine — a words-level identity is all fusion
+    /// needs); the pin memory appears in the producer's output chain and
+    /// the consumer's input chain; and the combined intermediate
+    /// footprint fits the pin memory's capacity (backing stores are
+    /// exempt, which makes a top-level pin a legal — and degenerate —
+    /// fusion that elides nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing [`FuseError`] check.
+    pub fn residency(
+        &self,
+        arch: &Architecture,
+        layers: &[Layer],
+    ) -> Result<SegmentResidency, FuseError> {
+        if self.layers.len() < 2 {
+            return Err(FuseError::TooShort {
+                len: self.layers.len(),
+            });
+        }
+        let h = arch.hierarchy();
+        let pin = h.find(&self.pin).ok_or_else(|| FuseError::UnknownMemory {
+            mem: self.pin.clone(),
+        })?;
+        let pin_mem = h.mem(pin);
+
+        let mut indices: Vec<usize> = Vec::with_capacity(self.layers.len());
+        for name in &self.layers {
+            let idx = layers
+                .iter()
+                .position(|l| l.name() == name.as_str())
+                .ok_or_else(|| FuseError::UnknownLayer {
+                    layer: name.clone(),
+                })?;
+            if let Some(&prev) = indices.last() {
+                if idx != prev + 1 {
+                    return Err(FuseError::NotConsecutive {
+                        producer: layers[prev].name().to_string(),
+                        consumer: name.clone(),
+                    });
+                }
+            }
+            indices.push(idx);
+        }
+
+        let level_of = |layer: &Layer, op: Operand| -> Result<usize, FuseError> {
+            h.chain(op)
+                .iter()
+                .position(|&m| m == pin)
+                .ok_or_else(|| FuseError::NotInChain {
+                    layer: layer.name().to_string(),
+                    operand: op,
+                    mem: self.pin.clone(),
+                })
+        };
+
+        let mut edges = Vec::with_capacity(indices.len() - 1);
+        for pair in indices.windows(2) {
+            let (producer, consumer) = (&layers[pair[0]], &layers[pair[1]]);
+            let produced = producer.tensor_words(Operand::O);
+            let consumed = consumer.tensor_words(Operand::I);
+            if produced != consumed {
+                return Err(FuseError::ShapeMismatch {
+                    producer: producer.name().to_string(),
+                    consumer: consumer.name().to_string(),
+                    produced,
+                    consumed,
+                });
+            }
+            edges.push(EdgeResidency {
+                producer: producer.name().to_string(),
+                consumer: consumer.name().to_string(),
+                producer_index: pair[0],
+                words: produced,
+                // The intermediate is a finished tensor (fully
+                // accumulated before the consumer reads it), so it lives
+                // at final output precision.
+                bits: produced * producer.precision().output_bits(true),
+                producer_level: level_of(producer, Operand::O)?,
+                consumer_level: level_of(consumer, Operand::I)?,
+            });
+        }
+
+        let residency = SegmentResidency {
+            pin,
+            pin_name: self.pin.clone(),
+            capacity_bits: pin_mem.capacity_bits(),
+            first: indices[0],
+            edges,
+        };
+        // Conservative co-residency: in a 3+-layer chain, one edge is
+        // being consumed while the next is being produced, so all
+        // intermediates are budgeted together.
+        if !pin_mem.is_backing_store() && residency.footprint_bits() > pin_mem.capacity_bits() {
+            return Err(FuseError::DoesNotFit {
+                mem: self.pin.clone(),
+                needed_bits: residency.footprint_bits(),
+                capacity_bits: pin_mem.capacity_bits(),
+            });
+        }
+        Ok(residency)
+    }
+}
+
+/// One fused producer→consumer edge of a [`SegmentResidency`] table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EdgeResidency {
+    /// The producing layer's name.
+    pub producer: String,
+    /// The consuming layer's name.
+    pub consumer: String,
+    /// Index of the producer in the network's layer list (the consumer
+    /// is at `producer_index + 1`).
+    pub producer_index: usize,
+    /// Intermediate tensor size in words.
+    pub words: u64,
+    /// Intermediate footprint in bits (final output precision).
+    pub bits: u64,
+    /// The pin memory's level in the producer's output chain.
+    pub producer_level: usize,
+    /// The pin memory's level in the consumer's input chain.
+    pub consumer_level: usize,
+}
+
+/// The validated residency table of one fused segment.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SegmentResidency {
+    /// The pin memory.
+    pub pin: MemoryId,
+    /// The pin memory's name.
+    pub pin_name: String,
+    /// The pin memory's physical capacity in bits.
+    pub capacity_bits: u64,
+    /// Network index of the segment's first layer.
+    pub first: usize,
+    /// One row per fused edge, in execution order.
+    pub edges: Vec<EdgeResidency>,
+}
+
+impl SegmentResidency {
+    /// Combined intermediate footprint in bits (all edges co-resident).
+    pub fn footprint_bits(&self) -> u64 {
+        self.edges.iter().map(|e| e.bits).sum()
+    }
+
+    /// Network index one past the segment's last layer.
+    pub fn end(&self) -> usize {
+        self.first + self.edges.len() + 1
+    }
+
+    /// True when the network's `index`-th layer belongs to this segment.
+    pub fn contains(&self, index: usize) -> bool {
+        (self.first..self.end()).contains(&index)
+    }
+
+    /// The residency pins (`[W, I, O]`, by operand index) the network's
+    /// `index`-th layer must be lowered with: its output is pinned when
+    /// it produces a fused edge, its input when it consumes one. All
+    /// `None` for layers outside the segment.
+    pub fn pins_for(&self, index: usize) -> [Option<usize>; 3] {
+        let mut pins = [None; 3];
+        for e in &self.edges {
+            if e.producer_index == index {
+                pins[Operand::O.index()] = Some(e.producer_level);
+            }
+            if e.producer_index + 1 == index {
+                pins[Operand::I.index()] = Some(e.consumer_level);
+            }
+        }
+        pins
+    }
+}
+
+/// Why a [`FusedSegment`] cannot be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseError {
+    /// The segment names fewer than two layers.
+    TooShort {
+        /// Number of layers named.
+        len: usize,
+    },
+    /// A named layer is not in the network.
+    UnknownLayer {
+        /// The unknown name.
+        layer: String,
+    },
+    /// Two fused layers are not adjacent in network order.
+    NotConsecutive {
+        /// The earlier layer.
+        producer: String,
+        /// The layer that should directly follow it.
+        consumer: String,
+    },
+    /// The pin memory is not in the architecture.
+    UnknownMemory {
+        /// The unknown memory name.
+        mem: String,
+    },
+    /// A fused edge's tensors disagree in element count.
+    ShapeMismatch {
+        /// The producing layer.
+        producer: String,
+        /// The consuming layer.
+        consumer: String,
+        /// Words the producer emits.
+        produced: u64,
+        /// Words the consumer reads.
+        consumed: u64,
+    },
+    /// The pin memory does not serve the operand that must live there.
+    NotInChain {
+        /// The affected layer.
+        layer: String,
+        /// The operand needing residency.
+        operand: Operand,
+        /// The pin memory's name.
+        mem: String,
+    },
+    /// The combined intermediate footprint exceeds the pin capacity.
+    DoesNotFit {
+        /// The pin memory's name.
+        mem: String,
+        /// Bits required.
+        needed_bits: u64,
+        /// Bits available.
+        capacity_bits: u64,
+    },
+}
+
+impl fmt::Display for FuseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuseError::TooShort { len } => {
+                write!(f, "a fused segment needs at least 2 layers, got {len}")
+            }
+            FuseError::UnknownLayer { layer } => {
+                write!(f, "fused segment names unknown layer `{layer}`")
+            }
+            FuseError::NotConsecutive { producer, consumer } => write!(
+                f,
+                "fused layers `{producer}` and `{consumer}` are not consecutive in the network"
+            ),
+            FuseError::UnknownMemory { mem } => {
+                write!(f, "fused segment pins unknown memory `{mem}`")
+            }
+            FuseError::ShapeMismatch {
+                producer,
+                consumer,
+                produced,
+                consumed,
+            } => write!(
+                f,
+                "fused edge `{producer}`->`{consumer}` moves {produced} words \
+                 but the consumer reads {consumed}"
+            ),
+            FuseError::NotInChain {
+                layer,
+                operand,
+                mem,
+            } => write!(
+                f,
+                "pin memory `{mem}` does not serve operand {operand} of layer `{layer}`"
+            ),
+            FuseError::DoesNotFit {
+                mem,
+                needed_bits,
+                capacity_bits,
+            } => write!(
+                f,
+                "fused intermediates need {needed_bits} bits but pin memory \
+                 `{mem}` holds {capacity_bits}"
+            ),
+        }
+    }
+}
+
+impl Error for FuseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+    use ulm_workload::Precision;
+
+    fn two_matmuls() -> Vec<Layer> {
+        vec![
+            Layer::matmul("a", 4, 8, 8, Precision::int8_acc24()),
+            Layer::matmul("b", 4, 8, 8, Precision::int8_acc24()),
+            Layer::matmul("c", 4, 8, 8, Precision::int8_acc24()),
+        ]
+    }
+
+    #[test]
+    fn valid_segment_builds_residency_table() {
+        let chip = presets::toy_chip();
+        let seg = FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        let res = seg.residency(&chip.arch, &two_matmuls()).unwrap();
+        assert_eq!(res.pin_name, "LB");
+        assert_eq!(res.edges.len(), 1);
+        // a emits 4x8 outputs at 8 bits final.
+        assert_eq!(res.edges[0].words, 32);
+        assert_eq!(res.edges[0].bits, 32 * 8);
+        assert_eq!(res.footprint_bits(), 32 * 8);
+        // LB is the top (level 1) of every toy chain.
+        assert_eq!(res.edges[0].producer_level, 1);
+        assert_eq!(res.edges[0].consumer_level, 1);
+        assert!(res.contains(0) && res.contains(1) && !res.contains(2));
+        // Producer pins O, consumer pins I.
+        assert_eq!(res.pins_for(0), [None, None, Some(1)]);
+        assert_eq!(res.pins_for(1), [None, Some(1), None]);
+        assert_eq!(res.pins_for(2), [None, None, None]);
+    }
+
+    #[test]
+    fn three_layer_chain_pins_middle_layer_both_ways() {
+        let chip = presets::toy_chip();
+        let seg = FusedSegment::new(vec!["a".into(), "b".into(), "c".into()], "LB");
+        let res = seg.residency(&chip.arch, &two_matmuls()).unwrap();
+        assert_eq!(res.edges.len(), 2);
+        assert_eq!(res.pins_for(1), [None, Some(1), Some(1)]);
+        assert_eq!(res.footprint_bits(), 2 * 32 * 8);
+    }
+
+    #[test]
+    fn validation_errors_fire_in_order() {
+        let chip = presets::toy_chip();
+        let layers = two_matmuls();
+        let short = FusedSegment::new(vec!["a".into()], "LB");
+        assert!(matches!(
+            short.residency(&chip.arch, &layers),
+            Err(FuseError::TooShort { len: 1 })
+        ));
+        let unknown = FusedSegment::new(vec!["a".into(), "zz".into()], "LB");
+        assert!(matches!(
+            unknown.residency(&chip.arch, &layers),
+            Err(FuseError::UnknownLayer { .. })
+        ));
+        let gap = FusedSegment::new(vec!["a".into(), "c".into()], "LB");
+        assert!(matches!(
+            gap.residency(&chip.arch, &layers),
+            Err(FuseError::NotConsecutive { .. })
+        ));
+        let nomem = FusedSegment::new(vec!["a".into(), "b".into()], "HBM3");
+        assert!(matches!(
+            nomem.residency(&chip.arch, &layers),
+            Err(FuseError::UnknownMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let chip = presets::toy_chip();
+        let layers = vec![
+            Layer::matmul("a", 4, 8, 8, Precision::int8_acc24()),
+            Layer::matmul("b", 4, 8, 16, Precision::int8_acc24()),
+        ];
+        let seg = FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        assert!(matches!(
+            seg.residency(&chip.arch, &layers),
+            Err(FuseError::ShapeMismatch {
+                produced: 32,
+                consumed: 64,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn backing_store_pin_is_exempt_from_capacity() {
+        // The toy chip's LB is its backing store: pinning there is the
+        // degenerate fusion that elides nothing, and must stay legal no
+        // matter how big the intermediate is.
+        let chip = presets::toy_chip();
+        let layers = vec![
+            Layer::matmul("a", 256, 512, 8, Precision::int8_acc24()),
+            Layer::matmul("b", 256, 8, 512, Precision::int8_acc24()),
+        ];
+        let seg = FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        let res = seg.residency(&chip.arch, &layers).unwrap();
+        assert!(res.footprint_bits() > res.capacity_bits);
+    }
+
+    #[test]
+    fn oversized_intermediates_are_rejected() {
+        // On the fusion chip the LB is a real (non-backing) buffer, so
+        // the co-residency budget is enforced.
+        let chip = presets::fusion_chip();
+        let layers = vec![
+            Layer::matmul("a", 256, 512, 8, Precision::int8_acc24()),
+            Layer::matmul("b", 256, 8, 512, Precision::int8_acc24()),
+        ];
+        let seg = FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        match seg.residency(&chip.arch, &layers) {
+            Err(FuseError::DoesNotFit {
+                needed_bits,
+                capacity_bits,
+                ..
+            }) => assert!(needed_bits > capacity_bits),
+            other => panic!("expected DoesNotFit, got {other:?}"),
+        }
+    }
+}

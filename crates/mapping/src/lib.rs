@@ -36,12 +36,14 @@
 //! ```
 
 pub mod alloc;
+pub mod fuse;
 pub mod mapping;
 pub mod spatial;
 pub mod stack;
 pub mod view;
 
 pub use alloc::OperandAlloc;
+pub use fuse::{EdgeResidency, FuseError, FusedSegment, SegmentResidency};
 pub use mapping::{Mapping, MappingError};
 pub use spatial::SpatialUnroll;
 pub use stack::{LoopStack, TemporalLoop};

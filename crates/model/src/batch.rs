@@ -28,6 +28,7 @@
 
 use crate::dtl::{finish, Dtl, DtlKind, Endpoint, Endpoints, WindowShape};
 use crate::fast::FastLatency;
+use crate::lower::kv_active_interfaces;
 use crate::stall::StallScratch;
 use crate::LatencyModel;
 use ulm_arch::{Architecture, MemoryId, PortUse};
@@ -79,6 +80,11 @@ struct OpSpec {
     /// All factor dims are strictly relevant or irrelevant to this
     /// operand, so resident words grow by pure factor products.
     words_mult: bool,
+    /// Interfaces that carry traffic: `chain.len() - 1`, one fewer for a
+    /// KV-cache resident operand — mirrors
+    /// [`LoweredLayer::active_interfaces`](crate::LoweredLayer::active_interfaces)
+    /// so batched scores stay bit-identical to the scalar path.
+    active: usize,
     /// Per level < top: greedy capacity budget in *words*
     /// (`mapper_capacity_bits / sharers / bits`, floored).
     cap_words: Vec<u64>,
@@ -309,6 +315,7 @@ impl<'a> BatchKernel<'a> {
             OpSpec {
                 op,
                 bits,
+                active: kv_active_interfaces(layer, op, chain.len()),
                 chain,
                 step,
                 rel,
@@ -628,7 +635,7 @@ impl<'a> BatchKernel<'a> {
         self.lane_pre[..cnt].fill(0);
         for (oi, spec) in self.ops.iter().enumerate().take(2) {
             self.lane_tmp[..cnt].fill(0);
-            for lvl in 0..spec.chain.len().saturating_sub(1) {
+            for lvl in 0..spec.active {
                 let base = (self.row_off[oi] + lvl) * lanes;
                 let bw = spec.links[lvl].link_bw;
                 let bits = spec.bits;
@@ -645,7 +652,7 @@ impl<'a> BatchKernel<'a> {
         self.lane_off[..cnt].fill(0);
         {
             let spec = &self.ops[2];
-            for lvl in 0..spec.chain.len().saturating_sub(1) {
+            for lvl in 0..spec.active {
                 let base = (self.row_off[2] + lvl) * lanes;
                 let bw = spec.links[lvl].link_bw;
                 for lane in 0..cnt {
@@ -677,7 +684,7 @@ impl<'a> BatchKernel<'a> {
         }
         self.lane_roof[..cnt].fill(self.cc_ideal);
         for (oi, spec) in self.ops.iter().enumerate() {
-            for lvl in 0..spec.chain.len().saturating_sub(1) {
+            for lvl in 0..spec.active {
                 let base = (self.row_off[oi] + lvl) * lanes;
                 let bw = spec.links[lvl].link_bw as f64;
                 let bits = spec.bits;
@@ -757,7 +764,7 @@ impl<'a> BatchKernel<'a> {
         let phase_aware_z = self.model.dtl_options().phase_aware_z;
         self.dtls.clear();
         for (oi, spec) in self.ops.iter().enumerate() {
-            for lvl in 0..spec.chain.len().saturating_sub(1) {
+            for lvl in 0..spec.active {
                 let idx = (self.row_off[oi] + lvl) * self.lanes + lane;
                 let link = &spec.links[lvl];
                 let words = self.r_words[idx];

@@ -301,8 +301,10 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
         let chain = h.chain(op);
         let op_bits = layer.precision().bits(op);
 
-        // Inter-memory links: one per adjacent level pair.
-        for level in 0..chain.len().saturating_sub(1) {
+        // Inter-memory links: one per adjacent level pair, stopping at
+        // the pin (KV-cache residents and fused intermediates never touch
+        // the interfaces above it, so no link exists to price).
+        for level in 0..lw.active_interfaces(op) {
             let lower = chain[level];
             let upper = chain[level + 1];
             let row = *lw.level(op, level);

@@ -63,7 +63,7 @@ pub use batch::{BatchKernel, LaneOutcome};
 pub use delta::{InputDelta, RebuildStats, Stage};
 pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
 pub use fast::{FastLatency, ModelScratch};
-pub use lower::{LevelLowering, LoweredLayer};
+pub use lower::{kv_active_interfaces, LevelLowering, LoweredLayer, ResidencyPins};
 pub use report::{BandwidthFix, DtlReport, LatencyReport, MemReport, PortReport, Scenario};
 pub use roofline::{roofline, roofline_bound, Roof, Roofline};
 pub use stall::{MemStall, PortGroup, PortGroupCore, StallScratch};

@@ -35,7 +35,30 @@ use crate::dtl::{self, Dtl, DtlOptions};
 use crate::fast::FastLatency;
 use crate::phases;
 use ulm_mapping::MappedLayer;
-use ulm_workload::{Operand, Relevance};
+use ulm_workload::{Layer, Operand, Relevance};
+
+/// Residency pins for one lowering: `Some(level)` per operand keeps that
+/// operand resident at `level`, eliding every inter-memory interface at
+/// or above it (no refills from / drains to the levels above — the
+/// depth-first-fusion and KV-cache contract). `None` leaves the operand's
+/// full chain active.
+pub type ResidencyPins = [Option<usize>; 3];
+
+/// Interfaces of `op`'s chain that carry traffic for an *unpinned*
+/// lowering of `layer`: normally `chain_len - 1` (every inter-memory
+/// interface), one fewer for a KV-cache resident operand, whose top
+/// interface never moves data within a decode step.
+///
+/// Reads only workload structure — never capacities or bandwidths — so
+/// incremental-relowering deltas can ignore it.
+pub fn kv_active_interfaces(layer: &Layer, op: Operand, chain_len: usize) -> usize {
+    let base = chain_len.saturating_sub(1);
+    if layer.is_kv_cache(op) {
+        base.min(chain_len.saturating_sub(2))
+    } else {
+        base
+    }
+}
 
 /// The lowered residency/turnaround table of one `(operand, level)`.
 ///
@@ -71,6 +94,11 @@ pub struct LevelLowering {
 #[derive(Debug, Default)]
 pub struct LoweredLayer {
     opts: DtlOptions,
+    /// Residency pins requested at build time (fused segments).
+    pins: ResidencyPins,
+    /// Interfaces that carry traffic per operand: the pin-aware prefix
+    /// length of each chain. Everything at or above it is elided.
+    active: [u32; 3],
     /// Per-(operand, level) tables, operand-major.
     levels: Vec<LevelLowering>,
     /// `levels` range per operand: operand `k` owns
@@ -106,11 +134,30 @@ impl LoweredLayer {
     /// [`Stage`]); [`rebuild_dirty`](Self::rebuild_dirty) re-runs the
     /// same stage functions selectively.
     pub fn build_into(view: &MappedLayer<'_>, opts: DtlOptions, out: &mut LoweredLayer) {
-        out.opts = opts;
-        out.stage_residency(view);
-        out.stage_feed_rates(view);
-        out.stage_phases(view);
-        out.stage_dtl_graph(view);
+        out.pins = [None; 3];
+        out.rebuild_full(view, opts);
+    }
+
+    /// Lowers `view` with explicit residency pins: `pins[op]` keeps that
+    /// operand resident at the given chain level, eliding every interface
+    /// at or above it. A fused segment prices its elided DRAM round-trips
+    /// by pinning the producer's output and the consumer's input at the
+    /// fusion buffer; `[None; 3]` is bit-identical to [`build`](Self::build).
+    pub fn build_pinned(view: &MappedLayer<'_>, opts: DtlOptions, pins: ResidencyPins) -> Self {
+        let mut out = Self {
+            pins,
+            ..Self::default()
+        };
+        out.rebuild_full(view, opts);
+        out
+    }
+
+    fn rebuild_full(&mut self, view: &MappedLayer<'_>, opts: DtlOptions) {
+        self.opts = opts;
+        self.stage_residency(view);
+        self.stage_feed_rates(view);
+        self.stage_phases(view);
+        self.stage_dtl_graph(view);
     }
 
     /// [`Stage::Residency`]: the per-`(operand, level)` tables, the
@@ -150,6 +197,9 @@ impl LoweredLayer {
                     loops: (lo, self.loops.len() as u32),
                 });
             }
+            let base = kv_active_interfaces(view.layer(), op, chain.len());
+            let pinned = self.pins[op.index()].unwrap_or(usize::MAX);
+            self.active[op.index()] = base.min(pinned) as u32;
         }
         self.offsets[3] = self.levels.len();
     }
@@ -210,7 +260,9 @@ impl LoweredLayer {
         let dirty = |s: Stage| delta.intersects(s.reads());
         let never_built = self.levels.is_empty();
         if never_built || self.opts != opts || dirty(Stage::Residency) || dirty(Stage::FeedRates) {
-            Self::build_into(view, opts, self);
+            // Preserves `self.pins` (unlike `build_into`): a pinned IR
+            // stays pinned across incremental rebuilds.
+            self.rebuild_full(view, opts);
             return RebuildStats::full();
         }
         let mut stats = RebuildStats {
@@ -251,6 +303,20 @@ impl LoweredLayer {
     /// Consumes the IR, returning the DTL list.
     pub fn into_dtls(self) -> Vec<Dtl> {
         self.dtls
+    }
+
+    /// Interfaces of `op`'s chain that carry traffic under this lowering:
+    /// normally `chain.len() - 1`, fewer when a residency pin or a
+    /// KV-cache flag elides the top of the chain. Consumers pricing
+    /// transfers iterate `0..active_interfaces(op)` instead of the full
+    /// chain; the residency tables themselves stay full-length.
+    pub fn active_interfaces(&self, op: Operand) -> usize {
+        self.active[op.index()] as usize
+    }
+
+    /// The residency pins this IR was built with.
+    pub fn pins(&self) -> ResidencyPins {
+        self.pins
     }
 
     /// The residency tables of one operand's chain, innermost first.

@@ -7,13 +7,14 @@
 //! (Section III); W and I load in parallel, so the pre-load phase is their
 //! maximum.
 
-use crate::lower::LoweredLayer;
+use crate::lower::{kv_active_interfaces, LoweredLayer};
 use ulm_arch::PortUse;
 use ulm_mapping::MappedLayer;
 use ulm_workload::Operand;
 
 /// Cycles to pre-load the first W and I working sets (max over the two
-/// operands of the pipeline-fill chain down their hierarchies).
+/// operands of the pipeline-fill chain down their hierarchies). KV-cache
+/// resident operands skip the top interface: they are already in place.
 pub fn preload_cycles(view: &MappedLayer<'_>) -> u64 {
     let h = view.arch().hierarchy();
     let mut worst = 0u64;
@@ -21,7 +22,7 @@ pub fn preload_cycles(view: &MappedLayer<'_>) -> u64 {
         let chain = h.chain(op);
         let bits = view.layer().precision().bits(op);
         let mut total = 0u64;
-        for level in 0..chain.len().saturating_sub(1) {
+        for level in 0..kv_active_interfaces(view.layer(), op, chain.len()) {
             let block_bits = view.mem_data_words(op, level) * bits;
             let (_, wbw) = h.port(chain[level], op, PortUse::WriteIn);
             let (_, rbw) = h.port(chain[level + 1], op, PortUse::ReadOut);
@@ -38,7 +39,7 @@ pub fn offload_cycles(view: &MappedLayer<'_>) -> u64 {
     let h = view.arch().hierarchy();
     let chain = h.chain(Operand::O);
     let mut total = 0u64;
-    for level in 0..chain.len().saturating_sub(1) {
+    for level in 0..kv_active_interfaces(view.layer(), Operand::O, chain.len()) {
         let is_final = view.outputs_final_above(level);
         let bits = view.layer().precision().output_bits(is_final);
         let block_bits = view.mem_data_words(Operand::O, level) * bits;
@@ -63,7 +64,7 @@ pub(crate) fn preload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) 
         let chain = h.chain(op);
         let bits = view.layer().precision().bits(op);
         let mut total = 0u64;
-        for level in 0..chain.len().saturating_sub(1) {
+        for level in 0..lw.active_interfaces(op) {
             let block_bits = lw.level(op, level).words * bits;
             let (_, wbw) = h.port(chain[level], op, PortUse::WriteIn);
             let (_, rbw) = h.port(chain[level + 1], op, PortUse::ReadOut);
@@ -81,7 +82,7 @@ pub(crate) fn offload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) 
     let h = view.arch().hierarchy();
     let chain = h.chain(Operand::O);
     let mut total = 0u64;
-    for level in 0..chain.len().saturating_sub(1) {
+    for level in 0..lw.active_interfaces(Operand::O) {
         let row = lw.level(Operand::O, level);
         let bits = view.layer().precision().output_bits(row.final_above);
         let block_bits = row.words * bits;

@@ -11,6 +11,7 @@
 //! the roofline) from *schedule-induced* stalls (burstiness, keep-out
 //! windows, port sharing) that only the 3-step model captures.
 
+use crate::lower::kv_active_interfaces;
 use ulm_arch::PortUse;
 use ulm_mapping::MappedLayer;
 use ulm_workload::Operand;
@@ -101,7 +102,10 @@ pub fn roofline(view: &MappedLayer<'_>) -> Roofline {
     let mut roofs = Vec::new();
     for op in Operand::all() {
         let chain = h.chain(op);
-        for level in 0..chain.len().saturating_sub(1) {
+        // KV-cache resident operands never cross their top interface, so
+        // it imposes no roof (and the bound stays admissible for the
+        // mapper's pruning).
+        for level in 0..kv_active_interfaces(view.layer(), op, chain.len()) {
             let lower = chain[level];
             let upper = chain[level + 1];
             let (traffic_bits, bw_bits) = roof_numbers(view, op, level);
@@ -128,7 +132,7 @@ pub fn roofline_bound(view: &MappedLayer<'_>) -> f64 {
     let mut bound = view.cc_ideal();
     for op in Operand::all() {
         let chain = h.chain(op);
-        for level in 0..chain.len().saturating_sub(1) {
+        for level in 0..kv_active_interfaces(view.layer(), op, chain.len()) {
             let (traffic_bits, bw_bits) = roof_numbers(view, op, level);
             bound = bound.max(traffic_bits as f64 / bw_bits as f64);
         }

@@ -31,10 +31,23 @@ pub enum KnobValue {
 }
 
 impl KnobValue {
-    fn apply(self, current: u64) -> u64 {
+    /// Applies the knob to `current`, refusing results the setting
+    /// cannot represent: an unchecked `as u64` cast would silently
+    /// saturate huge scaled values (and map NaN to 0), turning a typo
+    /// like `1e30x` into a wrong-but-plausible architecture.
+    fn apply(self, current: u64) -> Option<u64> {
         match self {
-            KnobValue::Scale(s) => (current as f64 * s).round() as u64,
-            KnobValue::Absolute(v) => v,
+            KnobValue::Scale(s) => {
+                let scaled = (current as f64 * s).round();
+                // `u64::MAX as f64` rounds up past `u64::MAX`, so the
+                // comparison must be strict to keep the cast lossless.
+                if !scaled.is_finite() || scaled < 0.0 || scaled >= u64::MAX as f64 {
+                    None
+                } else {
+                    Some(scaled as u64)
+                }
+            }
+            KnobValue::Absolute(v) => Some(v),
         }
     }
 }
@@ -66,6 +79,12 @@ pub enum KnobError {
         /// The offending override, verbatim.
         over: String,
     },
+    /// The scaled result cannot be represented as a `u64` setting
+    /// (overflow past `u64::MAX` or a non-finite product).
+    OutOfRange {
+        /// The offending override, verbatim.
+        over: String,
+    },
 }
 
 impl fmt::Display for KnobError {
@@ -84,6 +103,12 @@ impl fmt::Display for KnobError {
             ),
             KnobError::InvalidValue { over } => {
                 write!(f, "override `{over}` produces a zero or non-finite setting")
+            }
+            KnobError::OutOfRange { over } => {
+                write!(
+                    f,
+                    "override `{over}` scales past the representable u64 range"
+                )
             }
         }
     }
@@ -195,11 +220,17 @@ pub fn apply_overrides<S: AsRef<str>>(
         let invalid = || KnobError::InvalidValue {
             over: o.over.clone(),
         };
+        let out_of_range = || KnobError::OutOfRange {
+            over: o.over.clone(),
+        };
         let id = ulm_arch::MemoryId(o.mem);
         let h = modified.hierarchy();
         match o.field {
             KnobField::Size => {
-                let next = o.value.apply(h.mem(id).capacity_bits());
+                let next = o
+                    .value
+                    .apply(h.mem(id).capacity_bits())
+                    .ok_or_else(out_of_range)?;
                 if next == 0 {
                     return Err(invalid());
                 }
@@ -220,8 +251,8 @@ pub fn apply_overrides<S: AsRef<str>>(
                 }
                 let next: Vec<(usize, u64)> = ports
                     .iter()
-                    .map(|&(i, bw)| (i, o.value.apply(bw)))
-                    .collect();
+                    .map(|&(i, bw)| Ok((i, o.value.apply(bw).ok_or_else(out_of_range)?)))
+                    .collect::<Result<_, KnobError>>()?;
                 if next.iter().any(|&(_, bw)| bw == 0) {
                     return Err(invalid());
                 }
@@ -336,5 +367,44 @@ mod tests {
         // A bad override anywhere in the list leaves no half-applied
         // state (validated before mutation).
         assert!(apply_overrides(&arch, &["mem.gb.size=2x", "mem.gb.size=bad"]).is_err());
+    }
+
+    #[test]
+    fn overflowing_scales_are_rejected_not_saturated() {
+        let arch = base();
+        // Scales whose product exceeds u64 must surface OutOfRange, not a
+        // silently saturated capacity (the pre-fix behavior of `as u64`).
+        for over in ["mem.gb.size=1e30x", "mem.gb.bw=1e300x"] {
+            assert!(
+                matches!(
+                    apply_overrides(&arch, &[over]),
+                    Err(KnobError::OutOfRange { .. })
+                ),
+                "{over} should be out of range"
+            );
+        }
+        // Non-finite and non-positive scale factors are rejected at parse
+        // time — they never reach the multiply.
+        for over in [
+            "mem.gb.size=NaNx",
+            "mem.gb.size=infx",
+            "mem.gb.size=-2x",
+            "mem.gb.size=0x",
+        ] {
+            assert!(
+                matches!(
+                    apply_overrides(&arch, &[over]),
+                    Err(KnobError::BadValue { .. }) | Err(KnobError::InvalidValue { .. })
+                ),
+                "{over} should be rejected before application"
+            );
+        }
+        // A scale that stays in range still applies exactly.
+        let (m, _) = apply_overrides(&arch, &["mem.gb.size=2x"]).unwrap();
+        let gb = arch.hierarchy().find("GB").unwrap();
+        assert_eq!(
+            m.hierarchy().mem(gb).capacity_bits(),
+            arch.hierarchy().mem(gb).capacity_bits() * 2
+        );
     }
 }

@@ -43,8 +43,8 @@ use std::fmt;
 use ulm_arch::Architecture;
 use ulm_energy::{EnergyModel, EnergyReport};
 use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
-use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
-use ulm_model::{LatencyModel, LatencyReport, LoweredLayer};
+use ulm_mapping::{FuseError, FusedSegment, MappedLayer, Mapping, SegmentResidency, SpatialUnroll};
+use ulm_model::{LatencyModel, LatencyReport, LoweredLayer, ResidencyPins};
 use ulm_workload::Layer;
 
 /// How consecutive layers may overlap.
@@ -80,6 +80,10 @@ pub struct NetworkReport {
     pub layers: Vec<LayerResult>,
     /// The overlap policy used.
     pub overlap: InterLayerOverlap,
+    /// Residency tables of the fused segments applied (empty when the
+    /// network ran layer-by-layer).
+    #[serde(default)]
+    pub segments: Vec<SegmentResidency>,
 }
 
 impl NetworkReport {
@@ -147,6 +151,11 @@ pub enum NetworkError {
         /// The mapper's error.
         source: MapperError,
     },
+    /// A fused segment failed validation against this network + chip.
+    BadFusion {
+        /// The fusion validator's error.
+        source: FuseError,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -155,11 +164,20 @@ impl fmt::Display for NetworkError {
             NetworkError::LayerUnmappable { layer, source } => {
                 write!(f, "layer `{layer}` cannot be mapped: {source}")
             }
+            NetworkError::BadFusion { source } => {
+                write!(f, "invalid fused segment: {source}")
+            }
         }
     }
 }
 
 impl Error for NetworkError {}
+
+impl From<FuseError> for NetworkError {
+    fn from(source: FuseError) -> Self {
+        NetworkError::BadFusion { source }
+    }
+}
 
 /// Evaluates layer sequences on one accelerator.
 pub struct NetworkEvaluator<'a> {
@@ -169,6 +187,7 @@ pub struct NetworkEvaluator<'a> {
     overlap: InterLayerOverlap,
     objective: Objective,
     parallelism: Option<usize>,
+    fusion: Vec<FusedSegment>,
 }
 
 impl<'a> NetworkEvaluator<'a> {
@@ -186,6 +205,7 @@ impl<'a> NetworkEvaluator<'a> {
             overlap: InterLayerOverlap::None,
             objective: Objective::Latency,
             parallelism: None,
+            fusion: Vec::new(),
         }
     }
 
@@ -207,6 +227,20 @@ impl<'a> NetworkEvaluator<'a> {
         self
     }
 
+    /// Schedules the given fused segments depth-first: each segment's
+    /// intermediate tensors stay pinned in its local-buffer level, and the
+    /// fused layers are lowered with the segment's residency pins so the
+    /// elided backing-store round-trips drop out of latency, energy and
+    /// preload alike. Segments are validated against the network when
+    /// [`evaluate`](Self::evaluate) runs. The per-layer mapping search
+    /// itself stays fusion-blind (it optimizes the unpinned layer), so a
+    /// degenerate segment — pinned at the backing store, eliding nothing —
+    /// reproduces the layer-by-layer result exactly.
+    pub fn with_fusion(mut self, fusion: Vec<FusedSegment>) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Sets how many threads the per-layer mapping searches may use.
     /// `None`/`Some(1)` is serial; each layer's search is deterministic and
     /// the overlap post-pass is always applied in layer order, so every
@@ -216,10 +250,14 @@ impl<'a> NetworkEvaluator<'a> {
         self
     }
 
-    /// Searches one layer's mapping and evaluates it (no scheduling yet).
+    /// Searches one layer's mapping and evaluates it (no scheduling yet),
+    /// lowering with the given fusion residency pins (`[None; 3]` for an
+    /// unfused layer — pin-free lowering is byte-identical to
+    /// [`LoweredLayer::build`]).
     fn evaluate_layer(
         &self,
         layer: &Layer,
+        pins: ResidencyPins,
     ) -> Result<(Mapping, LatencyReport, EnergyReport), NetworkError> {
         let mapper =
             Mapper::new(self.arch, layer, self.spatial.clone()).with_options(self.mapper_opts);
@@ -236,10 +274,33 @@ impl<'a> NetworkEvaluator<'a> {
         // same residency tables, so their block counts agree by
         // construction.
         let model = LatencyModel::new();
-        let lowered = LoweredLayer::build(&view, model.dtl_options());
+        let lowered = LoweredLayer::build_pinned(&view, model.dtl_options(), pins);
         let latency = model.evaluate_lowered(&view, &lowered);
         let energy = EnergyModel::new().evaluate_lowered(&view, &lowered);
         Ok((best.mapping, latency, energy))
+    }
+
+    /// Validates every fused segment and merges their residency pins into
+    /// one per-layer table (a layer fused in two adjacent segments keeps
+    /// the tighter — lower-level — pin per operand).
+    fn fusion_pins(
+        &self,
+        layers: &[Layer],
+    ) -> Result<(Vec<SegmentResidency>, Vec<ResidencyPins>), NetworkError> {
+        let mut pins: Vec<ResidencyPins> = vec![[None; 3]; layers.len()];
+        let mut segments = Vec::with_capacity(self.fusion.len());
+        for seg in &self.fusion {
+            let res = seg.residency(self.arch, layers)?;
+            for (idx, merged) in pins.iter_mut().enumerate() {
+                for (slot, pin) in merged.iter_mut().zip(res.pins_for(idx)) {
+                    if let Some(level) = pin {
+                        *slot = Some(slot.map_or(level, |cur: usize| cur.min(level)));
+                    }
+                }
+            }
+            segments.push(res);
+        }
+        Ok((segments, pins))
     }
 
     /// Optimizes and schedules every layer.
@@ -256,17 +317,28 @@ impl<'a> NetworkEvaluator<'a> {
     /// with no legal mapping.
     pub fn evaluate(&self, layers: &[Layer]) -> Result<NetworkReport, NetworkError> {
         type LayerEval = Result<(Mapping, LatencyReport, EnergyReport), NetworkError>;
+        let (segments, pins) = self.fusion_pins(layers)?;
         let threads = self.parallelism.unwrap_or(1).clamp(1, layers.len().max(1));
         let evals: Vec<LayerEval> = if threads <= 1 {
-            layers.iter().map(|l| self.evaluate_layer(l)).collect()
+            layers
+                .iter()
+                .zip(&pins)
+                .map(|(l, &p)| self.evaluate_layer(l, p))
+                .collect()
         } else {
             let mut slots: Vec<Option<LayerEval>> = vec![None; layers.len()];
             let chunk = layers.len().div_ceil(threads);
             std::thread::scope(|scope| {
-                for (l_chunk, s_chunk) in layers.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                for ((l_chunk, p_chunk), s_chunk) in layers
+                    .chunks(chunk)
+                    .zip(pins.chunks(chunk))
+                    .zip(slots.chunks_mut(chunk))
+                {
                     scope.spawn(move || {
-                        for (layer, slot) in l_chunk.iter().zip(s_chunk.iter_mut()) {
-                            *slot = Some(self.evaluate_layer(layer));
+                        for ((layer, &p), slot) in
+                            l_chunk.iter().zip(p_chunk.iter()).zip(s_chunk.iter_mut())
+                        {
+                            *slot = Some(self.evaluate_layer(layer, p));
                         }
                     });
                 }
@@ -300,6 +372,7 @@ impl<'a> NetworkEvaluator<'a> {
         Ok(NetworkReport {
             layers: results,
             overlap: self.overlap,
+            segments,
         })
     }
 }
@@ -424,6 +497,91 @@ mod tests {
         let fat = vec![Layer::matmul("fat", 64, 64, 64, Precision::uniform(512))];
         let err = quick(&arch).evaluate(&fat).unwrap_err();
         assert!(err.to_string().contains("fat"), "{err}");
+    }
+
+    fn fusable_net() -> Vec<Layer> {
+        // b consumes exactly what a produces (32 words), so `a -> b` is a
+        // legal fused edge on any chip whose LB serves O and I.
+        vec![
+            Layer::matmul("a", 4, 8, 8, Precision::int8_acc24()),
+            Layer::matmul("b", 4, 8, 8, Precision::int8_acc24()),
+        ]
+    }
+
+    fn toy_eval(arch: &Architecture) -> NetworkEvaluator<'_> {
+        NetworkEvaluator::new(
+            arch,
+            SpatialUnroll::new(vec![(ulm_workload::Dim::K, 2), (ulm_workload::Dim::B, 2)]),
+        )
+    }
+
+    #[test]
+    fn degenerate_fusion_matches_layer_by_layer_exactly() {
+        // Pinning at the toy chip's LB — its backing store — elides
+        // nothing, so the fused evaluation must be bit-identical to the
+        // layer-by-layer oracle.
+        let chip = presets::toy_chip();
+        let layers = fusable_net();
+        let oracle = toy_eval(&chip.arch).evaluate(&layers).unwrap();
+        let seg = ulm_mapping::FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        let fused = toy_eval(&chip.arch)
+            .with_fusion(vec![seg])
+            .evaluate(&layers)
+            .unwrap();
+        assert_eq!(fused.segments.len(), 1);
+        for (o, f) in oracle.layers.iter().zip(&fused.layers) {
+            assert_eq!(o.mapping, f.mapping);
+            assert_eq!(o.latency, f.latency);
+            assert_eq!(o.energy.total_fj, f.energy.total_fj);
+        }
+        assert_eq!(oracle.total_cycles(), fused.total_cycles());
+    }
+
+    #[test]
+    fn resident_intermediates_are_strictly_cheaper() {
+        // On the fusion chip the LB sits below a narrow DRAM link:
+        // pinning the a->b intermediate there elides the producer's
+        // writeback and the consumer's refill, so the fused run must beat
+        // the oracle on both cycles and energy.
+        let chip = presets::fusion_chip();
+        let layers = fusable_net();
+        let oracle = toy_eval(&chip.arch).evaluate(&layers).unwrap();
+        let seg = ulm_mapping::FusedSegment::new(vec!["a".into(), "b".into()], "LB");
+        let fused = toy_eval(&chip.arch)
+            .with_fusion(vec![seg])
+            .evaluate(&layers)
+            .unwrap();
+        assert!(
+            fused.total_cycles() < oracle.total_cycles(),
+            "fused {} !< oracle {}",
+            fused.total_cycles(),
+            oracle.total_cycles()
+        );
+        assert!(
+            fused.total_fj() < oracle.total_fj(),
+            "fused {} !< oracle {}",
+            fused.total_fj(),
+            oracle.total_fj()
+        );
+        // The consumer no longer fills its input from DRAM (its weight
+        // fill may still dominate the preload phase, so `<=`).
+        assert!(fused.layers[1].latency.preload <= oracle.layers[1].latency.preload);
+    }
+
+    #[test]
+    fn bad_fusion_is_reported() {
+        let chip = presets::toy_chip();
+        let seg = ulm_mapping::FusedSegment::new(vec!["a".into(), "nope".into()], "LB");
+        let err = toy_eval(&chip.arch)
+            .with_fusion(vec![seg])
+            .evaluate(&fusable_net())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetworkError::BadFusion {
+                source: ulm_mapping::FuseError::UnknownLayer { .. }
+            }
+        ));
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!   [`ulm_model::InputDelta`], and only the invalidated lowering stages
 //!   are recomputed for the modified architecture. The response reports
 //!   base and modified latency/energy plus their deltas.
+//! * `net` — schedule a whole layer sequence, optionally with depth-first
+//!   fused segments whose intermediates stay pinned on chip:
+//!   `{"kind":"net","id":4,"arch":"toy","net":"attention-decode","fuse":[{"layers":["logit","attend"],"pin":"LB"}]}`.
+//!   The `fuse` field enters the fingerprint, so the same network with and
+//!   without fusion are distinct cache identities. Network runs are not
+//!   memoized (their result shape differs from the per-layer cache), but
+//!   the fingerprint still lets clients correlate responses.
 //! * `stats` — report cache hit rate, queue depth and request-latency
 //!   percentiles: `{"kind":"stats"}` (also accepted as `"/stats"`).
 //!
@@ -49,8 +56,9 @@ use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::{
     apply_overrides, InputDelta, LatencyModel, LatencyReport, ModelOptions, ModelScratch,
 };
+use ulm_network::{InterLayerOverlap, NetworkEvaluator};
 use ulm_reactor::{extract_line, Extracted};
-use ulm_workload::{Dim, Layer, Precision};
+use ulm_workload::{im2col, networks, Dim, Layer, NetworkDesc, Precision};
 
 /// Configuration for an [`EvalService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,8 +219,28 @@ enum QueryMode {
     },
 }
 
+/// A whole-network scheduling query (the `net` request kind): a layer
+/// sequence plus optional depth-first fused segments and an inter-layer
+/// overlap policy. Unlike [`Query`] these are executed directly (the
+/// per-layer result cache's value shape does not fit a network report),
+/// but they still carry a fingerprint — and the `fuse` field is part of
+/// it, so fused and unfused runs of the same network never alias.
+struct NetQuery {
+    arch: Architecture,
+    spatial: SpatialUnroll,
+    layers: Vec<Layer>,
+    fusion: Vec<ulm_mapping::FusedSegment>,
+    overlap: InterLayerOverlap,
+    objective: Objective,
+    mapper: MapperOptions,
+    /// Threads for the per-layer searches; not fingerprinted (the result
+    /// is identical at every thread count).
+    parallelism: Option<usize>,
+}
+
 enum Request {
     Query(Box<Query>),
+    Net(Box<NetQuery>),
     WhatIf { base: Box<Query>, set: Vec<String> },
     Stats,
 }
@@ -247,9 +275,10 @@ fn parse_arch(req: &Value) -> Result<(Architecture, SpatialUnroll), UlmError> {
                 "case64" => presets::scaled_case_study_chip(64, gb_bw),
                 "validation" => presets::validation_chip(),
                 "toy" => presets::toy_chip(),
+                "fusion" => presets::fusion_chip(),
                 other => {
                     return Err(UlmError::invalid_request(format!(
-                        "unknown arch preset `{other}` (case16|case32|case64|validation|toy)"
+                        "unknown arch preset `{other}` (case16|case32|case64|validation|toy|fusion)"
                     )))
                 }
             };
@@ -510,6 +539,88 @@ fn parse_query(req: &Value, eval_mode: bool) -> Result<Query, UlmError> {
     })
 }
 
+/// Resolves the `net` field: a built-in preset name or an inline network
+/// description object. Conv layers are Im2Col-lowered to matmuls, same as
+/// the CLI's `ulm network`.
+fn parse_net_layers(req: &Value) -> Result<Vec<Layer>, UlmError> {
+    let spec = field(req, "net")
+        .ok_or_else(|| UlmError::invalid_request("`net` request needs a `net` field"))?;
+    let raw = match spec {
+        Value::String(name) => match name.as_str() {
+            "handtracking" => return Ok(networks::handtracking_validation_layers()),
+            "attention-prefill" => return Ok(networks::attention_prefill()),
+            "attention-decode" => return Ok(networks::attention_decode()),
+            "mobilenet" => networks::mobilenet_v1(224, 1),
+            "resnet18" => networks::resnet18(224, 1),
+            "alexnet" => networks::alexnet(1),
+            other => {
+                return Err(UlmError::invalid_request(format!(
+                    "unknown net preset `{other}` \
+                     (handtracking|attention-prefill|attention-decode|mobilenet|resnet18|alexnet)"
+                )))
+            }
+        },
+        obj @ Value::Object(_) => {
+            let desc: NetworkDesc = serde::Deserialize::from_value(obj)
+                .map_err(|e| UlmError::invalid_request(format!("invalid net description: {e}")))?;
+            desc.to_layers().map_err(UlmError::from)?
+        }
+        _ => {
+            return Err(UlmError::invalid_request(
+                "`net` must be a preset name or an object",
+            ))
+        }
+    };
+    let mut layers = Vec::with_capacity(raw.len());
+    for l in raw {
+        layers.push(im2col(&l).map_err(|e| UlmError::invalid_request(e.to_string()))?);
+    }
+    Ok(layers)
+}
+
+/// The optional `fuse` field: an array of fused-segment descriptors,
+/// `[{"layers":["logit","attend"],"pin":"LB"}, …]`. Validation against
+/// the network and chip happens at evaluation time.
+fn parse_fuse(req: &Value) -> Result<Vec<ulm_mapping::FusedSegment>, UlmError> {
+    match field(req, "fuse") {
+        None => Ok(Vec::new()),
+        Some(v) => serde::Deserialize::from_value(v)
+            .map_err(|e| UlmError::invalid_request(format!("invalid `fuse`: {e}"))),
+    }
+}
+
+fn parse_overlap(req: &Value) -> Result<InterLayerOverlap, UlmError> {
+    match field(req, "overlap") {
+        None => Ok(InterLayerOverlap::None),
+        Some(Value::String(s)) => match s.as_str() {
+            "none" => Ok(InterLayerOverlap::None),
+            "weight-prefetch" => Ok(InterLayerOverlap::WeightPrefetch),
+            other => Err(UlmError::invalid_request(format!(
+                "unknown overlap `{other}` (none|weight-prefetch)"
+            ))),
+        },
+        Some(_) => Err(UlmError::invalid_request("`overlap` must be a string")),
+    }
+}
+
+fn parse_net_query(req: &Value) -> Result<NetQuery, UlmError> {
+    let (arch, default_spatial) = parse_arch(req)?;
+    let spatial = parse_spatial(req, default_spatial)?;
+    let layers = parse_net_layers(req)?;
+    let model = parse_model(req)?;
+    let (mapper, parallelism, _batch_lanes) = parse_mapper(req, &model)?;
+    Ok(NetQuery {
+        arch,
+        spatial,
+        layers,
+        fusion: parse_fuse(req)?,
+        overlap: parse_overlap(req)?,
+        objective: parse_objective(req)?,
+        mapper,
+        parallelism,
+    })
+}
+
 fn parse_request(req: &Value) -> Result<Request, UlmError> {
     if !matches!(req, Value::Object(_)) {
         return Err(UlmError::invalid_request("request must be a JSON object"));
@@ -517,11 +628,14 @@ fn parse_request(req: &Value) -> Result<Request, UlmError> {
     let kind = match field(req, "kind") {
         Some(Value::String(k)) => k.as_str(),
         Some(_) => return Err(UlmError::invalid_request("`kind` must be a string")),
-        // Requests with a `mapping` default to eval, everything else to
-        // search, so minimal lines stay minimal.
+        // Requests with a `mapping` default to eval, ones with a `net`
+        // to a network run, everything else to search, so minimal lines
+        // stay minimal.
         None => {
             if field(req, "mapping").is_some() {
                 "eval"
+            } else if field(req, "net").is_some() {
+                "net"
             } else {
                 "search"
             }
@@ -530,6 +644,7 @@ fn parse_request(req: &Value) -> Result<Request, UlmError> {
     match kind {
         "stats" | "/stats" => Ok(Request::Stats),
         "eval" | "search" => Ok(Request::Query(Box::new(parse_query(req, kind == "eval")?))),
+        "net" => Ok(Request::Net(Box::new(parse_net_query(req)?))),
         // The base of a `whatif` follows the same defaulting rule: an
         // explicit `mapping` evaluates that mapping, otherwise the best
         // mapping is searched (and cached) first.
@@ -538,7 +653,7 @@ fn parse_request(req: &Value) -> Result<Request, UlmError> {
             base: Box::new(parse_query(req, field(req, "mapping").is_some())?),
         }),
         other => Err(UlmError::invalid_request(format!(
-            "unknown kind `{other}` (eval|search|whatif|stats)"
+            "unknown kind `{other}` (eval|search|whatif|net|stats)"
         ))),
     }
 }
@@ -611,6 +726,70 @@ impl Query {
                 })
             }
         }
+    }
+}
+
+impl NetQuery {
+    /// The canonical value tree identifying this network run. The `fuse`
+    /// descriptors are included — fused and unfused evaluations of the
+    /// same network are different results and must never share an
+    /// identity. Thread counts are excluded, same as [`Query`].
+    fn fingerprint(&self) -> Fingerprint {
+        let entries = vec![
+            ("op".to_string(), Value::String("net".into())),
+            ("arch".to_string(), self.arch.to_value()),
+            ("spatial".to_string(), self.spatial.to_value()),
+            (
+                "layers".to_string(),
+                Value::Array(self.layers.iter().map(Serialize::to_value).collect()),
+            ),
+            ("fuse".to_string(), self.fusion.to_value()),
+            ("overlap".to_string(), self.overlap.to_value()),
+            ("objective".to_string(), self.objective.to_value()),
+            ("mapper".to_string(), self.mapper.to_value()),
+        ];
+        fingerprint_value(&Value::Object(entries))
+    }
+
+    fn execute(&self) -> Result<Vec<(String, Value)>, UlmError> {
+        let report = NetworkEvaluator::new(&self.arch, self.spatial.clone())
+            .with_overlap(self.overlap)
+            .with_objective(self.objective)
+            .with_mapper_options(self.mapper)
+            .with_parallelism(self.parallelism)
+            .with_fusion(self.fusion.clone())
+            .evaluate(&self.layers)?;
+        let layers = report
+            .layers
+            .iter()
+            .map(|l| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(l.name.clone())),
+                    ("cc_total".to_string(), Value::F64(l.latency.cc_total)),
+                    ("energy_fj".to_string(), Value::F64(l.energy.total_fj)),
+                    ("hidden_preload".to_string(), Value::U64(l.hidden_preload)),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("kind".to_string(), Value::String("net".into())),
+            (
+                "fingerprint".to_string(),
+                Value::String(self.fingerprint().to_string()),
+            ),
+            (
+                "total_cycles".to_string(),
+                Value::F64(report.total_cycles()),
+            ),
+            (
+                "sequential_cycles".to_string(),
+                Value::F64(report.sequential_cycles()),
+            ),
+            ("total_fj".to_string(), Value::F64(report.total_fj())),
+            ("utilization".to_string(), Value::F64(report.utilization())),
+            ("segments".to_string(), report.segments.to_value()),
+            ("layers".to_string(), Value::Array(layers)),
+        ])
     }
 }
 
@@ -928,6 +1107,20 @@ impl EvalService {
             Request::WhatIf { base, set } => {
                 let start = Instant::now();
                 let result = self.respond_whatif(&base, &set);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                self.latencies_ms
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(elapsed_ms);
+                let mut fields = result?;
+                if self.include_timing {
+                    fields.push(("elapsed_ms".to_string(), Value::F64(elapsed_ms)));
+                }
+                Ok(fields)
+            }
+            Request::Net(query) => {
+                let start = Instant::now();
+                let result = query.execute();
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 self.latencies_ms
                     .lock()
@@ -1580,6 +1773,44 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn net_attention_decode_round_trips_with_fusion_aware_fingerprint() {
+        let svc = service();
+        let base = r#"{"kind":"net","id":7,"arch":"toy","net":"attention-decode","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let fused = r#"{"kind":"net","id":8,"arch":"toy","net":"attention-decode","mapper":{"max_exhaustive":200,"samples":20},"fuse":[{"layers":["logit","attend"],"pin":"LB"}]}"#;
+        let b = parse(&svc.handle_line(base).unwrap());
+        let f = parse(&svc.handle_line(fused).unwrap());
+        assert_eq!(b.get("ok"), Some(&Value::Bool(true)), "{b:?}");
+        assert_eq!(f.get("ok"), Some(&Value::Bool(true)), "{f:?}");
+        // The `fuse` field enters the fingerprint: same network, distinct
+        // identities.
+        assert_ne!(b.get("fingerprint"), f.get("fingerprint"));
+        // The fused run reports its residency table…
+        assert_eq!(
+            f.get("segments").map(|s| match s {
+                Value::Array(items) => items.len(),
+                _ => 0,
+            }),
+            Some(1)
+        );
+        // …and pinning at the toy chip's backing store elides nothing, so
+        // the totals are the layer-by-layer oracle's, exactly.
+        assert_eq!(b.get("total_cycles"), f.get("total_cycles"));
+        assert_eq!(b.get("total_fj"), f.get("total_fj"));
+    }
+
+    #[test]
+    fn net_fusion_errors_carry_fuse_codes() {
+        let svc = service();
+        let bad = r#"{"kind":"net","arch":"toy","net":"attention-decode","fuse":[{"layers":["logit","nope"],"pin":"LB"}]}"#;
+        let v = parse(&svc.handle_line(bad).unwrap());
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{v:?}");
+        assert_eq!(
+            v.get("code"),
+            Some(&Value::String("fuse/unknown-layer".to_string()))
+        );
     }
 
     #[test]

@@ -120,11 +120,11 @@ pub fn build_schedule_lowered(
     let layer = view.layer();
     let total = lowered.cc_spatial();
 
-    // Pre-flight size check using the exact refill counts.
+    // Pre-flight size check using the exact refill counts. Interfaces
+    // above a residency pin (KV-cache, fused intermediates) move nothing.
     let mut est: u64 = 0;
     for op in Operand::all() {
-        let chain = h.chain(op);
-        for level in 0..chain.len().saturating_sub(1) {
+        for level in 0..lowered.active_interfaces(op) {
             est += 2 * lowered.level(op, level).refills; // refills or drains+readbacks
         }
     }
@@ -144,11 +144,12 @@ pub fn build_schedule_lowered(
     // covering transfers.
     for op in Operand::all() {
         let chain = h.chain(op);
-        if chain.len() < 2 {
+        let active = lowered.active_interfaces(op);
+        if active == 0 {
             continue;
         }
         let op_bits = layer.precision().bits(op);
-        for level in (0..chain.len() - 1).rev() {
+        for level in (0..active).rev() {
             let lower = chain[level];
             let upper = chain[level + 1];
             let lower_mem = h.mem(lower);
@@ -158,7 +159,9 @@ pub fn build_schedule_lowered(
             let words = row.words;
             let run = row.run;
             let db = lower_mem.is_double_buffered();
-            let upper_is_top = level + 1 == chain.len() - 1;
+            // The topmost *active* level never refills from above — for a
+            // pinned operand its content is already resident there.
+            let upper_is_top = level + 1 >= active;
 
             match op {
                 Operand::W | Operand::I => {

@@ -61,7 +61,8 @@ pub mod prelude {
         EvalScratch, EvaluatedMapping, Mapper, MapperOptions, Objective, SearchResult, SearchStats,
     };
     pub use ulm_mapping::{
-        LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc, SpatialUnroll, TemporalLoop,
+        FuseError, FusedSegment, LoopStack, MappedLayer, Mapping, MappingError, OperandAlloc,
+        SegmentResidency, SpatialUnroll, TemporalLoop,
     };
     pub use ulm_model::{
         apply_overrides, roofline_bound, FastLatency, InputDelta, KnobError, LatencyModel,

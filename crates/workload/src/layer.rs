@@ -139,6 +139,12 @@ pub struct Layer {
     ltype: LayerType,
     shape: LayerShape,
     precision: Precision,
+    /// Which operands are KV-cache resident: already present in the
+    /// level just below the backing store at layer start (a decode
+    /// step's K/V cache), so the top memory interface never refills
+    /// them. Defaults to none; absent in older serialized layers.
+    #[serde(default)]
+    kv: PerOperand<bool>,
 }
 
 impl Layer {
@@ -179,7 +185,37 @@ impl Layer {
             ltype,
             shape,
             precision,
+            kv: PerOperand::default(),
         }
+    }
+
+    /// Marks operand `op` as a KV-cache resident: its footprint scales
+    /// with context length, it lives in the level below the backing
+    /// store when the layer starts, and it is never refilled across the
+    /// top memory interface within a decode step.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Operand::O`] — only the streamed-in `W`/`I`
+    /// operands can be cache-resident.
+    pub fn with_kv_cache(mut self, op: Operand) -> Self {
+        assert!(
+            op != Operand::O,
+            "outputs are produced, not cached; only W/I can be KV-cache resident"
+        );
+        self.kv[op] = true;
+        self
+    }
+
+    /// True when operand `op` is KV-cache resident
+    /// (see [`with_kv_cache`](Self::with_kv_cache)).
+    pub fn is_kv_cache(&self, op: Operand) -> bool {
+        self.kv[op]
+    }
+
+    /// True when any operand is KV-cache resident.
+    pub fn has_kv_cache(&self) -> bool {
+        Operand::all().any(|op| self.kv[op])
     }
 
     /// Convenience constructor for a [`LayerType::Conv2d`] layer.
@@ -353,5 +389,30 @@ mod tests {
     fn display_mentions_name_and_type() {
         let s = conv_example().to_string();
         assert!(s.contains('l') && s.contains("Conv2D"), "{s}");
+    }
+
+    #[test]
+    fn kv_cache_flags_round_trip() {
+        let plain = Layer::matmul("logit", 8, 128, 64, Precision::int8_acc24());
+        assert!(!plain.has_kv_cache());
+        let kv = plain.clone().with_kv_cache(Operand::W);
+        assert!(kv.is_kv_cache(Operand::W));
+        assert!(!kv.is_kv_cache(Operand::I));
+        assert_ne!(plain, kv);
+        // Serialized layers without the field still deserialize (serde
+        // default), and the flag itself survives a round trip.
+        let json = serde_json::to_string(&kv).unwrap();
+        let back: Layer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, kv);
+        let legacy = serde_json::to_string(&plain).unwrap();
+        let stripped = legacy.replace(",\"kv\":{\"values\":[false,false,false]}", "");
+        let old: Layer = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "only W/I")]
+    fn kv_cache_rejects_outputs() {
+        let _ = Layer::matmul("m", 2, 2, 2, Precision::uniform(8)).with_kv_cache(Operand::O);
     }
 }

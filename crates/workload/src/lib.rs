@@ -23,6 +23,7 @@
 //! assert!(!layer.relevance(Operand::W, Dim::B).is_relevant());
 //! ```
 
+pub mod attention;
 pub mod dims;
 pub mod im2col;
 pub mod layer;
@@ -31,6 +32,7 @@ pub mod networks;
 pub mod precision;
 pub mod relevance;
 
+pub use attention::AttentionShape;
 pub use dims::{Dim, DimSizes, ALL_DIMS};
 pub use im2col::im2col;
 pub use layer::{Layer, LayerShape, LayerType};

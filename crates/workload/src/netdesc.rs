@@ -75,6 +75,11 @@ pub struct LayerDesc {
     /// Dilation (both axes).
     #[serde(default = "one")]
     pub dilation: u64,
+    /// KV-cache resident operands (`"w"` and/or `"i"`): already live in
+    /// the level below the backing store, never refilled from it within
+    /// a decode step. Defaults to none.
+    #[serde(default)]
+    pub kv: Vec<String>,
 }
 
 /// A whole network description.
@@ -100,6 +105,13 @@ pub enum NetDescError {
         /// The unknown kind.
         kind: String,
     },
+    /// A `kv` entry names something other than the `w`/`i` operands.
+    BadKvOperand {
+        /// The offending layer.
+        layer: String,
+        /// The unknown operand string.
+        operand: String,
+    },
 }
 
 impl fmt::Display for NetDescError {
@@ -110,6 +122,10 @@ impl fmt::Display for NetDescError {
                 f,
                 "layer `{layer}` has unknown kind `{kind}` \
                  (conv2d|pointwise|depthwise|dense|matmul)"
+            ),
+            NetDescError::BadKvOperand { layer, operand } => write!(
+                f,
+                "layer `{layer}` marks unknown operand `{operand}` as KV-cache (w|i)"
             ),
         }
     }
@@ -163,7 +179,20 @@ impl NetworkDesc {
                 let shape = LayerShape::conv(l.b, l.k, l.c, l.oy, l.ox, l.fy, l.fx)
                     .with_stride(l.stride, l.stride)
                     .with_dilation(l.dilation, l.dilation);
-                Ok(Layer::new(l.name.clone(), ltype, shape, precision))
+                let mut layer = Layer::new(l.name.clone(), ltype, shape, precision);
+                for op in &l.kv {
+                    layer = match op.to_ascii_lowercase().as_str() {
+                        "w" => layer.with_kv_cache(crate::Operand::W),
+                        "i" => layer.with_kv_cache(crate::Operand::I),
+                        other => {
+                            return Err(NetDescError::BadKvOperand {
+                                layer: l.name.clone(),
+                                operand: other.to_string(),
+                            })
+                        }
+                    };
+                }
+                Ok(layer)
             })
             .collect()
     }
@@ -221,5 +250,29 @@ mod tests {
     #[test]
     fn malformed_json_is_reported() {
         assert!(NetworkDesc::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn kv_operands_parse_and_validate() {
+        let desc = NetworkDesc::from_json(
+            r#"{ "name": "d", "precision": null,
+                 "layers": [ { "kind": "matmul", "name": "logit",
+                               "b": 4, "k": 128, "c": 16, "kv": ["W"] } ] }"#,
+        )
+        .unwrap();
+        let layers = desc.to_layers().unwrap();
+        assert!(layers[0].is_kv_cache(Operand::W));
+        assert!(!layers[0].is_kv_cache(Operand::I));
+
+        let bad = NetworkDesc::from_json(
+            r#"{ "name": "d", "precision": null,
+                 "layers": [ { "kind": "matmul", "name": "m",
+                               "b": 2, "k": 3, "c": 4, "kv": ["o"] } ] }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            bad.to_layers().unwrap_err(),
+            NetDescError::BadKvOperand { .. }
+        ));
     }
 }

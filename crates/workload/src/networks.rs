@@ -208,6 +208,22 @@ pub fn alexnet(batch: u64) -> Vec<Layer> {
     ]
 }
 
+/// Attention prefill preset: one transformer attention block processing
+/// a 128-token prompt at `d_model = 256`, 4 query heads (see
+/// [`crate::attention::prefill`]). Everything streams from the backing
+/// store; nothing is cache-resident.
+pub fn attention_prefill() -> Vec<Layer> {
+    crate::attention::prefill(128, 256, 4)
+}
+
+/// Attention decode preset: one new token attending to a 512-token KV
+/// cache at `d_model = 256`, 4 query heads (see
+/// [`crate::attention::decode`]). The logit/attend weight operands —
+/// the K- and V-caches — are KV-cache resident.
+pub fn attention_decode() -> Vec<Layer> {
+    crate::attention::decode(512, 256, 4)
+}
+
 /// Case-study-2 workload grid: matmul layers `(B, K, C)` over the given
 /// per-dimension values (the paper sweeps 8 → 512), at INT8 W/I with
 /// 24-bit outputs.
@@ -301,6 +317,24 @@ mod tests {
         // ~1.1 GMACs for batch 1 (the original's grouped convs modeled
         // dense, as every modern reimplementation does).
         assert!((900_000_000..1_300_000_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn attention_presets_have_expected_structure() {
+        let pre = attention_prefill();
+        assert_eq!(pre.len(), 6);
+        assert!(pre.iter().all(|l| !l.has_kv_cache()));
+        let dec = attention_decode();
+        assert_eq!(dec.len(), 6);
+        // Decode marks exactly the logit/attend weights (the KV cache).
+        let cached: Vec<&str> = dec
+            .iter()
+            .filter(|l| l.is_kv_cache(Operand::W))
+            .map(|l| l.name())
+            .collect();
+        assert_eq!(cached, vec!["logit", "attend"]);
+        // Decode's query side is a single token.
+        assert_eq!(dec[0].shape().dim(Dim::B), 1);
     }
 
     #[test]

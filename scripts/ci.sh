@@ -36,6 +36,9 @@ cargo test --release -q -p ulm-mapper --test search_equivalence --test alloc_fre
 echo "==> batch-vs-scalar equivalence gate (release)"
 cargo test --release -q -p ulm --test batch_equivalence
 
+echo "==> lowered-IR consistency proptests (release: pins, fusion, KV-cache)"
+cargo test --release -q -p ulm --test lowered_consistency
+
 echo "==> batch perf smoke (batched kernel must beat the scalar search)"
 cargo run --release -q -p ulm --example batch_perf_smoke
 
@@ -92,6 +95,26 @@ if [[ "$(uname -s)" == "Linux" ]]; then
 else
     echo "    (skipped: the epoll reactor needs Linux)"
 fi
+
+echo "==> attention + fusion smoke (fused vs layer-by-layer differential)"
+fused_out="$(target/release/ulm network --net attention-decode --arch fusion --fuse logit+attend@LB)"
+base_out="$(target/release/ulm network --net attention-decode --arch fusion)"
+grep -q "fused @LB: 1 edge(s)" <<<"$fused_out"
+fused_cc="$(sed -nE 's/^network: .*, ([0-9]+) cycles .*/\1/p' <<<"$fused_out")"
+base_cc="$(sed -nE 's/^network: .*, ([0-9]+) cycles .*/\1/p' <<<"$base_out")"
+if (( fused_cc >= base_cc )); then
+    echo "error: fusing logit+attend at the LB did not cut network latency (${fused_cc} vs ${base_cc})" >&2
+    exit 1
+fi
+# An unknown layer in a fuse spec must exit non-zero with a fuse/* code.
+fuse_err="$(mktemp)"
+if target/release/ulm network --net attention-decode --arch fusion \
+    --fuse nope+attend@LB >/dev/null 2>"$fuse_err"; then
+    echo "error: ulm network accepted a fusion over an unknown layer" >&2
+    exit 1
+fi
+grep -q "error\[fuse/unknown-layer\]" "$fuse_err"
+rm -f "$fuse_err"
 
 echo "==> whatif smoke (incremental delta path vs cold evaluation)"
 # --verify re-evaluates the modified design from scratch inside the CLI

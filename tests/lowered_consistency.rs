@@ -301,4 +301,148 @@ proptest! {
             prop_assert_eq!(&a.deps, &b.deps);
         }
     }
+
+    /// A degenerate residency pin — at the backing store, the top of every
+    /// chain — elides nothing, so the pinned lowering must be bit-identical
+    /// to the unpinned oracle for all three consumers. Run on the fusion
+    /// chip, whose three-level chains make the pin level meaningful.
+    #[test]
+    fn degenerate_pins_match_the_unpinned_oracle((layer, stack) in arb_point()) {
+        let chip = presets::fusion_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let model = LatencyModel::new();
+        let oracle = LoweredLayer::build(&view, model.dtl_options());
+        // Pin every operand at the DRAM level (the top of each chain).
+        let top = chip.arch.hierarchy().depth() - 1;
+        let pinned = LoweredLayer::build_pinned(
+            &view, model.dtl_options(), [Some(top); 3]);
+        for op in Operand::all() {
+            prop_assert_eq!(
+                pinned.active_interfaces(op),
+                oracle.active_interfaces(op)
+            );
+        }
+
+        let l_pin = model.evaluate_lowered(&view, &pinned);
+        let l_ref = model.evaluate_lowered(&view, &oracle);
+        prop_assert_eq!(l_pin.cc_total.to_bits(), l_ref.cc_total.to_bits());
+        prop_assert_eq!(l_pin.preload, l_ref.preload);
+
+        let e_pin = EnergyModel::new().evaluate_lowered(&view, &pinned);
+        let e_ref = EnergyModel::new().evaluate_lowered(&view, &oracle);
+        prop_assert_eq!(e_pin.total_fj.to_bits(), e_ref.total_fj.to_bits());
+
+        let s_pin = build_schedule_lowered(&view, &pinned, u64::MAX).expect("uncapped");
+        let s_ref = build_schedule_lowered(&view, &oracle, u64::MAX).expect("uncapped");
+        prop_assert_eq!(s_pin.total_cycles, s_ref.total_cycles);
+        prop_assert_eq!(s_pin.transfers.len(), s_ref.transfers.len());
+    }
+
+    /// A real pin (at the shared LB, below the backing store) drops the
+    /// pinned operand's top interface from every consumer consistently:
+    /// the schedule carries no transfers at elided levels, the energy
+    /// model charges no traffic across them, and neither latency, energy
+    /// nor transfer count ever exceeds the unpinned oracle's.
+    #[test]
+    fn resident_pins_elide_the_top_interface_everywhere((layer, stack) in arb_point()) {
+        let chip = presets::fusion_chip();
+        let spatial = SpatialUnroll::new(chip.spatial.clone());
+        let Ok(mapping) = Mapping::with_greedy_alloc(
+            &chip.arch, &layer, spatial, LoopStack::from_pairs(&stack))
+        else { return Ok(()); };
+        let Ok(view) = MappedLayer::new(&layer, &chip.arch, &mapping) else {
+            return Ok(());
+        };
+        let model = LatencyModel::new();
+        let oracle = LoweredLayer::build(&view, model.dtl_options());
+        // Pin O at the LB, as a fused producer would be lowered.
+        let pinned = LoweredLayer::build_pinned(
+            &view, model.dtl_options(), [None, None, Some(1)]);
+        prop_assert_eq!(pinned.active_interfaces(Operand::O), 1);
+
+        let s_pin = build_schedule_lowered(&view, &pinned, u64::MAX).expect("uncapped");
+        prop_assert!(
+            s_pin.transfers.iter().all(|t| t.operand != Operand::O || t.level < 1),
+            "no O transfers above the pin"
+        );
+
+        // Residency tables stay full-length: the elided rows still exist,
+        // so a later un-pinned rebuild has nothing to recompute.
+        let h = chip.arch.hierarchy();
+        for level in 0..h.chain(Operand::O).len() - 1 {
+            let p = pinned.level(Operand::O, level);
+            let o = oracle.level(Operand::O, level);
+            prop_assert_eq!(p.words, o.words);
+            prop_assert_eq!(p.refills, o.refills);
+        }
+
+        let l_pin = model.evaluate_lowered(&view, &pinned);
+        let l_ref = model.evaluate_lowered(&view, &oracle);
+        prop_assert!(l_pin.cc_total <= l_ref.cc_total);
+        let e_pin = EnergyModel::new().evaluate_lowered(&view, &pinned);
+        let e_ref = EnergyModel::new().evaluate_lowered(&view, &oracle);
+        prop_assert!(e_pin.total_fj <= e_ref.total_fj);
+        let s_ref = build_schedule_lowered(&view, &oracle, u64::MAX).expect("uncapped");
+        prop_assert!(s_pin.transfers.len() <= s_ref.transfers.len());
+    }
+}
+
+/// KV-cache resident operands (decode-step K/V caches) behave exactly
+/// like pinned operands: the latency fast path, the energy model and the
+/// simulator all skip the cache operand's top interface, and the slow
+/// standalone evaluation agrees with the shared-IR evaluation bit for bit.
+#[test]
+fn attention_decode_layers_lower_consistently() {
+    let chip = presets::toy_chip();
+    let h = chip.arch.hierarchy();
+    for layer in ulm::workload::networks::attention_decode() {
+        let mapper = Mapper::new(&chip.arch, &layer, SpatialUnroll::new(chip.spatial.clone()))
+            .with_options(MapperOptions {
+                max_exhaustive: 200,
+                samples: 20,
+                ..MapperOptions::default()
+            });
+        let best = mapper.search(Objective::Latency).expect("mappable").best;
+        let view = MappedLayer::new(&layer, &chip.arch, &best.mapping).unwrap();
+        let model = LatencyModel::new();
+        let lowered = LoweredLayer::build(&view, model.dtl_options());
+
+        // Shared-IR and standalone evaluations agree bit for bit even
+        // with KV-resident operands.
+        let shared = model.evaluate_lowered(&view, &lowered);
+        let standalone = model.evaluate(&view);
+        assert_eq!(
+            shared.cc_total.to_bits(),
+            standalone.cc_total.to_bits(),
+            "{}",
+            layer.name()
+        );
+
+        // A KV-cache operand's top interface is inactive: the simulator
+        // schedules no refills for it there.
+        let schedule = build_schedule_lowered(&view, &lowered, u64::MAX).expect("uncapped");
+        for op in Operand::all() {
+            let active = lowered.active_interfaces(op);
+            let chain_len = h.chain(op).len();
+            if layer.is_kv_cache(op) {
+                assert_eq!(active, chain_len.saturating_sub(2), "{}", layer.name());
+            } else {
+                assert_eq!(active, chain_len - 1, "{}", layer.name());
+            }
+            assert!(
+                schedule
+                    .transfers
+                    .iter()
+                    .all(|t| t.operand != op || t.level < active),
+                "{}: no {op} transfers above the active interfaces",
+                layer.name()
+            );
+        }
+    }
 }
