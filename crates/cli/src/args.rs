@@ -183,7 +183,7 @@ impl Args {
                 let bad = || ArgError::BadValue {
                     key: "layer".into(),
                     value: v.into(),
-                    expected: "BxKxC (e.g. 64x96x640)",
+                    expected: "BxKxC with positive dims (e.g. 64x96x640)",
                 };
                 if parts.len() != 3 {
                     return Err(bad());
@@ -191,6 +191,9 @@ impl Args {
                 let b = parts[0].parse().map_err(|_| bad())?;
                 let k = parts[1].parse().map_err(|_| bad())?;
                 let c = parts[2].parse().map_err(|_| bad())?;
+                if b == 0 || k == 0 || c == 0 {
+                    return Err(bad());
+                }
                 Ok((b, k, c))
             }
         }

@@ -31,13 +31,22 @@ fn resolve_arch(args: &Args) -> Result<(Architecture, SpatialUnroll), UlmError> 
     Ok((chip.arch, SpatialUnroll::new(chip.spatial)))
 }
 
-fn resolve_layer(args: &Args) -> Result<Layer, ArgError> {
-    let (b, k, c) = args.layer_dims((64, 96, 640))?;
-    let precision = match args.get("precision").unwrap_or("int8_out24") {
+fn resolve_precision(args: &Args) -> Precision {
+    match args.get("precision").unwrap_or("int8_out24") {
         "int8_acc24" => Precision::int8_acc24(),
         _ => Precision::int8_out24(),
-    };
-    Ok(Layer::matmul(format!("({b},{k},{c})"), b, k, c, precision))
+    }
+}
+
+fn resolve_layer(args: &Args) -> Result<Layer, ArgError> {
+    let (b, k, c) = args.layer_dims((64, 96, 640))?;
+    Ok(Layer::matmul(
+        format!("({b},{k},{c})"),
+        b,
+        k,
+        c,
+        resolve_precision(args),
+    ))
 }
 
 fn mapper_options(args: &Args) -> Result<MapperOptions, ArgError> {
@@ -238,6 +247,288 @@ pub fn whatif(args: &Args) -> Result<(), UlmError> {
     Ok(())
 }
 
+/// The model selected by `--bw-unaware`.
+fn latency_model(args: &Args) -> Result<LatencyModel, ArgError> {
+    Ok(if mapper_options(args)?.bw_aware {
+        LatencyModel::new()
+    } else {
+        LatencyModel::bw_unaware()
+    })
+}
+
+/// Loads a calibration JSON written by `ulm calibrate --out`.
+fn load_calibration(path: &str) -> Result<Calibration, UlmError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+/// The matmul training ladder `ulm calibrate` simulates when no
+/// measurement CSV is supplied: a spread of shapes so every port of the
+/// case-study family carries traffic in at least one trace.
+const CALIBRATION_TRAINING_DIMS: &[(u64, u64, u64)] =
+    &[(32, 48, 160), (64, 96, 640), (48, 64, 320), (96, 128, 512)];
+
+/// Maps one layer with the best-latency search and returns its view
+/// ingredients (the mapping must outlive the view).
+fn best_mapping(
+    arch: &Architecture,
+    layer: &Layer,
+    spatial: &SpatialUnroll,
+    mopts: MapperOptions,
+) -> Result<Mapping, UlmError> {
+    Ok(Mapper::new(arch, layer, spatial.clone())
+        .with_options(mopts)
+        .search(Objective::Latency)?
+        .best
+        .mapping)
+}
+
+/// One measurement trace: layer name, `(B, K, C)` dims and the observed
+/// per-port busy rows that belong to it.
+type TraceGroup = (String, (u64, u64, u64), Vec<ulm::model::ObservedBusy>);
+
+/// `ulm calibrate`: fit per-port `RealBW` constants for one architecture
+/// preset against simulator traces (default) or an imported measurement
+/// CSV (`--measurements`), report per-layer residuals, and optionally
+/// persist the calibration (`--out`) for `ulm surrogate --calibration`
+/// and `ulm serve --calibration`.
+pub fn calibrate(args: &Args) -> Result<(), UlmError> {
+    let (arch, spatial) = resolve_arch(args)?;
+    let mopts = mapper_options(args)?;
+    let precision = resolve_precision(args);
+    let mut cal = Calibrator::new(&arch, latency_model(args)?);
+    if let Some(path) = args.get("measurements") {
+        // Imported measurements: one CSV row per (layer, port)
+        // observation; consecutive rows of the same layer form one trace.
+        let rows = ulm::model::parse_measurements(&std::fs::read_to_string(path)?)?;
+        let mut groups: Vec<TraceGroup> = Vec::new();
+        for r in rows {
+            match groups.last_mut() {
+                Some((name, dims, obs)) if *name == r.layer && *dims == r.dims => {
+                    obs.push(r.observed)
+                }
+                _ => groups.push((r.layer, r.dims, vec![r.observed])),
+            }
+        }
+        for (name, (b, k, c), obs) in &groups {
+            let layer = Layer::matmul(name.clone(), *b, *k, *c, precision);
+            let mapping = best_mapping(&arch, &layer, &spatial, mopts)?;
+            let view = MappedLayer::new(&layer, &arch, &mapping)?;
+            cal.add_trace(&view, obs)?;
+        }
+    } else {
+        // Simulator traces: map each training layer, execute it in the
+        // discrete-event simulator, and feed the observed per-port busy
+        // cycles to the fit.
+        let sim = Simulator::new();
+        for &(b, k, c) in CALIBRATION_TRAINING_DIMS {
+            let layer = Layer::matmul(format!("train-{b}x{k}x{c}"), b, k, c, precision);
+            let mapping = best_mapping(&arch, &layer, &spatial, mopts)?;
+            let view = MappedLayer::new(&layer, &arch, &mapping)?;
+            let report = sim.simulate(&view)?;
+            let h = arch.hierarchy();
+            let observed: Vec<ulm::model::ObservedBusy> = report
+                .ports
+                .iter()
+                .map(|p| ulm::model::ObservedBusy {
+                    mem: h.mem(p.mem).name().to_string(),
+                    port: p.port,
+                    busy_cycles: p.busy_cycles,
+                })
+                .collect();
+            cal.add_trace(&view, &observed)?;
+        }
+    }
+    let fit = cal.fit()?;
+
+    let verified = if args.flag("verify") {
+        // The applied architecture must carry exactly the fitted
+        // constants — this is the contract that lets the calibration
+        // feed the generic model and the surrogate identically.
+        let (calibrated, _delta) = fit.calibration.apply(&arch)?;
+        let h = calibrated.hierarchy();
+        for p in &fit.calibration.ports {
+            let mid = h.find(&p.mem).ok_or_else(|| {
+                UlmError::config(format!("calibrated arch lost memory `{}`", p.mem))
+            })?;
+            let got = h.mem(mid).ports()[p.port].bw_bits;
+            if got != p.bw_bits {
+                return Err(UlmError::config(format!(
+                    "calibration verify failed: {}.port{} applied {} b/cy != fitted {}",
+                    p.mem, p.port, got, p.bw_bits
+                )));
+            }
+        }
+        true
+    } else {
+        false
+    };
+
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, serde_json::to_string_pretty(&fit.calibration)?)?;
+    }
+
+    let mean_abs = if fit.residuals.is_empty() {
+        0.0
+    } else {
+        fit.residuals.iter().map(|r| r.error_pct.abs()).sum::<f64>() / fit.residuals.len() as f64
+    };
+    if args.flag("json") {
+        let mut out = serde_json::json!({
+            "arch": arch.name(),
+            "calibration": fit.calibration,
+            "residuals": fit.residuals,
+            "mean_abs_error_pct": mean_abs,
+        });
+        if verified {
+            if let serde_json::Value::Object(fields) = &mut out {
+                fields.push(("verified".to_string(), serde_json::Value::Bool(true)));
+            }
+        }
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!("architecture: {arch}");
+        println!("calibration: {}", fit.calibration.id);
+        for p in &fit.calibration.ports {
+            println!(
+                "  {}.port{}: {} -> {} b/cy ({} samples)",
+                p.mem, p.port, p.old_bw_bits, p.bw_bits, p.samples
+            );
+        }
+        for r in &fit.residuals {
+            println!(
+                "  {:<20} observed {:>12.1}  predicted {:>12.1}  err {:>+7.2}%",
+                r.layer, r.observed, r.predicted, r.error_pct
+            );
+        }
+        println!("mean |residual|: {mean_abs:.2}%");
+        if verified {
+            println!("verified: applied architecture carries the fitted constants");
+        }
+        if let Some(out) = args.get("out") {
+            println!("wrote calibration to {out}");
+        }
+    }
+    Ok(())
+}
+
+/// `ulm surrogate`: specialize the model once for `(architecture,
+/// mapping shape)` — the shape comes from a one-time best-latency search
+/// on the `--layer` template — then answer a workload-dimension sweep
+/// through the partial-evaluation fast path. `--verify` checks every
+/// point bit for bit against the generic pipeline; `--calibration`
+/// applies fitted constants first so both paths use them.
+pub fn surrogate(args: &Args) -> Result<(), UlmError> {
+    let (mut arch, spatial) = resolve_arch(args)?;
+    let mut calibration_id = None;
+    if let Some(path) = args.get("calibration") {
+        let cal = load_calibration(path)?;
+        let (applied, _) = cal.apply(&arch)?;
+        arch = applied;
+        calibration_id = Some(cal.id);
+    }
+    let template = resolve_layer(args)?;
+    let mopts = mapper_options(args)?;
+    let mapping = best_mapping(&arch, &template, &spatial, mopts)?;
+    let shape = MappingShape::from_mapping(&mapping)?;
+    let mut spec = SpecializedModel::prepare(latency_model(args)?, &arch, &template, shape)?;
+
+    let (tb, tk, tc) = args.layer_dims((64, 96, 640))?;
+    let bs = args.u64_list_or("b-list", &[16, 32, 64, 128, 256])?;
+    let ks = args.u64_list_or("k-list", &[tk])?;
+    let cs = args.u64_list_or("c-list", &[tc])?;
+    let _ = tb;
+    let verify = args.flag("verify");
+
+    let mut rows = Vec::new();
+    let mut query_time = std::time::Duration::ZERO;
+    let mut verified_points = 0usize;
+    for &b in &bs {
+        for &k in &ks {
+            for &c in &cs {
+                let t0 = std::time::Instant::now();
+                let fast = spec.query(b, k, c)?;
+                query_time += t0.elapsed();
+                if verify {
+                    let cold = spec.query_oracle(b, k, c)?;
+                    if cold.cc_total.to_bits() != fast.cc_total.to_bits()
+                        || cold.ss_overall.to_bits() != fast.ss_overall.to_bits()
+                        || cold.utilization.to_bits() != fast.utilization.to_bits()
+                        || cold.preload != fast.preload
+                        || cold.offload != fast.offload
+                    {
+                        return Err(UlmError::config(format!(
+                            "surrogate verification failed at {b}x{k}x{c}: \
+                             specialized cc_total {} != generic {}",
+                            fast.cc_total, cold.cc_total
+                        )));
+                    }
+                    verified_points += 1;
+                }
+                rows.push((b, k, c, fast));
+            }
+        }
+    }
+    let stats = spec.stats();
+    let points_per_sec = if query_time.as_secs_f64() > 0.0 {
+        rows.len() as f64 / query_time.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+
+    if args.flag("json") {
+        let mut out = serde_json::json!({
+            "arch": arch.name(),
+            "template": template.name(),
+            "shape": format!("{}", spec.shape()),
+            "points": rows.iter().map(|(b, k, c, l)| serde_json::json!({
+                "layer": format!("{b}x{k}x{c}"),
+                "cc_total": l.cc_total,
+                "ss_overall": l.ss_overall,
+                "utilization": l.utilization,
+            })).collect::<Vec<_>>(),
+            "queries": stats.queries,
+            "grouping_reused": stats.grouping_reused,
+            "grouping_rebuilt": stats.grouping_rebuilt,
+            "points_per_sec": points_per_sec,
+        });
+        if let serde_json::Value::Object(fields) = &mut out {
+            if let Some(id) = &calibration_id {
+                fields.push(("calibration_id".to_string(), serde_json::json!(id)));
+            }
+            if verify {
+                fields.push((
+                    "verified_points".to_string(),
+                    serde_json::json!(verified_points),
+                ));
+            }
+        }
+        println!("{}", serde_json::to_string_pretty(&out)?);
+    } else {
+        println!("architecture: {arch}");
+        println!("specialized for: {}", spec.shape());
+        if let Some(id) = &calibration_id {
+            println!("calibration: {id}");
+        }
+        for (b, k, c, l) in &rows {
+            println!(
+                "  {b:>5}x{k:<5}x{c:<5} {:>12.0} cc  U {:>5.1}%  stall {:>10.0}",
+                l.cc_total,
+                l.utilization * 100.0,
+                l.ss_overall
+            );
+        }
+        println!(
+            "{} queries, grouping reused {} / rebuilt {}, {:.0} points/s",
+            stats.queries, stats.grouping_reused, stats.grouping_rebuilt, points_per_sec
+        );
+        if verify {
+            println!("verified: {verified_points} points bit-identical to the generic pipeline");
+        }
+    }
+    Ok(())
+}
+
 /// `ulm search`: explore the mapping space under an objective and print
 /// the best mapping (or the `--all` top list).
 pub fn search(args: &Args) -> Result<(), UlmError> {
@@ -341,7 +632,15 @@ pub fn validate(args: &Args) -> Result<(), UlmError> {
 /// `ulm dse`: architecture design-space exploration with a Pareto front.
 pub fn dse(args: &Args) -> Result<(), UlmError> {
     let gb_bw = args.u64_or("gb-bw", 128)?;
+    if gb_bw == 0 {
+        return Err(UlmError::config("--gb-bw must be positive"));
+    }
     let sides = args.u64_list_or("sides", &[16, 32, 64])?;
+    if let Some(bad) = sides.iter().find(|&&s| s < 2 || s % 2 != 0) {
+        return Err(UlmError::config(format!(
+            "--sides values must be even and >= 2, got {bad}"
+        )));
+    }
     let (b, k, c) = args.layer_dims((256, 256, 64))?;
     let layer = Layer::matmul(format!("({b},{k},{c})"), b, k, c, Precision::int8_out24());
     let pool = MemoryPool::default();
@@ -493,8 +792,10 @@ pub fn network(args: &Args) -> Result<(), UlmError> {
     Ok(())
 }
 
-/// Service sizing shared by `ulm batch` and `ulm serve`.
-fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
+/// Service sizing shared by `ulm batch` and `ulm serve`. A
+/// `--calibration <file>` feeds fitted constants to the service's
+/// surrogate fast path (and its id into `/stats` and fingerprints).
+fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, UlmError> {
     let defaults = ulm::serve::ServeOptions::default();
     Ok(ulm::serve::ServeOptions {
         parallelism: match args.u64_or("parallelism", 0)? {
@@ -506,6 +807,10 @@ fn serve_options(args: &Args) -> Result<ulm::serve::ServeOptions, ArgError> {
         cache_dir: args.get("cache-dir").map(std::path::PathBuf::from),
         include_timing: !args.flag("no-timing"),
         max_line_len: args.u64_or("max-line-len", defaults.max_line_len as u64)? as usize,
+        calibration: match args.get("calibration") {
+            Some(path) => Some(load_calibration(path)?),
+            None => None,
+        },
     })
 }
 
@@ -700,6 +1005,10 @@ COMMANDS
   evaluate   map one layer for lowest latency and print the full report
   whatif     re-evaluate the best mapping under --set knob overrides,
              incrementally, and report latency/energy deltas
+  calibrate  fit per-port RealBW constants against simulator traces or a
+             measurement CSV; report per-layer residuals (--out persists)
+  surrogate  specialize the model once per (arch, mapping shape) and
+             sweep workload dims through the closed-form fast path
   search     explore the mapping space (--objective latency|energy|edp, --all)
   validate   model vs discrete-event simulator on the hand-tracking layers
   dse        architecture design-space exploration with a Pareto front
@@ -732,6 +1041,15 @@ COMMON OPTIONS
                         (value `2x`-style scale or absolute; repeatable)
   --verify              whatif: check the incremental result against a
                         cold evaluation of the modified design
+                        calibrate: check the applied arch carries the fit
+                        surrogate: check every point against the generic
+                        pipeline, bit for bit
+  --measurements <csv>  calibrate: import layer,b,k,c,mem,port,busy_cycles
+                        rows instead of simulating the training ladder
+  --out <file>          calibrate: persist the fitted calibration JSON
+  --calibration <file>  surrogate/serve: apply a persisted calibration
+  --b-list/--k-list/--c-list <n,…>   surrogate: workload sweep grid
+                        (defaults: b 16,32,64,128,256; k,c from --layer)
   --json                machine-readable output
   --bw-unaware          use the stall-ignoring baseline model
   --overlap             weight-prefetch overlap (network)

@@ -1,8 +1,10 @@
 //! `ulm` — the command-line interface to the uniform latency model.
 //!
 //! ```sh
-//! ulm evaluate --arch case16 --layer 64x96x640
-//! ulm whatif   --set mem.GB.bw=2x --verify
+//! ulm evaluate  --arch case16 --layer 64x96x640
+//! ulm whatif    --set mem.GB.bw=2x --verify
+//! ulm calibrate --arch case16 --out case16.cal.json
+//! ulm surrogate --b-list 16,32,64,128 --verify
 //! ulm search   --objective energy --all
 //! ulm validate --json
 //! ulm dse      --gb-bw 1024 --sides 16,64
@@ -34,6 +36,8 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "evaluate" => commands::evaluate(&args),
         "whatif" => commands::whatif(&args),
+        "calibrate" => commands::calibrate(&args),
+        "surrogate" => commands::surrogate(&args),
         "search" => commands::search(&args),
         "validate" => commands::validate(&args),
         "dse" => commands::dse(&args),

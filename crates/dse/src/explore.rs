@@ -6,7 +6,10 @@ use ulm_arch::AreaModel;
 pub use ulm_mapper::SearchStats;
 use ulm_mapper::{Mapper, MapperError, MapperOptions, Objective};
 use ulm_mapping::MappedLayer;
-use ulm_model::{InputDelta, LatencyModel, ModelScratch, RebuildStats};
+use ulm_model::{
+    InputDelta, LatencyModel, MappingShape, ModelScratch, RebuildStats, SpecializedModel,
+    SurrogateStats,
+};
 use ulm_workload::Layer;
 
 /// One evaluated hardware design.
@@ -323,6 +326,148 @@ fn sweep_design(
     Ok((points, rebuilds, gb_bws.len() - 1))
 }
 
+/// One workload point of an [`explore_workload_sweep`] run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadPoint {
+    /// The design's free parameters.
+    pub params: DesignParams,
+    /// Matmul dimensions `(b, k, c)` of this point.
+    pub dims: (u64, u64, u64),
+    /// Total latency in cycles of the incumbent dataflow at these dims.
+    pub latency: f64,
+    /// MAC utilization.
+    pub utilization: f64,
+    /// Temporal stall, cycles.
+    pub ss_overall: f64,
+}
+
+/// Specialization-reuse counters for one [`explore_workload_sweep`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSweepStats {
+    /// Designs in the sweep.
+    pub designs: usize,
+    /// Designs with a legal mapping on the template layer.
+    pub feasible: usize,
+    /// Workload points produced.
+    pub points: usize,
+    /// Mapping searches performed: one per feasible design, regardless of
+    /// how many workload points it answers.
+    pub searches: usize,
+    /// Points rejected by the surrogate (dims that do not fit the
+    /// design's memories under the incumbent dataflow).
+    pub infeasible_points: usize,
+    /// Queries whose Step-2 port grouping was reused across points.
+    pub grouping_reused: u64,
+    /// Queries that had to rebuild the port grouping.
+    pub grouping_rebuilt: u64,
+    /// Wall-clock sweep time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One design's workload-sweep output: points plus surrogate counters.
+type WorkloadSweep = (Vec<WorkloadPoint>, SurrogateStats, usize);
+
+/// Sweeps every design across a list of workload dims, reusing one
+/// [`SpecializedModel`] per design.
+///
+/// The dual of [`explore_bw_sweep`]: there the workload is fixed and the
+/// architecture varies; here the architecture is fixed per design and
+/// the workload varies. The mapping is searched once per design on the
+/// `template` layer, the search incumbent's *shape* (spatial unrolling +
+/// loop ordering) is specialized against the design's architecture, and
+/// every `(b, k, c)` in `dims` is then answered through
+/// [`SpecializedModel::query`] — which is bit-identical to re-deriving
+/// the mapping at those dims and evaluating from scratch
+/// ([`SpecializedModel::query_oracle`]), so the returned points are
+/// exactly what a per-point cold sweep of the incumbent dataflow would
+/// produce. Designs with no legal mapping on the template are silently
+/// skipped, as in [`explore`]; dims that do not fit a design are counted
+/// in [`WorkloadSweepStats::infeasible_points`] and skipped.
+///
+/// `dims` must be non-empty. With `opts.parallelism = Some(n)` the
+/// designs are split across `n` threads and merged in design order, so
+/// the output is identical for every thread count.
+pub fn explore_workload_sweep(
+    designs: &[DesignPoint],
+    dims: &[(u64, u64, u64)],
+    template: &Layer,
+    opts: &ExploreOptions,
+) -> (Vec<WorkloadPoint>, WorkloadSweepStats) {
+    assert!(!dims.is_empty(), "workload sweep needs at least one point");
+    let t0 = std::time::Instant::now();
+    let threads = opts.parallelism.unwrap_or(1).clamp(1, designs.len().max(1));
+    let mut slots: Vec<Option<WorkloadSweep>> = vec![None; designs.len()];
+    if threads <= 1 {
+        for (d, slot) in designs.iter().zip(slots.iter_mut()) {
+            *slot = sweep_workload_design(d, dims, template, opts);
+        }
+    } else {
+        let chunk = designs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (d_chunk, s_chunk) in designs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (d, slot) in d_chunk.iter().zip(s_chunk.iter_mut()) {
+                        *slot = sweep_workload_design(d, dims, template, opts);
+                    }
+                });
+            }
+        });
+    }
+    let mut stats = WorkloadSweepStats {
+        designs: designs.len(),
+        ..WorkloadSweepStats::default()
+    };
+    let mut points = Vec::with_capacity(designs.len() * dims.len());
+    for (design_points, surrogate, infeasible) in slots.into_iter().flatten() {
+        stats.feasible += 1;
+        stats.searches += 1;
+        stats.points += design_points.len();
+        stats.infeasible_points += infeasible;
+        stats.grouping_reused += surrogate.grouping_reused;
+        stats.grouping_rebuilt += surrogate.grouping_rebuilt;
+        points.extend(design_points);
+    }
+    stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (points, stats)
+}
+
+/// Searches the mapping once on the template, specializes its shape, and
+/// answers every workload point through the surrogate.
+fn sweep_workload_design(
+    design: &DesignPoint,
+    dims: &[(u64, u64, u64)],
+    template: &Layer,
+    opts: &ExploreOptions,
+) -> Option<WorkloadSweep> {
+    let mapper = Mapper::new(&design.arch, template, design.spatial.clone())
+        .with_options(opts.mapper)
+        .with_parallelism(opts.mapping_parallelism)
+        .with_batch_lanes(opts.batch_lanes);
+    let mapping = mapper.search(Objective::Latency).ok()?.best.mapping;
+    let shape = MappingShape::from_mapping(&mapping).ok()?;
+    let model = if opts.mapper.bw_aware {
+        LatencyModel::new()
+    } else {
+        LatencyModel::bw_unaware()
+    };
+    let mut spec = SpecializedModel::prepare(model, &design.arch, template, shape).ok()?;
+    let mut points = Vec::with_capacity(dims.len());
+    let mut infeasible = 0usize;
+    for &(b, k, c) in dims {
+        match spec.query(b, k, c) {
+            Ok(fast) => points.push(WorkloadPoint {
+                params: design.params,
+                dims: (b, k, c),
+                latency: fast.cc_total,
+                utilization: fast.utilization,
+                ss_overall: fast.ss_overall,
+            }),
+            Err(_) => infeasible += 1,
+        }
+    }
+    Some((points, spec.stats(), infeasible))
+}
+
 /// Indices of the latency-area Pareto front (minimizing both), sorted by
 /// increasing area.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<usize> {
@@ -591,6 +736,94 @@ mod tests {
             let (par, _) = explore_bw_sweep(
                 &designs,
                 &bws,
+                &small_layer(),
+                &ExploreOptions {
+                    parallelism: Some(threads),
+                    ..quick_opts()
+                },
+            );
+            assert_eq!(serial, par, "parallelism={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn workload_sweep_matches_cold_oracle_of_incumbent() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4, 16],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let dims = [(16u64, 64u64, 128u64), (64, 64, 128), (128, 32, 96)];
+        let template = small_layer();
+        let opts = quick_opts();
+        let (points, stats) = explore_workload_sweep(&designs, &dims, &template, &opts);
+
+        assert_eq!(stats.designs, designs.len());
+        assert_eq!(stats.points, points.len());
+        assert_eq!(stats.searches, stats.feasible);
+        assert_eq!(
+            stats.points + stats.infeasible_points,
+            stats.feasible * dims.len()
+        );
+        assert_eq!(
+            stats.grouping_reused + stats.grouping_rebuilt,
+            stats.points as u64
+        );
+
+        // Cold re-derivation: the same search per design, then the
+        // surrogate's from-scratch oracle path at every workload point.
+        let mut cold = Vec::new();
+        for d in &designs {
+            let mapper =
+                Mapper::new(&d.arch, &template, d.spatial.clone()).with_options(opts.mapper);
+            let Ok(result) = mapper.search(Objective::Latency) else {
+                continue;
+            };
+            let shape = MappingShape::from_mapping(&result.best.mapping).unwrap();
+            let spec =
+                SpecializedModel::prepare(LatencyModel::new(), &d.arch, &template, shape).unwrap();
+            for &(b, k, c) in &dims {
+                let Ok(fast) = spec.query_oracle(b, k, c) else {
+                    continue;
+                };
+                cold.push(WorkloadPoint {
+                    params: d.params,
+                    dims: (b, k, c),
+                    latency: fast.cc_total,
+                    utilization: fast.utilization,
+                    ss_overall: fast.ss_overall,
+                });
+            }
+        }
+        assert_eq!(points.len(), cold.len());
+        for (a, b) in points.iter().zip(&cold) {
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.dims, b.dims);
+            assert_eq!(a.latency.to_bits(), b.latency.to_bits(), "{:?}", a.params);
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.ss_overall.to_bits(), b.ss_overall.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_workload_sweep_matches_serial_exactly() {
+        let pool = MemoryPool {
+            w_reg_words_per_mac: vec![1, 2],
+            i_reg_words_per_mac: vec![1, 2],
+            o_reg_words_per_pe: vec![1],
+            w_lb_kb: vec![4],
+            i_lb_kb: vec![4],
+        };
+        let designs = enumerate_designs(&pool, &[16], 128);
+        let dims = [(32u64, 64u64, 128u64), (96, 48, 160)];
+        let (serial, _) = explore_workload_sweep(&designs, &dims, &small_layer(), &quick_opts());
+        for threads in [2usize, 3] {
+            let (par, _) = explore_workload_sweep(
+                &designs,
+                &dims,
                 &small_layer(),
                 &ExploreOptions {
                     parallelism: Some(threads),

@@ -30,7 +30,8 @@ pub mod explore;
 pub mod pool;
 
 pub use explore::{
-    evaluate_design, explore, explore_bw_sweep, explore_with_stats, pareto_front, DsePoint,
-    DseStats, ExploreOptions, SweepStats,
+    evaluate_design, explore, explore_bw_sweep, explore_with_stats, explore_workload_sweep,
+    pareto_front, DsePoint, DseStats, ExploreOptions, SweepStats, WorkloadPoint,
+    WorkloadSweepStats,
 };
 pub use pool::{build_design, enumerate_designs, DesignParams, DesignPoint, MemoryPool};

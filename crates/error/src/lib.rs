@@ -25,7 +25,7 @@ use std::fmt;
 use ulm_arch::archdesc::ArchDescError;
 use ulm_mapper::MapperError;
 use ulm_mapping::{FuseError, MappingError};
-use ulm_model::KnobError;
+use ulm_model::{CalibrateError, KnobError, SurrogateError};
 use ulm_network::NetworkError;
 use ulm_periodic::WindowError;
 use ulm_reactor::ReactorError;
@@ -94,6 +94,12 @@ pub enum UlmError {
     /// A knob override (`--set mem.gb.bw=2x` / serve `whatif`) named an
     /// unknown path or memory, or carried an unusable value.
     Knob(KnobError),
+    /// Bandwidth calibration could not fit or apply its constants
+    /// (bad measurements, unknown port, architecture mismatch).
+    Calibrate(CalibrateError),
+    /// A specialized surrogate model rejected a query (unsupported layer
+    /// shape, bad ordering, infeasible workload dims).
+    Surrogate(SurrogateError),
     /// Invalid configuration outside the request path: unknown presets,
     /// bad command-line values, unusable option combinations.
     Config(String),
@@ -191,6 +197,20 @@ impl UlmError {
                 KnobError::InvalidValue { .. } => "knob/invalid-value",
                 KnobError::OutOfRange { .. } => "knob/out-of-range",
             },
+            UlmError::Calibrate(e) => match e {
+                CalibrateError::NoSamples => "calibrate/no-samples",
+                CalibrateError::UnknownMemory { .. } => "calibrate/unknown-memory",
+                CalibrateError::BadPort { .. } => "calibrate/bad-port",
+                CalibrateError::BadCsv { .. } => "calibrate/bad-csv",
+                CalibrateError::ArchMismatch { .. } => "calibrate/arch-mismatch",
+            },
+            UlmError::Surrogate(e) => match e {
+                SurrogateError::UnsupportedLayer { .. } => "surrogate/unsupported-layer",
+                SurrogateError::BadOrdering { .. } => "surrogate/bad-ordering",
+                SurrogateError::InvalidDims { .. } => "surrogate/invalid-dims",
+                SurrogateError::Infeasible { .. } => "surrogate/infeasible",
+                SurrogateError::InvalidMapping { .. } => "surrogate/invalid-mapping",
+            },
             UlmError::Config(_) => "config/invalid",
             UlmError::Io(_) => "io/error",
             UlmError::Json(_) => "json/error",
@@ -227,6 +247,8 @@ impl fmt::Display for UlmError {
                 write!(f, "cache log corrupt at byte {offset}: {what}")
             }
             UlmError::Knob(e) => write!(f, "invalid knob override: {e}"),
+            UlmError::Calibrate(e) => write!(f, "calibration failed: {e}"),
+            UlmError::Surrogate(e) => write!(f, "surrogate query rejected: {e}"),
             UlmError::Config(msg) => f.write_str(msg),
             UlmError::Io(e) => e.fmt(f),
             UlmError::Json(e) => e.fmt(f),
@@ -249,6 +271,8 @@ impl std::error::Error for UlmError {
             UlmError::Json(e) => Some(e),
             UlmError::Reactor(e) => Some(e),
             UlmError::Knob(e) => Some(e),
+            UlmError::Calibrate(e) => Some(e),
+            UlmError::Surrogate(e) => Some(e),
             UlmError::InvalidRequest(_)
             | UlmError::Config(_)
             | UlmError::TooLarge { .. }
@@ -327,6 +351,18 @@ impl From<serde_json::Error> for UlmError {
 impl From<KnobError> for UlmError {
     fn from(e: KnobError) -> Self {
         UlmError::Knob(e)
+    }
+}
+
+impl From<CalibrateError> for UlmError {
+    fn from(e: CalibrateError) -> Self {
+        UlmError::Calibrate(e)
+    }
+}
+
+impl From<SurrogateError> for UlmError {
+    fn from(e: SurrogateError) -> Self {
+        UlmError::Surrogate(e)
     }
 }
 
@@ -490,6 +526,61 @@ mod tests {
                 }
                 .into(),
                 "fuse/does-not-fit",
+            ),
+            (CalibrateError::NoSamples.into(), "calibrate/no-samples"),
+            (
+                CalibrateError::UnknownMemory { mem: "HBM3".into() }.into(),
+                "calibrate/unknown-memory",
+            ),
+            (
+                CalibrateError::BadPort {
+                    mem: "GB".into(),
+                    port: 9,
+                }
+                .into(),
+                "calibrate/bad-port",
+            ),
+            (
+                CalibrateError::BadCsv {
+                    line: 3,
+                    reason: "expected 7 fields".into(),
+                }
+                .into(),
+                "calibrate/bad-csv",
+            ),
+            (
+                CalibrateError::ArchMismatch {
+                    expected: "eyeriss".into(),
+                    got: "tpu".into(),
+                }
+                .into(),
+                "calibrate/arch-mismatch",
+            ),
+            (
+                SurrogateError::UnsupportedLayer {
+                    layer: "conv".into(),
+                }
+                .into(),
+                "surrogate/unsupported-layer",
+            ),
+            (
+                SurrogateError::BadOrdering {
+                    ordering: vec![ulm_workload::Dim::B],
+                }
+                .into(),
+                "surrogate/bad-ordering",
+            ),
+            (
+                SurrogateError::InvalidDims { dims: (0, 1, 1) }.into(),
+                "surrogate/invalid-dims",
+            ),
+            (
+                SurrogateError::Infeasible { dims: (1, 2, 3) }.into(),
+                "surrogate/infeasible",
+            ),
+            (
+                SurrogateError::InvalidMapping { dims: (4, 5, 6) }.into(),
+                "surrogate/invalid-mapping",
             ),
         ];
         for (e, code) in &cases {

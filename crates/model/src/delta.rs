@@ -168,17 +168,35 @@ impl Stage {
 
     /// The input groups this stage reads: the stage must be rebuilt
     /// exactly when the delta intersects this set.
+    ///
+    /// Always the union of [`arch_constant`](Self::arch_constant) and
+    /// [`workload_varying`](Self::workload_varying) — the two-phase
+    /// partial-evaluation split declared below.
     pub fn reads(self) -> InputDelta {
+        self.arch_constant().union(self.workload_varying())
+    }
+
+    /// The subset of this stage's inputs that is **architecture-constant**
+    /// for a fixed `(architecture, mapping shape)` pair: the groups a
+    /// [`SpecializedModel`](crate::surrogate::SpecializedModel) folds into
+    /// tables once at specialization time. A delta in these groups
+    /// invalidates the specialization itself, never an individual query.
+    pub fn arch_constant(self) -> InputDelta {
         match self {
-            Stage::Residency => InputDelta::WORKLOAD
-                .union(InputDelta::MAPPING)
-                .union(InputDelta::ARCH_STRUCTURE),
-            Stage::FeedRates => InputDelta::WORKLOAD.union(InputDelta::MAPPING),
-            Stage::Phases | Stage::DtlGraph => InputDelta::WORKLOAD
-                .union(InputDelta::MAPPING)
-                .union(InputDelta::ARCH_STRUCTURE)
-                .union(InputDelta::BANDWIDTH),
+            Stage::Residency => InputDelta::ARCH_STRUCTURE,
+            Stage::FeedRates => InputDelta::NONE,
+            Stage::Phases | Stage::DtlGraph => {
+                InputDelta::ARCH_STRUCTURE.union(InputDelta::BANDWIDTH)
+            }
         }
+    }
+
+    /// The subset of this stage's inputs that **varies per query** under a
+    /// fixed specialization: workload dims and the mapping bounds derived
+    /// from them. These are the only inputs the surrogate's per-query
+    /// kernel re-reads; everything else comes from the folded tables.
+    pub fn workload_varying(self) -> InputDelta {
+        InputDelta::WORKLOAD.union(InputDelta::MAPPING)
     }
 }
 
@@ -227,6 +245,18 @@ mod tests {
         assert!(!d.intersects(InputDelta::MAPPING));
         assert!(InputDelta::NONE.is_empty());
         assert!(InputDelta::ALL.contains(d));
+    }
+
+    #[test]
+    fn arch_workload_split_partitions_every_read_set() {
+        for s in Stage::ALL {
+            // The two declared halves reassemble the read set exactly...
+            assert_eq!(s.reads(), s.arch_constant().union(s.workload_varying()));
+            // ...and are disjoint: an input is folded or per-query, never both.
+            assert!(!s.arch_constant().intersects(s.workload_varying()));
+            // Capacity is in neither half: it gates legality, not latency.
+            assert!(!s.reads().intersects(InputDelta::CAPACITY));
+        }
     }
 
     #[test]

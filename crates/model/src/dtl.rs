@@ -2,6 +2,7 @@
 //! Memories and per-direction Data Transfer Links (DTLs), and compute each
 //! DTL's attributes — `ReqBW_u`, `X_REQ`, `X_REAL`, `MUW_u` and `SS_u`.
 
+use crate::slots::{ArchSlots, LiveSlots};
 use std::fmt;
 use ulm_arch::{MemoryId, PortId, PortUse};
 use ulm_mapping::MappedLayer;
@@ -285,11 +286,22 @@ pub fn build_dtls(view: &MappedLayer<'_>, opts: DtlOptions) -> Vec<Dtl> {
 }
 
 /// Step 1 proper: reads the residency tables of a freshly lowered
-/// [`LoweredLayer`](crate::LoweredLayer) and appends the DTL list to it.
-/// This is the only place DTLs are constructed.
+/// [`LoweredLayer`](crate::LoweredLayer) and appends the DTL list to it,
+/// answering every architecture lookup through [`LiveSlots`].
 pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::LoweredLayer) {
-    let h = view.arch().hierarchy();
-    let layer = view.layer();
+    let slots = LiveSlots::new(view.arch().hierarchy());
+    build_dtls_with(view.layer(), lw, &slots);
+}
+
+/// The single DTL construction body, shared between the generic path
+/// (live hierarchy lookups) and the surrogate's folded tables: every
+/// architecture constant arrives through `slots`, so identical slot
+/// values produce bit-identical DTLs.
+pub(crate) fn build_dtls_with(
+    layer: &ulm_workload::Layer,
+    lw: &mut crate::LoweredLayer,
+    slots: &impl ArchSlots,
+) {
     let opts = lw.options();
 
     // The tables are read through an immutable copy of the per-level rows
@@ -298,30 +310,24 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
     out.clear();
 
     for op in Operand::all() {
-        let chain = h.chain(op);
         let op_bits = layer.precision().bits(op);
 
         // Inter-memory links: one per adjacent level pair, stopping at
         // the pin (KV-cache residents and fused intermediates never touch
         // the interfaces above it, so no link exists to price).
         for level in 0..lw.active_interfaces(op) {
-            let lower = chain[level];
-            let upper = chain[level + 1];
             let row = *lw.level(op, level);
             let period = row.period;
             let z = row.z;
             let words = row.words;
             let run = row.run;
-            let lower_mem = h.mem(lower);
+            let lc = slots.interface(op, level);
 
             match op {
                 Operand::W | Operand::I => {
                     // Refill: upper read -> lower write. The receiving
                     // (lower) memory's buffering sets the window (Table I).
-                    let (wp, wbw) = h.port(lower, op, PortUse::WriteIn);
-                    let (rp, rbw) = h.port(upper, op, PortUse::ReadOut);
-                    let real_bw = wbw.min(rbw) as f64;
-                    let shape = if lower_mem.is_double_buffered() || run == 1 {
+                    let shape = if lc.lower_db || run == 1 {
                         WindowShape::Full
                     } else {
                         WindowShape::Trailing(run)
@@ -334,19 +340,8 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
                         period,
                         z,
                         shape,
-                        real_bw,
-                        Endpoints::two(
-                            Endpoint {
-                                mem: upper,
-                                port: rp,
-                                usage: PortUse::ReadOut,
-                            },
-                            Endpoint {
-                                mem: lower,
-                                port: wp,
-                                usage: PortUse::WriteIn,
-                            },
-                        ),
+                        lc.bw_bits as f64,
+                        lc.endpoints,
                         opts.phase_aware_z,
                     ));
                 }
@@ -357,10 +352,7 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
                     // finishes accumulating only in the last iteration of
                     // its top irrelevant run, so a non-DB source gets a
                     // trailing window scaled by that run.
-                    let (rp, rbw) = h.port(lower, op, PortUse::ReadOut);
-                    let (wp, wbw) = h.port(upper, op, PortUse::WriteIn);
-                    let real_bw = rbw.min(wbw) as f64;
-                    let shape = if lower_mem.is_double_buffered() || run == 1 {
+                    let shape = if lc.lower_db || run == 1 {
                         WindowShape::Full
                     } else {
                         WindowShape::Trailing(run)
@@ -373,27 +365,14 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
                         period,
                         z,
                         shape,
-                        real_bw,
-                        Endpoints::two(
-                            Endpoint {
-                                mem: lower,
-                                port: rp,
-                                usage: PortUse::ReadOut,
-                            },
-                            Endpoint {
-                                mem: upper,
-                                port: wp,
-                                usage: PortUse::WriteIn,
-                            },
-                        ),
+                        lc.bw_bits as f64,
+                        lc.endpoints,
                         opts.phase_aware_z,
                     ));
                     // Partial sums return when accumulation continues above.
                     if !final_above {
-                        let (rp2, rbw2) = h.port(upper, op, PortUse::ReadOut);
-                        let (wp2, wbw2) = h.port(lower, op, PortUse::WriteIn);
-                        let real_bw2 = rbw2.min(wbw2) as f64;
-                        let shape = if lower_mem.is_double_buffered() || run == 1 {
+                        let pc = slots.psum(level);
+                        let shape = if pc.lower_db || run == 1 {
                             WindowShape::Full
                         } else {
                             WindowShape::Leading(run)
@@ -406,19 +385,8 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
                             period,
                             z,
                             shape,
-                            real_bw2,
-                            Endpoints::two(
-                                Endpoint {
-                                    mem: upper,
-                                    port: rp2,
-                                    usage: PortUse::ReadOut,
-                                },
-                                Endpoint {
-                                    mem: lower,
-                                    port: wp2,
-                                    usage: PortUse::WriteIn,
-                                },
-                            ),
+                            pc.bw_bits as f64,
+                            pc.endpoints,
                             opts.phase_aware_z,
                         ));
                     }
@@ -431,15 +399,14 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
         // feed rate counts op-relevant unroll factors only (the lowering
         // pass precomputed that product).
         if opts.compute_links {
-            let innermost = chain[0];
             let words_per_cycle = lw.words_per_cycle(op);
             let row = *lw.level(op, 0);
             let data_bits = words_per_cycle * op_bits * row.period;
-            let (kind, usage) = match op {
-                Operand::W | Operand::I => (DtlKind::ComputeFeed, PortUse::ReadOut),
-                Operand::O => (DtlKind::ComputeWriteback, PortUse::WriteIn),
+            let kind = match op {
+                Operand::W | Operand::I => DtlKind::ComputeFeed,
+                Operand::O => DtlKind::ComputeWriteback,
             };
-            let (p, bw) = h.port(innermost, op, usage);
+            let cc = slots.compute(op);
             out.push(finish(
                 op,
                 kind,
@@ -448,12 +415,8 @@ pub(crate) fn build_dtls_lowered(view: &MappedLayer<'_>, lw: &mut crate::Lowered
                 row.period,
                 row.z,
                 WindowShape::Full,
-                bw as f64,
-                Endpoints::one(Endpoint {
-                    mem: innermost,
-                    port: p,
-                    usage,
-                }),
+                cc.bw_bits as f64,
+                cc.endpoints,
                 opts.phase_aware_z,
             ));
         }

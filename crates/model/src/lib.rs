@@ -49,6 +49,7 @@
 //! ```
 
 pub mod batch;
+pub mod calibrate;
 pub mod delta;
 pub mod dtl;
 pub mod fast;
@@ -56,10 +57,16 @@ pub mod lower;
 pub mod phases;
 pub mod report;
 pub mod roofline;
+mod slots;
 pub mod stall;
+pub mod surrogate;
 pub mod whatif;
 
 pub use batch::{BatchKernel, LaneOutcome};
+pub use calibrate::{
+    parse_measurements, CalibrateError, Calibration, CalibrationFit, Calibrator, LayerResidual,
+    MeasurementRow, ObservedBusy, PortFit,
+};
 pub use delta::{InputDelta, RebuildStats, Stage};
 pub use dtl::{Dtl, DtlKind, DtlOptions, Endpoint, Endpoints};
 pub use fast::{FastLatency, ModelScratch};
@@ -67,6 +74,7 @@ pub use lower::{kv_active_interfaces, LevelLowering, LoweredLayer, ResidencyPins
 pub use report::{BandwidthFix, DtlReport, LatencyReport, MemReport, PortReport, Scenario};
 pub use roofline::{roofline, roofline_bound, Roof, Roofline};
 pub use stall::{MemStall, PortGroup, PortGroupCore, StallScratch};
+pub use surrogate::{MappingShape, SpecializedModel, SurrogateError, SurrogateStats};
 pub use whatif::{apply_overrides, parse_override, KnobError, KnobOverride, KnobValue};
 
 use ulm_mapping::MappedLayer;

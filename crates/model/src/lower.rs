@@ -235,6 +235,29 @@ impl LoweredLayer {
         dtl::build_dtls_lowered(view, self);
     }
 
+    /// Full rebuild with every architecture constant answered by `slots`
+    /// instead of live hierarchy lookups — the surrogate's per-query
+    /// lowering. The workload-varying stages (residency, feed rates) run
+    /// against the view exactly as [`build_into`](Self::build_into) does;
+    /// the arch-constant-reading stages (phases, DTL graph) run the same
+    /// arithmetic bodies over the folded slot tables. With slots folded
+    /// from the same hierarchy the result is bit-identical to
+    /// [`build_into`](Self::build_into).
+    pub(crate) fn rebuild_specialized(
+        &mut self,
+        view: &MappedLayer<'_>,
+        opts: DtlOptions,
+        slots: &impl crate::slots::ArchSlots,
+    ) {
+        self.pins = [None; 3];
+        self.opts = opts;
+        self.stage_residency(view);
+        self.stage_feed_rates(view);
+        self.preload = phases::preload_cycles_with(view.layer(), self, slots);
+        self.offload = phases::offload_cycles_with(view.layer(), self, slots);
+        dtl::build_dtls_with(view.layer(), self, slots);
+    }
+
     /// Recomputes only the stages invalidated by `delta`, bit-identical
     /// to [`build_into`](Self::build_into) on the same view.
     ///

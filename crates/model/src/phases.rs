@@ -8,9 +8,10 @@
 //! maximum.
 
 use crate::lower::{kv_active_interfaces, LoweredLayer};
+use crate::slots::{ArchSlots, LiveSlots};
 use ulm_arch::PortUse;
 use ulm_mapping::MappedLayer;
-use ulm_workload::Operand;
+use ulm_workload::{Layer, Operand};
 
 /// Cycles to pre-load the first W and I working sets (max over the two
 /// operands of the pipeline-fill chain down their hierarchies). KV-cache
@@ -58,38 +59,43 @@ pub fn offload_cycles(view: &MappedLayer<'_>) -> u64 {
 /// always precedes phases in build order, and stays clean under the
 /// bandwidth deltas that re-run phases alone).
 pub(crate) fn preload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) -> u64 {
-    let h = view.arch().hierarchy();
+    let slots = LiveSlots::new(view.arch().hierarchy());
+    preload_cycles_with(view.layer(), lw, &slots)
+}
+
+/// [`offload_cycles`] from the lowered tables; see
+/// [`preload_cycles_lowered`].
+pub(crate) fn offload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) -> u64 {
+    let slots = LiveSlots::new(view.arch().hierarchy());
+    offload_cycles_with(view.layer(), lw, &slots)
+}
+
+/// The pre-load arithmetic body: link bandwidths arrive through `slots`
+/// (the same `u64` min of the two port bandwidths the view lookups take),
+/// so the generic path and the surrogate's folded tables produce the same
+/// integers.
+pub(crate) fn preload_cycles_with(layer: &Layer, lw: &LoweredLayer, slots: &impl ArchSlots) -> u64 {
     let mut worst = 0u64;
     for op in [Operand::W, Operand::I] {
-        let chain = h.chain(op);
-        let bits = view.layer().precision().bits(op);
+        let bits = layer.precision().bits(op);
         let mut total = 0u64;
         for level in 0..lw.active_interfaces(op) {
             let block_bits = lw.level(op, level).words * bits;
-            let (_, wbw) = h.port(chain[level], op, PortUse::WriteIn);
-            let (_, rbw) = h.port(chain[level + 1], op, PortUse::ReadOut);
-            let bw = wbw.min(rbw);
-            total += block_bits.div_ceil(bw);
+            total += block_bits.div_ceil(slots.interface(op, level).bw_bits);
         }
         worst = worst.max(total);
     }
     worst
 }
 
-/// [`offload_cycles`] from the lowered tables; see
-/// [`preload_cycles_lowered`].
-pub(crate) fn offload_cycles_lowered(view: &MappedLayer<'_>, lw: &LoweredLayer) -> u64 {
-    let h = view.arch().hierarchy();
-    let chain = h.chain(Operand::O);
+/// The off-load arithmetic body; see [`preload_cycles_with`].
+pub(crate) fn offload_cycles_with(layer: &Layer, lw: &LoweredLayer, slots: &impl ArchSlots) -> u64 {
     let mut total = 0u64;
     for level in 0..lw.active_interfaces(Operand::O) {
         let row = lw.level(Operand::O, level);
-        let bits = view.layer().precision().output_bits(row.final_above);
+        let bits = layer.precision().output_bits(row.final_above);
         let block_bits = row.words * bits;
-        let (_, rbw) = h.port(chain[level], Operand::O, PortUse::ReadOut);
-        let (_, wbw) = h.port(chain[level + 1], Operand::O, PortUse::WriteIn);
-        let bw = rbw.min(wbw);
-        total += block_bits.div_ceil(bw);
+        total += block_bits.div_ceil(slots.interface(Operand::O, level).bw_bits);
     }
     total
 }

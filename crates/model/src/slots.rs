@@ -1,0 +1,229 @@
+//! The architecture-constant *slot* view of the lowering pipeline.
+//!
+//! The phase and DTL-graph stages are the only places the pipeline reads
+//! the architecture's port tables (which port serves an interface, at what
+//! bandwidth, under what buffering). For a fixed `(architecture, mapping
+//! shape)` those answers never change between queries, so the stages are
+//! written against the [`ArchSlots`] trait instead of the hierarchy
+//! directly:
+//!
+//! * [`LiveSlots`] answers by the same chain-and-port lookups the
+//!   pipeline always did — the generic path, bit-identical to before;
+//! * the surrogate's folded table (built *through* `LiveSlots`, so it
+//!   holds the very same numbers) answers by array indexing.
+//!
+//! Because both implementations feed identical values into one shared
+//! arithmetic body, the partial evaluation is bit-identical to the
+//! generic path by construction.
+
+use crate::dtl::{Endpoint, Endpoints};
+use ulm_arch::{MemoryHierarchy, PortUse};
+use ulm_workload::Operand;
+
+/// The architecture-constant inputs of one data-transfer link: the
+/// narrower of the two port bandwidths, the ports it occupies, and
+/// whether the window-defining (lower) memory is double-buffered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LinkConsts {
+    /// Link bandwidth in bits/cycle: the `u64` min of the two ports.
+    pub bw_bits: u64,
+    /// The one or two ports the link occupies.
+    pub endpoints: Endpoints,
+    /// Whether the lower (window-defining) memory is double-buffered.
+    pub lower_db: bool,
+}
+
+/// Per-interface architecture constants, keyed the way the DTL build
+/// walks them. `interface` covers the refill (W/I) and drain (O)
+/// direction of `(op, level)`; `psum` the read-back direction of an O
+/// interface; `compute` the MAC-array-facing link of `op`'s innermost
+/// level.
+pub(crate) trait ArchSlots {
+    fn interface(&self, op: Operand, level: usize) -> LinkConsts;
+    fn psum(&self, level: usize) -> LinkConsts;
+    fn compute(&self, op: Operand) -> LinkConsts;
+}
+
+/// [`ArchSlots`] answered by live hierarchy lookups — the generic path.
+pub(crate) struct LiveSlots<'a> {
+    h: &'a MemoryHierarchy,
+}
+
+impl<'a> LiveSlots<'a> {
+    pub(crate) fn new(h: &'a MemoryHierarchy) -> Self {
+        Self { h }
+    }
+}
+
+impl ArchSlots for LiveSlots<'_> {
+    fn interface(&self, op: Operand, level: usize) -> LinkConsts {
+        let chain = self.h.chain(op);
+        let (lower, upper) = (chain[level], chain[level + 1]);
+        match op {
+            Operand::W | Operand::I => {
+                // Refill: upper read -> lower write.
+                let (wp, wbw) = self.h.port(lower, op, PortUse::WriteIn);
+                let (rp, rbw) = self.h.port(upper, op, PortUse::ReadOut);
+                LinkConsts {
+                    bw_bits: wbw.min(rbw),
+                    endpoints: Endpoints::two(
+                        Endpoint {
+                            mem: upper,
+                            port: rp,
+                            usage: PortUse::ReadOut,
+                        },
+                        Endpoint {
+                            mem: lower,
+                            port: wp,
+                            usage: PortUse::WriteIn,
+                        },
+                    ),
+                    lower_db: self.h.mem(lower).is_double_buffered(),
+                }
+            }
+            Operand::O => {
+                // Drain: lower read -> upper write.
+                let (rp, rbw) = self.h.port(lower, op, PortUse::ReadOut);
+                let (wp, wbw) = self.h.port(upper, op, PortUse::WriteIn);
+                LinkConsts {
+                    bw_bits: rbw.min(wbw),
+                    endpoints: Endpoints::two(
+                        Endpoint {
+                            mem: lower,
+                            port: rp,
+                            usage: PortUse::ReadOut,
+                        },
+                        Endpoint {
+                            mem: upper,
+                            port: wp,
+                            usage: PortUse::WriteIn,
+                        },
+                    ),
+                    lower_db: self.h.mem(lower).is_double_buffered(),
+                }
+            }
+        }
+    }
+
+    fn psum(&self, level: usize) -> LinkConsts {
+        let chain = self.h.chain(Operand::O);
+        let (lower, upper) = (chain[level], chain[level + 1]);
+        let (rp, rbw) = self.h.port(upper, Operand::O, PortUse::ReadOut);
+        let (wp, wbw) = self.h.port(lower, Operand::O, PortUse::WriteIn);
+        LinkConsts {
+            bw_bits: rbw.min(wbw),
+            endpoints: Endpoints::two(
+                Endpoint {
+                    mem: upper,
+                    port: rp,
+                    usage: PortUse::ReadOut,
+                },
+                Endpoint {
+                    mem: lower,
+                    port: wp,
+                    usage: PortUse::WriteIn,
+                },
+            ),
+            lower_db: self.h.mem(lower).is_double_buffered(),
+        }
+    }
+
+    fn compute(&self, op: Operand) -> LinkConsts {
+        let innermost = self.h.chain(op)[0];
+        let usage = match op {
+            Operand::W | Operand::I => PortUse::ReadOut,
+            Operand::O => PortUse::WriteIn,
+        };
+        let (p, bw) = self.h.port(innermost, op, usage);
+        LinkConsts {
+            bw_bits: bw,
+            endpoints: Endpoints::one(Endpoint {
+                mem: innermost,
+                port: p,
+                usage,
+            }),
+            lower_db: false,
+        }
+    }
+}
+
+/// [`ArchSlots`] folded into flat per-interface tables once per
+/// specialization: every entry is captured through [`LiveSlots`], so the
+/// values are the generic path's values and queries reduce to indexing.
+#[derive(Debug, Default)]
+pub(crate) struct FoldedSlots {
+    /// `interface(op, level)`, operand-major, one row per chain interface.
+    interfaces: Vec<LinkConsts>,
+    /// Interface-row offsets per operand (`offsets[op] .. offsets[op+1]`).
+    offsets: [usize; 4],
+    /// `psum(level)` for every O interface.
+    psums: Vec<LinkConsts>,
+    /// `compute(op)` per operand.
+    computes: [Option<LinkConsts>; 3],
+}
+
+impl FoldedSlots {
+    /// Folds every slot of `h` the lowering can touch, reading through
+    /// [`LiveSlots`] so the captured constants are the live values.
+    pub(crate) fn fold(h: &MemoryHierarchy) -> Self {
+        let live = LiveSlots::new(h);
+        let mut out = Self::default();
+        for op in Operand::all() {
+            out.offsets[op.index()] = out.interfaces.len();
+            let interfaces = h.chain(op).len().saturating_sub(1);
+            for level in 0..interfaces {
+                out.interfaces.push(live.interface(op, level));
+            }
+            out.computes[op.index()] = Some(live.compute(op));
+        }
+        out.offsets[3] = out.interfaces.len();
+        let o_interfaces = h.chain(Operand::O).len().saturating_sub(1);
+        for level in 0..o_interfaces {
+            out.psums.push(live.psum(level));
+        }
+        out
+    }
+}
+
+impl ArchSlots for FoldedSlots {
+    fn interface(&self, op: Operand, level: usize) -> LinkConsts {
+        self.interfaces[self.offsets[op.index()] + level]
+    }
+
+    fn psum(&self, level: usize) -> LinkConsts {
+        self.psums[level]
+    }
+
+    fn compute(&self, op: Operand) -> LinkConsts {
+        self.computes[op.index()].expect("folded for every operand")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulm_arch::presets;
+
+    #[test]
+    fn folded_slots_capture_live_values() {
+        for chip in [
+            presets::toy_chip(),
+            presets::fusion_chip(),
+            presets::scaled_case_study_chip(16, 128),
+            presets::tpu_like_chip(8),
+        ] {
+            let h = chip.arch.hierarchy();
+            let live = LiveSlots::new(h);
+            let folded = FoldedSlots::fold(h);
+            for op in Operand::all() {
+                for level in 0..h.chain(op).len().saturating_sub(1) {
+                    assert_eq!(folded.interface(op, level), live.interface(op, level));
+                }
+                assert_eq!(folded.compute(op), live.compute(op));
+            }
+            for level in 0..h.chain(Operand::O).len().saturating_sub(1) {
+                assert_eq!(folded.psum(level), live.psum(level));
+            }
+        }
+    }
+}

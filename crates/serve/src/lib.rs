@@ -60,6 +60,7 @@ pub use fingerprint::{fingerprint_of, fingerprint_value, Fingerprint};
 pub use pool::{JobHandle, PoolStats, WorkerPool};
 pub use server::{
     run_batch, run_reactor, run_tcp, BatchSummary, DiskStats, EvalOutcome, EvalService,
-    LatencySummary, ReactorService, SearchMeta, SearchTotals, ServeOptions, CACHE_LOG_FILE,
+    LatencySummary, ReactorService, SearchMeta, SearchTotals, ServeOptions, SurrogateTotals,
+    WhatifTotals, CACHE_LOG_FILE,
 };
 pub use store::{CacheLog, ReplayReport};

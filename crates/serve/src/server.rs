@@ -22,6 +22,18 @@
 //!   without fusion are distinct cache identities. Network runs are not
 //!   memoized (their result shape differs from the per-layer cache), but
 //!   the fingerprint still lets clients correlate responses.
+//! * `surrogate` — answer a fixed-architecture workload-dimension query
+//!   from a cached arch-specialized [`SpecializedModel`]:
+//!   `{"kind":"surrogate","id":5,"arch":"case16","layer":"128x96x640","template":"64x96x640"}`.
+//!   The service keeps one specialization per `(arch, spatial, model,
+//!   mapper, template, calibration)` key; requests matching the key skip
+//!   the search + lowering entirely and run the closed-form kernel over
+//!   the workload dims (bit-identical to the generic pipeline). The
+//!   `reuse` field (default `true`) is deliberately *not* part of the
+//!   fingerprint — like `mapper.parallelism`, it changes wall-clock,
+//!   never the result. When the service was opened with a calibration
+//!   for the request's architecture, its fitted constants are applied
+//!   first and the calibration id enters the fingerprint.
 //! * `stats` — report cache hit rate, queue depth and request-latency
 //!   percentiles: `{"kind":"stats"}` (also accepted as `"/stats"`).
 //!
@@ -54,7 +66,8 @@ pub use ulm_mapper::SearchStats;
 use ulm_mapper::{Mapper, MapperOptions, Objective};
 use ulm_mapping::{MappedLayer, Mapping, SpatialUnroll};
 use ulm_model::{
-    apply_overrides, InputDelta, LatencyModel, LatencyReport, ModelOptions, ModelScratch,
+    apply_overrides, Calibration, InputDelta, LatencyModel, LatencyReport, MappingShape,
+    ModelOptions, ModelScratch, SpecializedModel,
 };
 use ulm_network::{InterLayerOverlap, NetworkEvaluator};
 use ulm_reactor::{extract_line, Extracted};
@@ -80,6 +93,10 @@ pub struct ServeOptions {
     /// Longest accepted request line in bytes; longer lines are answered
     /// with a `request/too-large` error and discarded.
     pub max_line_len: usize,
+    /// Fitted per-port constants from `ulm calibrate`. Applied to
+    /// `surrogate` requests whose architecture matches the calibration's;
+    /// the calibration id then enters those fingerprints and `/stats`.
+    pub calibration: Option<Calibration>,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +108,7 @@ impl Default for ServeOptions {
             cache_dir: None,
             include_timing: true,
             max_line_len: 1 << 20,
+            calibration: None,
         }
     }
 }
@@ -135,6 +153,19 @@ pub struct WhatifTotals {
     pub delta_hits: usize,
     /// Requests that had to compute (and cache) the base design first.
     pub full_rebuilds: usize,
+}
+
+/// Surrogate fast-path counters across `surrogate` requests, reported by
+/// `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SurrogateTotals {
+    /// `surrogate` requests successfully answered.
+    pub requests: usize,
+    /// Requests answered from the cached specialization (the slot key —
+    /// arch, spatial, model, mapper, template, calibration — matched).
+    pub hits: usize,
+    /// Requests that had to build a specialization first.
+    pub misses: usize,
 }
 
 /// Cumulative search effort across every *executed* (non-cached) search
@@ -238,10 +269,30 @@ struct NetQuery {
     parallelism: Option<usize>,
 }
 
+/// A fixed-architecture workload-dimension query (the `surrogate` request
+/// kind), answered through a cached [`SpecializedModel`] when possible.
+struct SurrogateQuery {
+    arch: Architecture,
+    spatial: SpatialUnroll,
+    /// The query point; its dims are the only workload-varying input.
+    layer: Layer,
+    /// Dims of the layer whose best mapping defines the specialization
+    /// shape (defaults to the query dims).
+    template: (u64, u64, u64),
+    model: ModelOptions,
+    mapper: MapperOptions,
+    /// Reuse the service's cached specialization when its key matches.
+    /// Deliberately NOT part of the fingerprint: like
+    /// `mapper.parallelism`, reuse changes wall-clock, never the result —
+    /// the specialized kernel is bit-identical to the generic pipeline.
+    reuse: bool,
+}
+
 enum Request {
     Query(Box<Query>),
     Net(Box<NetQuery>),
     WhatIf { base: Box<Query>, set: Vec<String> },
+    Surrogate(Box<SurrogateQuery>),
     Stats,
 }
 
@@ -603,6 +654,54 @@ fn parse_overlap(req: &Value) -> Result<InterLayerOverlap, UlmError> {
     }
 }
 
+fn parse_surrogate_query(req: &Value) -> Result<SurrogateQuery, UlmError> {
+    let (arch, default_spatial) = parse_arch(req)?;
+    let spatial = parse_spatial(req, default_spatial)?;
+    let layer = parse_layer(req)?;
+    let model = parse_model(req)?;
+    let (mapper, _parallelism, _batch_lanes) = parse_mapper(req, &model)?;
+    let template = match field(req, "template") {
+        None => (
+            layer.shape().dim(Dim::B),
+            layer.shape().dim(Dim::K),
+            layer.shape().dim(Dim::C),
+        ),
+        Some(Value::String(text)) => {
+            let parts: Vec<&str> = text.split('x').collect();
+            let bad =
+                || UlmError::invalid_request(format!("`template` must be BxKxC, got `{text}`"));
+            if parts.len() != 3 {
+                return Err(bad());
+            }
+            let b: u64 = parts[0].parse().map_err(|_| bad())?;
+            let k: u64 = parts[1].parse().map_err(|_| bad())?;
+            let c: u64 = parts[2].parse().map_err(|_| bad())?;
+            check_dims(b, k, c)?;
+            (b, k, c)
+        }
+        Some(_) => {
+            return Err(UlmError::invalid_request(
+                "`template` must be a BxKxC string",
+            ))
+        }
+    };
+    let reuse = match field(req, "reuse") {
+        None => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| UlmError::invalid_request("`reuse` must be a boolean"))?,
+    };
+    Ok(SurrogateQuery {
+        arch,
+        spatial,
+        layer,
+        template,
+        model,
+        mapper,
+        reuse,
+    })
+}
+
 fn parse_net_query(req: &Value) -> Result<NetQuery, UlmError> {
     let (arch, default_spatial) = parse_arch(req)?;
     let spatial = parse_spatial(req, default_spatial)?;
@@ -652,8 +751,9 @@ fn parse_request(req: &Value) -> Result<Request, UlmError> {
             set: parse_set(req)?,
             base: Box::new(parse_query(req, field(req, "mapping").is_some())?),
         }),
+        "surrogate" => Ok(Request::Surrogate(Box::new(parse_surrogate_query(req)?))),
         other => Err(UlmError::invalid_request(format!(
-            "unknown kind `{other}` (eval|search|whatif|net|stats)"
+            "unknown kind `{other}` (eval|search|whatif|net|surrogate|stats)"
         ))),
     }
 }
@@ -793,6 +893,47 @@ impl NetQuery {
     }
 }
 
+impl SurrogateQuery {
+    /// The inputs the cached specialization depends on — everything
+    /// except the workload dims (and `reuse`). Also the prefix of the
+    /// result fingerprint. The calibration id is included when the
+    /// service applied one: calibrated and uncalibrated answers must
+    /// never alias.
+    fn slot_entries(&self, calibration_id: Option<&str>) -> Vec<(String, Value)> {
+        let (tb, tk, tc) = self.template;
+        let mut entries = vec![
+            ("op".to_string(), Value::String("surrogate".into())),
+            ("arch".to_string(), self.arch.to_value()),
+            ("spatial".to_string(), self.spatial.to_value()),
+            ("model".to_string(), self.model.to_value()),
+            ("mapper".to_string(), self.mapper.to_value()),
+            (
+                "template".to_string(),
+                Value::String(format!("{tb}x{tk}x{tc}")),
+            ),
+            ("precision".to_string(), self.layer.precision().to_value()),
+        ];
+        if let Some(id) = calibration_id {
+            entries.push(("calibration".to_string(), Value::String(id.to_string())));
+        }
+        entries
+    }
+
+    /// Key of the service's specialization slot.
+    fn slot_key(&self, calibration_id: Option<&str>) -> Fingerprint {
+        fingerprint_value(&Value::Object(self.slot_entries(calibration_id)))
+    }
+
+    /// The canonical identity of this query's *result*: the slot inputs
+    /// plus the workload dims. `reuse` is deliberately absent — requests
+    /// differing only in it produce identical results.
+    fn fingerprint(&self, calibration_id: Option<&str>) -> Fingerprint {
+        let mut entries = self.slot_entries(calibration_id);
+        entries.push(("layer".to_string(), self.layer.to_value()));
+        fingerprint_value(&Value::Object(entries))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The service
 // ---------------------------------------------------------------------------
@@ -878,6 +1019,13 @@ pub struct DiskStats {
     pub compactions: u64,
 }
 
+/// The service's cached specialization: one partial evaluation reused
+/// across every `surrogate` request with a matching key.
+struct SurrogateSlot {
+    key: Fingerprint,
+    spec: SpecializedModel,
+}
+
 /// The concurrent, cache-backed evaluation engine.
 pub struct EvalService {
     cache: ResultCache<EvalOutcome>,
@@ -886,6 +1034,9 @@ pub struct EvalService {
     latencies_ms: Mutex<Vec<f64>>,
     search_totals: Mutex<SearchTotals>,
     whatif_totals: Mutex<WhatifTotals>,
+    surrogate_totals: Mutex<SurrogateTotals>,
+    surrogate_slot: Mutex<Option<SurrogateSlot>>,
+    calibration: Option<Calibration>,
     disk: Option<DiskState>,
     include_timing: bool,
     max_line_len: usize,
@@ -955,6 +1106,9 @@ impl EvalService {
             latencies_ms: Mutex::new(Vec::new()),
             search_totals: Mutex::new(SearchTotals::default()),
             whatif_totals: Mutex::new(WhatifTotals::default()),
+            surrogate_totals: Mutex::new(SurrogateTotals::default()),
+            surrogate_slot: Mutex::new(None),
+            calibration: opts.calibration.clone(),
             disk,
             include_timing: opts.include_timing,
             max_line_len: opts.max_line_len,
@@ -1046,6 +1200,19 @@ impl EvalService {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Cumulative fast-path counters over `surrogate` requests.
+    pub fn surrogate_totals(&self) -> SurrogateTotals {
+        *self
+            .surrogate_totals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The id of the calibration the service was opened with, if any.
+    pub fn calibration_id(&self) -> Option<&str> {
+        self.calibration.as_ref().map(|c| c.id.as_str())
+    }
+
     /// The result cache (exposed for benchmarks and tests).
     pub fn cache(&self) -> &ResultCache<EvalOutcome> {
         &self.cache
@@ -1107,6 +1274,20 @@ impl EvalService {
             Request::WhatIf { base, set } => {
                 let start = Instant::now();
                 let result = self.respond_whatif(&base, &set);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                self.latencies_ms
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(elapsed_ms);
+                let mut fields = result?;
+                if self.include_timing {
+                    fields.push(("elapsed_ms".to_string(), Value::F64(elapsed_ms)));
+                }
+                Ok(fields)
+            }
+            Request::Surrogate(query) => {
+                let start = Instant::now();
+                let result = self.respond_surrogate(&query);
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 self.latencies_ms
                     .lock()
@@ -1285,6 +1466,107 @@ impl EvalService {
         ])
     }
 
+    /// Answers a `surrogate` request. When the service's cached
+    /// specialization matches the request's slot key (and `reuse` allows
+    /// it), the query runs the closed-form kernel directly — no mapping
+    /// search, no lowering. Otherwise the template layer's best mapping
+    /// is searched once, the model is partially evaluated for the
+    /// resulting `(arch, shape)`, and the specialization is cached for
+    /// the next request. A service calibration matching the request's
+    /// architecture is applied first; its id enters the fingerprint.
+    fn respond_surrogate(&self, q: &SurrogateQuery) -> Result<Vec<(String, Value)>, UlmError> {
+        let (arch, calibration_id) = match &self.calibration {
+            Some(cal) if cal.arch == q.arch.name() => {
+                let (applied, _) = cal.apply(&q.arch)?;
+                (applied, Some(cal.id.clone()))
+            }
+            _ => (q.arch.clone(), None),
+        };
+        let key = q.slot_key(calibration_id.as_deref());
+        let fp = q.fingerprint(calibration_id.as_deref());
+        let (b, k, c) = (
+            q.layer.shape().dim(Dim::B),
+            q.layer.shape().dim(Dim::K),
+            q.layer.shape().dim(Dim::C),
+        );
+
+        let specialize = || -> Result<SpecializedModel, UlmError> {
+            let (tb, tk, tc) = q.template;
+            let mut template = q.layer.clone();
+            template.set_matmul_dims(tb, tk, tc);
+            let best = Mapper::new(&arch, &template, q.spatial.clone())
+                .with_options(q.mapper)
+                .search(Objective::Latency)?;
+            let shape = MappingShape::from_mapping(&best.best.mapping)?;
+            Ok(SpecializedModel::prepare(
+                LatencyModel::with_options(q.model),
+                &arch,
+                &template,
+                shape,
+            )?)
+        };
+
+        let (fast, shape_text, hit) = if q.reuse {
+            let mut slot = self
+                .surrogate_slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let hit = matches!(&*slot, Some(s) if s.key == key);
+            if !hit {
+                *slot = Some(SurrogateSlot {
+                    key,
+                    spec: specialize()?,
+                });
+            }
+            let s = slot.as_mut().expect("slot was just filled");
+            let fast = s.spec.query(b, k, c)?;
+            (fast, s.spec.shape().to_string(), hit)
+        } else {
+            // `reuse:false` sidesteps the shared slot entirely: always
+            // specialize fresh and leave the cached specialization alone.
+            let mut spec = specialize()?;
+            let fast = spec.query(b, k, c)?;
+            (fast, spec.shape().to_string(), false)
+        };
+
+        {
+            let mut totals = self
+                .surrogate_totals
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            totals.requests += 1;
+            if hit {
+                totals.hits += 1;
+            } else {
+                totals.misses += 1;
+            }
+        }
+
+        let mut fields = vec![
+            ("kind".to_string(), Value::String("surrogate".into())),
+            ("fingerprint".to_string(), Value::String(fp.to_string())),
+            ("specialized_reused".to_string(), Value::Bool(hit)),
+            ("shape".to_string(), Value::String(shape_text)),
+            ("layer".to_string(), Value::String(format!("{b}x{k}x{c}"))),
+            (
+                "latency".to_string(),
+                Value::Object(vec![
+                    ("cc_total".to_string(), Value::F64(fast.cc_total)),
+                    ("cc_ideal".to_string(), Value::F64(fast.cc_ideal)),
+                    ("cc_spatial".to_string(), Value::U64(fast.cc_spatial)),
+                    ("ss_overall".to_string(), Value::F64(fast.ss_overall)),
+                    ("preload".to_string(), Value::U64(fast.preload)),
+                    ("offload".to_string(), Value::U64(fast.offload)),
+                    ("utilization".to_string(), Value::F64(fast.utilization)),
+                ]),
+            ),
+        ];
+        if let Some(id) = calibration_id {
+            fields.push(("calibration_id".to_string(), Value::String(id)));
+        }
+        Ok(fields)
+    }
+
     /// Cache lookup with single-flight coalescing: concurrent identical
     /// queries are computed once — the first thread executes, the others
     /// block on the in-flight marker and then read the cached result.
@@ -1385,6 +1667,14 @@ impl EvalService {
             ("latency_ms".to_string(), latency.to_value()),
             ("search".to_string(), self.search_totals().to_value()),
             ("whatif".to_string(), self.whatif_totals().to_value()),
+            ("surrogate".to_string(), self.surrogate_totals().to_value()),
+            (
+                "calibration_id".to_string(),
+                match self.calibration_id() {
+                    Some(id) => Value::String(id.to_string()),
+                    None => Value::Null,
+                },
+            ),
         ];
         if let Some(disk) = self.disk_stats() {
             fields.push(("disk".to_string(), disk.to_value()));
@@ -1923,6 +2213,85 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn surrogate_slot_reuse_counts_hits_and_misses() {
+        let svc = service();
+        let first = r#"{"kind":"surrogate","arch":"case16","layer":"64x96x640","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let sweep = r#"{"kind":"surrogate","arch":"case16","layer":"128x96x640","template":"64x96x640","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let a = parse(&svc.handle_line(first).unwrap());
+        assert_eq!(a.get("ok"), Some(&Value::Bool(true)), "{a:?}");
+        assert_eq!(a.get("specialized_reused"), Some(&Value::Bool(false)));
+        // The first request's default template (its own dims) matches the
+        // sweep request's explicit template, so the slot is reused even
+        // though the query layers differ.
+        let b = parse(&svc.handle_line(sweep).unwrap());
+        assert_eq!(b.get("ok"), Some(&Value::Bool(true)), "{b:?}");
+        assert_eq!(b.get("specialized_reused"), Some(&Value::Bool(true)));
+        // Distinct layers keep distinct result identities.
+        assert_ne!(a.get("fingerprint"), b.get("fingerprint"));
+        assert_eq!(
+            svc.surrogate_totals(),
+            SurrogateTotals {
+                requests: 2,
+                hits: 1,
+                misses: 1
+            }
+        );
+        // `/stats` surfaces the counters and the (absent) calibration id.
+        let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        let sur = stats.get("surrogate").expect("stats carry surrogate");
+        assert_eq!(sur.get("hits"), Some(&Value::U64(1)));
+        assert_eq!(sur.get("misses"), Some(&Value::U64(1)));
+        assert_eq!(stats.get("calibration_id"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn surrogate_reuse_flag_is_excluded_from_the_fingerprint() {
+        let svc = service();
+        let shared = r#"{"kind":"surrogate","arch":"case16","layer":"64x96x640","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let fresh = r#"{"kind":"surrogate","arch":"case16","layer":"64x96x640","reuse":false,"mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let a = parse(&svc.handle_line(shared).unwrap());
+        let b = parse(&svc.handle_line(fresh).unwrap());
+        assert_eq!(a.get("ok"), Some(&Value::Bool(true)), "{a:?}");
+        assert_eq!(b.get("ok"), Some(&Value::Bool(true)), "{b:?}");
+        // `reuse` is a replay knob, not an input: identical identity and
+        // bit-identical results either way.
+        assert_eq!(a.get("fingerprint"), b.get("fingerprint"));
+        assert_eq!(a.get("latency"), b.get("latency"));
+        assert_eq!(b.get("specialized_reused"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn calibrated_service_stamps_calibration_id() {
+        let cal = ulm_model::Calibration {
+            arch: "case-study-16x16".into(),
+            id: "cal-test".into(),
+            ports: Vec::new(),
+        };
+        let svc = EvalService::new(ServeOptions {
+            calibration: Some(cal),
+            ..ServeOptions::default()
+        });
+        let line = r#"{"kind":"surrogate","arch":"case16","layer":"8x16x64","mapper":{"max_exhaustive":200,"samples":20}}"#;
+        let v = parse(&svc.handle_line(line).unwrap());
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        assert_eq!(
+            v.get("calibration_id"),
+            Some(&Value::String("cal-test".into()))
+        );
+        // A different architecture ignores the case16 calibration.
+        let other = r#"{"kind":"surrogate","arch":"toy","layer":"4x4x8","mapper":{"max_exhaustive":100,"samples":10}}"#;
+        let w = parse(&svc.handle_line(other).unwrap());
+        assert_eq!(w.get("ok"), Some(&Value::Bool(true)), "{w:?}");
+        assert_eq!(w.get("calibration_id"), None);
+        // `/stats` reports the loaded calibration.
+        let stats = parse(&svc.handle_line(r#"{"kind":"stats"}"#).unwrap());
+        assert_eq!(
+            stats.get("calibration_id"),
+            Some(&Value::String("cal-test".into()))
+        );
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub mod prelude {
         Port, PortUse, StallIntegration,
     };
     pub use ulm_dse::{
-        enumerate_designs, explore, explore_bw_sweep, explore_with_stats, pareto_front,
-        DesignParams, DsePoint, DseStats, ExploreOptions, MemoryPool, SweepStats,
+        enumerate_designs, explore, explore_bw_sweep, explore_with_stats, explore_workload_sweep,
+        pareto_front, DesignParams, DsePoint, DseStats, ExploreOptions, MemoryPool, SweepStats,
+        WorkloadPoint, WorkloadSweepStats,
     };
     pub use ulm_energy::{EnergyModel, EnergyReport, EnergyScratch};
     pub use ulm_error::UlmError;
@@ -65,8 +66,9 @@ pub mod prelude {
         SegmentResidency, SpatialUnroll, TemporalLoop,
     };
     pub use ulm_model::{
-        apply_overrides, roofline_bound, FastLatency, InputDelta, KnobError, LatencyModel,
-        LatencyReport, LoweredLayer, ModelOptions, ModelScratch, RebuildStats, Scenario,
+        apply_overrides, parse_measurements, roofline_bound, Calibration, CalibrationFit,
+        Calibrator, FastLatency, InputDelta, KnobError, LatencyModel, LatencyReport, LoweredLayer,
+        MappingShape, ModelOptions, ModelScratch, RebuildStats, Scenario, SpecializedModel,
     };
     pub use ulm_network::{InterLayerOverlap, NetworkEvaluator, NetworkReport};
     pub use ulm_serve::{EvalService, Fingerprint, ResultCache, ServeOptions, WorkerPool};

@@ -213,6 +213,22 @@ impl Layer {
         self.kv[op]
     }
 
+    /// Replaces the matmul dims `(B, K, C)` in place, keeping name,
+    /// precision and KV-cache flags — the workload-varying update of a
+    /// surrogate query (every other layer field is query-constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-matmul/dense layer types (their spatial dims
+    /// cannot be expressed as `(B, K, C)`) and on any zero dim.
+    pub fn set_matmul_dims(&mut self, b: u64, k: u64, c: u64) {
+        assert!(
+            matches!(self.ltype, LayerType::Dense | LayerType::Matmul),
+            "set_matmul_dims is only meaningful for dense/matmul layers"
+        );
+        self.shape = LayerShape::matmul(b, k, c);
+    }
+
     /// True when any operand is KV-cache resident.
     pub fn has_kv_cache(&self) -> bool {
         Operand::all().any(|op| self.kv[op])

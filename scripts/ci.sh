@@ -39,6 +39,9 @@ cargo test --release -q -p ulm --test batch_equivalence
 echo "==> lowered-IR consistency proptests (release: pins, fusion, KV-cache)"
 cargo test --release -q -p ulm --test lowered_consistency
 
+echo "==> surrogate-vs-evaluate_fast differential proptests (release)"
+cargo test --release -q -p ulm --test surrogate_props
+
 echo "==> batch perf smoke (batched kernel must beat the scalar search)"
 cargo run --release -q -p ulm --example batch_perf_smoke
 
@@ -131,5 +134,30 @@ if target/release/ulm whatif --arch case16 --layer 64x96x640 \
 fi
 grep -q "error\[knob/unknown-memory\]" "$whatif_err"
 rm -f "$whatif_err"
+
+echo "==> calibrate + surrogate smoke (fit, verify, surrogate-vs-full differential)"
+CAL_TMP="$(mktemp -d)"
+# Fit RealBW constants against sim traces; --verify asserts the applied
+# architecture carries exactly the fitted per-port bandwidths.
+target/release/ulm calibrate --arch case16 --verify \
+    --out "$CAL_TMP/case16.cal.json" >/dev/null
+grep -q '"id": "cal-' "$CAL_TMP/case16.cal.json"
+# Specialize once, sweep the batch dim; --verify re-derives every point
+# through the generic from-scratch path and fails on any bit mismatch —
+# both uncalibrated and with the fitted constants applied.
+target/release/ulm surrogate --arch case16 --layer 64x96x640 \
+    --b-list 16,32,64,128,256 --verify >/dev/null
+target/release/ulm surrogate --arch case16 --layer 64x96x640 \
+    --calibration "$CAL_TMP/case16.cal.json" --b-list 16,64,256 --verify >/dev/null
+# A malformed measurement CSV must exit non-zero with a calibrate/* code.
+cal_err="$(mktemp)"
+printf 'layer,b,k,c,mem,port,busy_cycles\nl1,4,4,8,GB,notaport,12.5\n' >"$CAL_TMP/bad.csv"
+if target/release/ulm calibrate --arch case16 \
+    --measurements "$CAL_TMP/bad.csv" >/dev/null 2>"$cal_err"; then
+    echo "error: ulm calibrate accepted a malformed measurements CSV" >&2
+    exit 1
+fi
+grep -q "error\[calibrate/" "$cal_err"
+rm -rf "$CAL_TMP" "$cal_err"
 
 echo "CI OK"
